@@ -1,0 +1,39 @@
+//! The paper's own ablation configurations (Figs. 7–11): windjoin with
+//! individual mechanisms switched off.
+
+use windjoin_cluster::RunConfig;
+
+/// Disables fine-grained partition tuning (§IV-D) — the "no
+/// fine-tuning" curves of Figs. 7–9: every partition-group stays one
+/// monolithic mini-group, so probe scans grow linearly with the window.
+pub fn no_tuning(mut cfg: RunConfig) -> RunConfig {
+    cfg.params.tuning = None;
+    cfg
+}
+
+/// Disables §V-A adaptive degree of declustering — the "non-adaptive"
+/// series of Fig. 11: the active slave set stays fixed at
+/// `initial_slaves` regardless of load.
+pub fn non_adaptive(mut cfg: RunConfig) -> RunConfig {
+    cfg.adaptive_dod = false;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switches_flip_the_right_fields() {
+        let base = RunConfig::paper_default(4);
+        assert!(base.params.tuning.is_some());
+        let nt = no_tuning(base.clone());
+        assert!(nt.params.tuning.is_none());
+        assert_eq!(nt.initial_slaves, base.initial_slaves);
+
+        let mut adaptive = base.clone();
+        adaptive.adaptive_dod = true;
+        let na = non_adaptive(adaptive);
+        assert!(!na.adaptive_dod);
+    }
+}

@@ -1,0 +1,292 @@
+//! Shared simulation driver for the baseline routing strategies.
+//!
+//! A baseline is a [`Router`]: a policy mapping each arriving tuple to
+//! one or more `(node, action)` deliveries. The driver supplies the rest
+//! — the serializing master NIC, per-node virtual CPUs, the really-
+//! executing join state (with fine tuning), and the same cost model and
+//! metrics as the `windjoin` runs — so experiment X1 compares routing
+//! policies and nothing else.
+
+use crate::report::BaselineReport;
+use std::cell::RefCell;
+use std::rc::Rc;
+use windjoin_cluster::RunConfig;
+use windjoin_core::hash::mix64;
+use windjoin_core::probe::CountedEngine;
+use windjoin_core::{OutPair, PartitionGroup, Side, Tuple, WorkStats};
+use windjoin_gen::{merge_streams, Arrival, MergedStreams, StreamSpec};
+use windjoin_metrics::{DelayTracker, UsageSet};
+use windjoin_sim::{Actor, CostModel, CpuTimeline, CpuWork, Ctx, Link, Sim};
+
+/// What a node does with a delivered tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Normal join-module processing: probe (head-block protocol) and
+    /// store.
+    ProbeStore,
+    /// Store sealed, without probing (ATR pre-warm copies).
+    StoreOnly,
+    /// Probe without storing (CTR probe hops).
+    ProbeOnly,
+    /// Probe the sealed window, then store sealed (CTR storage hop:
+    /// the tuple's probes happen on every node, so local storage must
+    /// be immediately visible to later probes — the head-block fresh
+    /// protocol does not apply across nodes).
+    ProbeThenStore,
+}
+
+/// One routed delivery.
+#[derive(Debug, Clone, Copy)]
+pub struct Routed {
+    /// The tuple.
+    pub tup: Tuple,
+    /// What the receiving node does with it.
+    pub action: Action,
+}
+
+/// A tuple-routing policy.
+pub trait Router {
+    /// Appends this tuple's deliveries as `(node, routed)` pairs, in
+    /// transmission order.
+    fn route(&mut self, tup: Tuple, nodes: usize, out: &mut Vec<(usize, Routed)>);
+}
+
+const BATCH_HEADER_BYTES: u64 = 5;
+
+struct BNode {
+    group: PartitionGroup<CountedEngine>,
+    cpu: CpuTimeline,
+    pending: Vec<Routed>,
+    watermark: u64,
+}
+
+struct Shared {
+    delay: DelayTracker,
+    usage: UsageSet,
+    outputs_total: u64,
+    checksum: u64,
+    captured: Vec<OutPair>,
+    work: WorkStats,
+    tuples_in: u64,
+    network_bytes: u64,
+}
+
+enum Ev {
+    Slot,
+    Deliver { node: usize, batch: Vec<Routed>, bytes: u64, slot_start: u64 },
+    TryProcess { node: usize },
+}
+
+struct BaselineSim<R: Router> {
+    cfg: RunConfig,
+    router: R,
+    nodes: Vec<BNode>,
+    gen: MergedStreams,
+    next_arrival: Option<Arrival>,
+    nic: Link,
+    cost: CostModel,
+    shared: Rc<RefCell<Shared>>,
+    route_scratch: Vec<(usize, Routed)>,
+    out_scratch: Vec<OutPair>,
+}
+
+impl<R: Router> BaselineSim<R> {
+    fn emit(&mut self, emit_us: u64) {
+        let mut sh = self.shared.borrow_mut();
+        for p in &self.out_scratch {
+            sh.outputs_total += 1;
+            sh.checksum ^= mix64(p.left.1.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ p.right.1);
+            sh.delay.record(emit_us, p.newest_t());
+            if self.cfg.capture_outputs {
+                sh.captured.push(*p);
+            }
+        }
+        self.out_scratch.clear();
+    }
+}
+
+impl<R: Router> Actor<Ev> for BaselineSim<R> {
+    fn on_start(&mut self, ctx: &mut Ctx<Ev>) {
+        ctx.send_self(0, Ev::Slot);
+    }
+
+    fn on_msg(&mut self, msg: Ev, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        match msg {
+            Ev::Slot => {
+                // Route all arrivals due by now into per-node batches.
+                let n = self.nodes.len();
+                let mut batches: Vec<Vec<Routed>> = vec![Vec::new(); n];
+                {
+                    let mut sh = self.shared.borrow_mut();
+                    while let Some(a) = self.next_arrival {
+                        if a.at_us > now {
+                            break;
+                        }
+                        let side = if a.stream == 0 { Side::Left } else { Side::Right };
+                        let tup = Tuple::new(side, a.at_us, a.key, a.seq);
+                        sh.tuples_in += 1;
+                        self.router.route(tup, n, &mut self.route_scratch);
+                        for (node, routed) in self.route_scratch.drain(..) {
+                            batches[node].push(routed);
+                        }
+                        self.next_arrival = self.gen.next();
+                    }
+                }
+                for (node, batch) in batches.into_iter().enumerate() {
+                    let bytes = BATCH_HEADER_BYTES
+                        + (batch.len() * self.cfg.params.tuple_bytes) as u64;
+                    self.shared.borrow_mut().network_bytes += bytes;
+                    let tr = self.nic.send(now, bytes);
+                    ctx.send_at(tr.delivered_us, ctx.self_id(), Ev::Deliver {
+                        node,
+                        batch,
+                        bytes,
+                        slot_start: now,
+                    });
+                }
+                ctx.send_self(self.cfg.params.dist_epoch_us, Ev::Slot);
+            }
+
+            Ev::Deliver { node, batch, bytes, slot_start } => {
+                let busy = self.nodes[node].cpu.busy_until();
+                let wait_from = slot_start.max(busy).min(now);
+                let deser = self.cost.deser_us(bytes);
+                let (ds, de) = self.nodes[node].cpu.run(now, deser);
+                {
+                    let mut sh = self.shared.borrow_mut();
+                    sh.usage.node_mut(node).add_comm(wait_from, now);
+                    sh.usage.node_mut(node).add_comm(ds, de);
+                }
+                self.nodes[node].pending.extend(batch);
+                ctx.send_at(de, ctx.self_id(), Ev::TryProcess { node });
+            }
+
+            Ev::TryProcess { node } => {
+                if self.nodes[node].pending.is_empty() {
+                    return;
+                }
+                let busy = self.nodes[node].cpu.busy_until();
+                if busy > now {
+                    ctx.send_at(busy, ctx.self_id(), Ev::TryProcess { node });
+                    return;
+                }
+                let mut work = WorkStats::default();
+                let pending = std::mem::take(&mut self.nodes[node].pending);
+                let bnode = &mut self.nodes[node];
+                for r in pending {
+                    bnode.watermark = bnode.watermark.max(r.tup.t);
+                    match r.action {
+                        Action::ProbeStore => {
+                            bnode.group.insert(r.tup, &mut self.out_scratch, &mut work)
+                        }
+                        Action::StoreOnly => {
+                            bnode.group.insert_unprobed(r.tup, &mut self.out_scratch, &mut work)
+                        }
+                        Action::ProbeOnly => {
+                            bnode.group.probe_only(&r.tup, &mut self.out_scratch, &mut work)
+                        }
+                        Action::ProbeThenStore => {
+                            bnode.group.probe_only(&r.tup, &mut self.out_scratch, &mut work);
+                            bnode.group.insert_unprobed(r.tup, &mut self.out_scratch, &mut work);
+                        }
+                    }
+                }
+                bnode.group.flush_all(&mut self.out_scratch, &mut work);
+                let watermark = bnode.watermark;
+                bnode.group.expire_and_tune(watermark, &mut self.out_scratch, &mut work);
+                let us = self.cost.cpu_us(&CpuWork {
+                    comparisons: work.comparisons,
+                    emitted: work.emitted,
+                    inserts: work.inserts,
+                    hash_ops: work.hash_ops,
+                    blocks_touched: work.blocks_touched,
+                    tuples_moved: work.tuples_moved,
+                });
+                let (start, end) = self.nodes[node].cpu.run(now, us);
+                {
+                    let mut sh = self.shared.borrow_mut();
+                    sh.usage.node_mut(node).add_cpu(start, end);
+                    sh.work.add(&work);
+                }
+                self.emit(end + self.cfg.collector_link.latency_us);
+            }
+        }
+    }
+}
+
+/// Runs a baseline policy under a `windjoin` run configuration (rate,
+/// keys, horizon, cost model and link models are shared; the protocol
+/// parameters that only exist in `windjoin` — thresholds, reorg epochs —
+/// are ignored by construction).
+pub fn run_baseline<R: Router + 'static>(cfg: &RunConfig, router: R) -> BaselineReport {
+    cfg.validate().expect("invalid run configuration");
+    let n = cfg.initial_slaves;
+    let nodes: Vec<BNode> = (0..n)
+        .map(|_| BNode {
+            group: PartitionGroup::new(&cfg.params),
+            cpu: CpuTimeline::new(),
+            pending: Vec::new(),
+            watermark: 0,
+        })
+        .collect();
+
+    let s1 = StreamSpec { rate: cfg.rate.clone(), keys: cfg.keys, seed: cfg.seed.wrapping_add(1) }
+        .arrivals(0);
+    let s2 = StreamSpec { rate: cfg.rate.clone(), keys: cfg.keys, seed: cfg.seed.wrapping_add(2) }
+        .arrivals(1);
+    let mut gen = merge_streams(vec![s1, s2]);
+    let next_arrival = gen.next();
+
+    let shared = Rc::new(RefCell::new(Shared {
+        delay: DelayTracker::new(cfg.warmup_us),
+        usage: UsageSet::new(n, cfg.warmup_us),
+        outputs_total: 0,
+        checksum: 0,
+        captured: Vec::new(),
+        work: WorkStats::default(),
+        tuples_in: 0,
+        network_bytes: 0,
+    }));
+
+    let actor = BaselineSim {
+        cfg: cfg.clone(),
+        router,
+        nodes,
+        gen,
+        next_arrival,
+        nic: Link::new(cfg.dist_link),
+        cost: cfg.cost,
+        shared: Rc::clone(&shared),
+        route_scratch: Vec::new(),
+        out_scratch: Vec::new(),
+    };
+    let mut sim: Sim<Ev> = Sim::new();
+    sim.add_actor(Box::new(actor));
+    sim.run_until(cfg.run_us);
+    drop(sim);
+
+    let sh = Rc::try_unwrap(shared).ok().expect("actor dropped").into_inner();
+    let mut usage = sh.usage;
+    let window_us = cfg.run_us - cfg.warmup_us;
+    for i in 0..n {
+        let busy_us = {
+            let nu = usage.node(i);
+            ((nu.cpu_s() + nu.comm_s()) * 1e6) as u64
+        };
+        usage.node_mut(i).add_idle(cfg.warmup_us, cfg.warmup_us + window_us.saturating_sub(busy_us));
+    }
+    BaselineReport {
+        outputs: sh.delay.count(),
+        delay: sh.delay,
+        usage,
+        outputs_total: sh.outputs_total,
+        output_checksum: sh.checksum,
+        captured: sh.captured,
+        work: sh.work,
+        tuples_in: sh.tuples_in,
+        network_bytes: sh.network_bytes,
+        run_us: cfg.run_us,
+        warmup_us: cfg.warmup_us,
+    }
+}

@@ -1,0 +1,40 @@
+//! Result type shared by the baseline runners.
+
+use windjoin_core::{OutPair, WorkStats};
+use windjoin_metrics::{DelayTracker, UsageSet};
+
+/// Metrics from one baseline run, directly comparable with
+/// `windjoin_cluster::RunReport` on the quantities experiment X1 plots.
+#[derive(Debug)]
+pub struct BaselineReport {
+    /// Production-delay statistics (post-warm-up).
+    pub delay: DelayTracker,
+    /// Per-slave CPU/communication/idle accounting.
+    pub usage: UsageSet,
+    /// Outputs observed post-warm-up.
+    pub outputs: u64,
+    /// All outputs.
+    pub outputs_total: u64,
+    /// Order-independent output checksum (equivalence tests).
+    pub output_checksum: u64,
+    /// Captured pairs (when requested).
+    pub captured: Vec<OutPair>,
+    /// Aggregate counted work.
+    pub work: WorkStats,
+    /// Tuples generated.
+    pub tuples_in: u64,
+    /// Total bytes pushed through the distribution NIC — the network
+    /// overhead axis of experiment X1.
+    pub network_bytes: u64,
+    /// Run horizon (µs).
+    pub run_us: u64,
+    /// Warm-up horizon (µs).
+    pub warmup_us: u64,
+}
+
+impl BaselineReport {
+    /// Average production delay in seconds.
+    pub fn avg_delay_s(&self) -> f64 {
+        self.delay.mean_delay_s()
+    }
+}

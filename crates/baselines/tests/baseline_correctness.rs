@@ -1,0 +1,123 @@
+//! The baseline routings must be *correct* joins (the paper criticises
+//! their cost, not their results): both ATR and CTR are checked against
+//! the reference oracle on a small cluster.
+
+use std::collections::HashSet;
+use windjoin_baselines::{run_atr, run_ctr, AtrParams};
+use windjoin_cluster::RunConfig;
+use windjoin_core::{reference_join, Side, Tuple};
+use windjoin_gen::{merge_streams, KeyDist, StreamSpec};
+
+fn small_cfg(slaves: usize) -> RunConfig {
+    let mut cfg = RunConfig::paper_default(slaves).scaled_down(30, 5, 6).with_rate(250.0);
+    cfg.params.npart = 8;
+    cfg.keys = KeyDist::Uniform { domain: 2_000 };
+    cfg.capture_outputs = true;
+    cfg
+}
+
+fn arrivals_of(cfg: &RunConfig) -> Vec<Tuple> {
+    let s1 = StreamSpec { rate: cfg.rate.clone(), keys: cfg.keys, seed: cfg.seed.wrapping_add(1) }
+        .arrivals(0);
+    let s2 = StreamSpec { rate: cfg.rate.clone(), keys: cfg.keys, seed: cfg.seed.wrapping_add(2) }
+        .arrivals(1);
+    merge_streams(vec![s1, s2])
+        .take_while(|a| a.at_us <= cfg.run_us)
+        .map(|a| {
+            let side = if a.stream == 0 { Side::Left } else { Side::Right };
+            Tuple::new(side, a.at_us, a.key, a.seq)
+        })
+        .collect()
+}
+
+fn check_against_oracle(cfg: &RunConfig, captured: &[windjoin_core::OutPair]) {
+    let arrivals = arrivals_of(cfg);
+    let oracle = reference_join(&arrivals, &cfg.params.sem);
+    let oracle_ids: HashSet<(u64, u64)> = oracle.iter().map(|p| p.id()).collect();
+
+    let mut seen = HashSet::new();
+    for p in captured {
+        assert!(oracle_ids.contains(&p.id()), "spurious pair {:?}", p.id());
+        assert!(seen.insert(p.id()), "duplicate pair {:?}", p.id());
+    }
+    let slack = 6 * cfg.params.dist_epoch_us;
+    for p in &oracle {
+        if p.newest_t() + slack <= cfg.run_us {
+            assert!(
+                seen.contains(&p.id()),
+                "missing pair {:?} (newest_t {})",
+                p.id(),
+                p.newest_t()
+            );
+        }
+    }
+}
+
+#[test]
+fn atr_is_a_correct_join() {
+    let cfg = small_cfg(3);
+    // Segment: 8 s (>= the 6 s window), several handovers in 30 s.
+    let report = run_atr(&cfg, AtrParams { segment_us: 8_000_000 });
+    assert!(report.outputs_total > 50, "workload too small: {}", report.outputs_total);
+    check_against_oracle(&cfg, &report.captured);
+}
+
+#[test]
+fn ctr_is_a_correct_join() {
+    let cfg = small_cfg(3);
+    let report = run_ctr(&cfg);
+    assert!(report.outputs_total > 50);
+    check_against_oracle(&cfg, &report.captured);
+}
+
+#[test]
+fn ctr_network_is_n_times_atr_unicast() {
+    let cfg = small_cfg(4);
+    let atr = run_atr(&cfg, AtrParams::for_config(&cfg));
+    let ctr = run_ctr(&cfg);
+    assert_eq!(atr.tuples_in, ctr.tuples_in, "same workload");
+    // Unicast floor: every tuple shipped exactly once.
+    let unicast = atr.tuples_in * cfg.params.tuple_bytes as u64;
+    // CTR ships every tuple to all 4 nodes...
+    assert!(
+        ctr.network_bytes > unicast * 7 / 2,
+        "CTR {} vs unicast {}",
+        ctr.network_bytes,
+        unicast
+    );
+    // ...while ATR ships one copy plus at most one overlap copy
+    // (segment = 2W duplicates the last half of each segment).
+    assert!(
+        atr.network_bytes < unicast * 2,
+        "ATR {} vs unicast {}",
+        atr.network_bytes,
+        unicast
+    );
+}
+
+#[test]
+fn atr_load_circulates_instead_of_balancing() {
+    // With segment >> epoch, at any instant one node does all the work;
+    // over a window shorter than one segment the CPU spread across
+    // nodes must be extreme (one busy, others ~idle).
+    let mut cfg = small_cfg(3);
+    cfg.run_us = 20_000_000;
+    cfg.warmup_us = 4_000_000;
+    let report = run_atr(&cfg, AtrParams { segment_us: 40_000_000 });
+    let cpu = report.usage.cpu();
+    assert!(
+        cpu.max_s > 10.0 * cpu.min_s.max(0.001),
+        "expected circulating load, got min {} max {}",
+        cpu.min_s,
+        cpu.max_s
+    );
+}
+
+#[test]
+fn baselines_are_deterministic() {
+    let cfg = small_cfg(2);
+    let a = run_ctr(&cfg);
+    let b = run_ctr(&cfg);
+    assert_eq!(a.output_checksum, b.output_checksum);
+    assert_eq!(a.network_bytes, b.network_bytes);
+}

@@ -1,0 +1,74 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick|--smoke] [--csv DIR] <experiment>... | --all | --list
+//! ```
+//!
+//! Experiments: table1, fig5..fig14, x1-baselines, x2-subgroup,
+//! x3-skew, x4-theta. Default scale is the paper's full methodology
+//! (20 simulated minutes per point); `--quick` runs 8-minute points.
+
+use std::io::Write;
+use windjoin_bench::{run_experiment, Scale, EXPERIMENT_NAMES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut names: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut all = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--smoke" => scale = Scale::Smoke,
+            "--all" => all = true,
+            "--list" => {
+                for n in EXPERIMENT_NAMES {
+                    println!("{n}");
+                }
+                return;
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage("missing --csv dir")));
+            }
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => names.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if all {
+        names = EXPERIMENT_NAMES.iter().map(|s| s.to_string()).collect();
+    }
+    if names.is_empty() {
+        usage("no experiment given");
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    for name in &names {
+        eprintln!("== {name} ({scale:?}) ==");
+        let start = std::time::Instant::now();
+        let Some(tables) = run_experiment(name, scale) else {
+            usage(&format!("unknown experiment {name}"));
+        };
+        for (k, t) in tables.iter().enumerate() {
+            println!("{}", t.to_text());
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/{name}_{k}.csv");
+                let mut f = std::fs::File::create(&path).expect("create csv");
+                f.write_all(t.to_csv().as_bytes()).expect("write csv");
+                eprintln!("    wrote {path}");
+            }
+        }
+        eprintln!("== {name} done in {:.1}s ==\n", start.elapsed().as_secs_f64());
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: repro [--quick|--smoke] [--csv DIR] <experiment>... | --all | --list");
+    eprintln!("experiments: {}", EXPERIMENT_NAMES.join(", "));
+    std::process::exit(2);
+}

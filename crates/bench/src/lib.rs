@@ -1,0 +1,24 @@
+//! Experiment harness for `windjoin`: regenerates every table and figure
+//! of the paper's evaluation (§VI), plus the ablation experiments
+//! DESIGN.md calls out (baseline routing strategies, sub-group
+//! communication, skew and θ sweeps).
+//!
+//! Run via the `repro` binary:
+//!
+//! ```text
+//! cargo run -p windjoin-bench --release --bin repro -- fig5
+//! cargo run -p windjoin-bench --release --bin repro -- --all
+//! cargo run -p windjoin-bench --release --bin repro -- --quick fig6
+//! ```
+//!
+//! Each experiment returns [`windjoin_metrics::Table`]s whose first
+//! column is the paper's x-axis, so rows can be compared one-to-one with
+//! the plots. EXPERIMENTS.md records paper-vs-measured for every figure.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scale;
+
+pub use experiments::{all_experiments, run_experiment, EXPERIMENT_NAMES};
+pub use scale::Scale;

@@ -1,0 +1,39 @@
+//! Experiment scale control.
+
+use windjoin_cluster::RunConfig;
+
+/// How long each simulated run lasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's methodology: 20 simulated minutes, statistics over
+    /// the last 10 (§VI-A). Figure-faithful; a full `--all` sweep takes
+    /// tens of minutes of wall clock.
+    Full,
+    /// 8 simulated minutes, statistics over the last 4, with windows
+    /// kept at Table I's 10 minutes. Windows are therefore only
+    /// partially filled: knees shift right slightly and absolute CPU
+    /// numbers shrink, but orderings and crossovers survive. For CI and
+    /// iteration.
+    Quick,
+    /// Seconds-scale smoke runs for unit tests of the harness itself.
+    Smoke,
+}
+
+impl Scale {
+    /// Applies the scale to a paper-default config.
+    pub fn apply(self, mut cfg: RunConfig) -> RunConfig {
+        match self {
+            Scale::Full => {}
+            Scale::Quick => {
+                cfg.run_us = 8 * 60 * 1_000_000;
+                cfg.warmup_us = 4 * 60 * 1_000_000;
+            }
+            Scale::Smoke => {
+                cfg.run_us = 30_000_000;
+                cfg.warmup_us = 10_000_000;
+                cfg.params = cfg.params.with_window_secs(10);
+            }
+        }
+        cfg
+    }
+}

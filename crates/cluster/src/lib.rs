@@ -1,0 +1,32 @@
+//! Execution drivers for the `windjoin` protocol.
+//!
+//! `windjoin-core` supplies sans-io state machines; this crate supplies
+//! the two environments that run them:
+//!
+//! * [`simrt`] — a deterministic, execution-driven **cluster simulator**
+//!   on the `windjoin-sim` substrate. The protocol code really runs
+//!   (outputs, reorganizations and degree-of-declustering decisions are
+//!   exact); CPU and network time come from the calibrated cost model.
+//!   Every figure of the paper is regenerated on this driver.
+//! * [`threadrt`] — an in-process **threaded runtime**: one OS thread
+//!   per node (master, slaves, collector) exchanging machine-independent
+//!   byte frames over `windjoin-net`'s blocking transport, in real time,
+//!   with the physical `ExactEngine` BNLJ. Used by the examples and the
+//!   end-to-end tests.
+//!
+//! [`RunConfig`] describes an experiment; [`RunReport`] carries every
+//! metric the paper plots (§VI-A): average production delay, per-node
+//! CPU/communication/idle breakdowns, window sizes, degree-of-
+//! declustering traces and master buffer peaks.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runcfg;
+pub mod simrt;
+pub mod threadrt;
+
+pub use report::RunReport;
+pub use runcfg::RunConfig;
+pub use simrt::run_sim;
+pub use threadrt::{run_threaded, ThreadedConfig};

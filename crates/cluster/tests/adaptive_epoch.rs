@@ -1,0 +1,89 @@
+//! Dynamic distribution-epoch tuning (§VIII future work): the
+//! controller must move the epoch in the right direction and never
+//! affect the *correctness* of the join.
+
+use std::collections::HashSet;
+use windjoin_cluster::{run_sim, RunConfig};
+use windjoin_core::{reference_join, EpochTuning, Side, Tuple};
+use windjoin_gen::{merge_streams, KeyDist, StreamSpec};
+
+fn cfg() -> RunConfig {
+    let mut cfg = RunConfig::paper_default(3).scaled_down(60, 20, 6).with_rate(300.0);
+    cfg.params.npart = 9;
+    cfg.params.reorg_epoch_us = 4_000_000;
+    cfg.keys = KeyDist::Uniform { domain: 3_000 };
+    cfg
+}
+
+#[test]
+fn controller_shrinks_epoch_when_comfortable() {
+    // Tiny load, huge starting epoch: communication is negligible and
+    // the slaves idle, so the controller should walk the epoch down.
+    let mut c = cfg();
+    c.params = c.params.with_dist_epoch_us(8_000_000);
+    c.params.reorg_epoch_us = 8_000_000;
+    c.adaptive_epoch = Some(EpochTuning::default());
+    let report = run_sim(&c);
+    let settled = report.epoch_trace.iter_means().last().unwrap().1;
+    assert!(
+        settled < 8.0,
+        "epoch never shrank from 8 s (settled at {settled})"
+    );
+    // Delay follows the epoch down (Fig. 13's law).
+    assert!(report.avg_delay_s() < 8.0);
+}
+
+#[test]
+fn controller_grows_epoch_when_communication_bound() {
+    // Small epoch + heavy per-message envelope: comm fraction exceeds
+    // the threshold, the controller must back off.
+    let mut c = cfg();
+    c.params = c.params.with_dist_epoch_us(250_000);
+    c.dist_link.overhead_us = 120_000; // pathological 120 ms envelope
+    c.adaptive_epoch = Some(EpochTuning::default());
+    let report = run_sim(&c);
+    let settled = report.epoch_trace.iter_means().last().unwrap().1;
+    assert!(
+        settled > 0.25,
+        "epoch never grew from 250 ms (settled at {settled})"
+    );
+}
+
+#[test]
+fn adaptive_epoch_preserves_exactness() {
+    let mut c = cfg();
+    c.capture_outputs = true;
+    c.adaptive_epoch = Some(EpochTuning::default());
+    let report = run_sim(&c);
+
+    let s1 = StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(1) }
+        .arrivals(0);
+    let s2 = StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(2) }
+        .arrivals(1);
+    let arrivals: Vec<Tuple> = merge_streams(vec![s1, s2])
+        .take_while(|a| a.at_us <= c.run_us)
+        .map(|a| {
+            let side = if a.stream == 0 { Side::Left } else { Side::Right };
+            Tuple::new(side, a.at_us, a.key, a.seq)
+        })
+        .collect();
+    let oracle_ids: HashSet<(u64, u64)> =
+        reference_join(&arrivals, &c.params.sem).iter().map(|p| p.id()).collect();
+    let mut seen = HashSet::new();
+    for p in &report.captured {
+        assert!(oracle_ids.contains(&p.id()), "spurious {:?}", p.id());
+        assert!(seen.insert(p.id()), "duplicate {:?}", p.id());
+    }
+    assert!(report.outputs_total > 100);
+}
+
+#[test]
+fn adaptive_epoch_config_is_validated() {
+    let mut c = cfg();
+    c.adaptive_epoch = Some(EpochTuning { min_us: 0, ..EpochTuning::default() });
+    assert!(c.validate().is_err());
+    let mut c = cfg();
+    c.params.ng = 2;
+    c.adaptive_epoch = Some(EpochTuning::default());
+    assert!(c.validate().is_err(), "adaptive epoch with sub-groups is unsupported");
+}

@@ -1,0 +1,120 @@
+//! Fixed-capacity tuple blocks (§IV-D; Table I: 4 KB).
+//!
+//! Window partitions store tuples in blocks so that (a) expiry happens at
+//! block granularity, (b) the BNLJ scans block-by-block, and (c) buffer
+//! and window sizes are counted in blocks for the θ tuning rule.
+
+use crate::Tuple;
+
+/// A time-ordered run of tuples from one stream, at most `capacity`
+/// entries (capacity = `block_bytes / tuple_bytes`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    tuples: Vec<Tuple>,
+}
+
+impl Block {
+    /// An empty block with room for `capacity` tuples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Block { tuples: Vec::with_capacity(capacity) }
+    }
+
+    /// Builds a block directly from tuples (used by state movement and
+    /// splits). The tuples must already be time-ordered.
+    pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
+        debug_assert!(tuples.windows(2).all(|w| (w[0].t, w[0].seq) <= (w[1].t, w[1].seq)));
+        Block { tuples }
+    }
+
+    /// Appends a tuple; caller enforces capacity.
+    #[inline]
+    pub fn push(&mut self, t: Tuple) {
+        debug_assert!(
+            self.tuples.last().is_none_or(|last| (last.t, last.seq) <= (t.t, t.seq)),
+            "blocks are time-ordered"
+        );
+        self.tuples.push(t);
+    }
+
+    /// Number of tuples currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no tuples are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The stored tuples, oldest first.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Timestamp of the newest tuple (`None` when empty). Because blocks
+    /// are time-ordered, this is the last tuple.
+    #[inline]
+    pub fn newest_t(&self) -> Option<u64> {
+        self.tuples.last().map(|t| t.t)
+    }
+
+    /// Timestamp of the oldest tuple (`None` when empty).
+    #[inline]
+    pub fn oldest_t(&self) -> Option<u64> {
+        self.tuples.first().map(|t| t.t)
+    }
+
+    /// Sequence number of the newest tuple (`None` when empty).
+    #[inline]
+    pub fn newest_seq(&self) -> Option<u64> {
+        self.tuples.last().map(|t| t.seq)
+    }
+
+    /// Consumes the block, yielding its tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Side;
+
+    fn t(at: u64, seq: u64) -> Tuple {
+        Tuple::new(Side::Left, at, 0, seq)
+    }
+
+    #[test]
+    fn push_and_inspect() {
+        let mut b = Block::with_capacity(4);
+        assert!(b.is_empty());
+        assert_eq!(b.newest_t(), None);
+        b.push(t(10, 0));
+        b.push(t(20, 1));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.oldest_t(), Some(10));
+        assert_eq!(b.newest_t(), Some(20));
+        assert_eq!(b.newest_seq(), Some(1));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics_in_debug() {
+        let mut b = Block::with_capacity(4);
+        b.push(t(20, 1));
+        b.push(t(10, 0));
+    }
+
+    #[test]
+    fn roundtrip_through_tuples() {
+        let src = vec![t(1, 0), t(2, 1), t(3, 2)];
+        let b = Block::from_tuples(src.clone());
+        assert_eq!(b.tuples(), &src[..]);
+        assert_eq!(b.into_tuples(), src);
+    }
+}

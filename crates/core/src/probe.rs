@@ -1,0 +1,334 @@
+//! Probe engines: how fresh tuples find their matches in the opposite
+//! window.
+//!
+//! Two interchangeable engines implement [`ProbeEngine`]:
+//!
+//! * [`ExactEngine`] — the paper's Block Nested-Loop Join (§IV-D,
+//!   §VI-A): physically scans every sealed block of the opposite window.
+//!   Used by unit tests, the threaded runtime, examples and the
+//!   microbenches.
+//! * [`CountedEngine`] — maintains a per-key index of sealed tuples and
+//!   discovers matches through it, while charging **exactly the work the
+//!   BNLJ would have done** (`fresh × sealed` comparisons, one touch per
+//!   opposite block). Outputs and work tallies are bit-identical to
+//!   `ExactEngine` — enforced by the equivalence property tests — which
+//!   makes cluster-scale simulated experiments tractable (DESIGN.md §3).
+//!
+//! Both engines rely on the window's freshness protocol for duplicate
+//! elimination: probes only see **sealed** opposite tuples; the skipped
+//! fresh tuples probe later and find this side's (by then sealed) tuples.
+
+use crate::{Block, JoinSemantics, OutPair, Side, Tuple, WindowPartition, WorkStats};
+use std::collections::{HashMap, VecDeque};
+
+/// Match-finding strategy for a mini-partition-group.
+pub trait ProbeEngine: Default {
+    /// A tuple has been sealed (it finished probing; it is now visible
+    /// to opposite-side probes).
+    fn on_seal(&mut self, tuple: &Tuple);
+
+    /// The oldest block of `side` was dropped by expiry; its tuples
+    /// leave the window.
+    fn on_expire_block(&mut self, side: Side, block: &Block);
+
+    /// Probes `fresh` (all from one side, time-ordered) against the
+    /// opposite window's sealed tuples. Appends matches to `out` and
+    /// charges BNLJ-equivalent work to `work`.
+    fn probe(
+        &mut self,
+        fresh: &[Tuple],
+        opposite: &WindowPartition,
+        sem: &JoinSemantics,
+        out: &mut Vec<OutPair>,
+        work: &mut WorkStats,
+    );
+}
+
+/// Nested-loop scan of `probe_tuples` against one stored run; shared by
+/// the exact engine and by the expiring-block completeness join (§IV-D),
+/// so both engines take the identical code path for the latter.
+pub fn scan_run(
+    probe_tuples: &[Tuple],
+    stored_run: &[Tuple],
+    sem: &JoinSemantics,
+    out: &mut Vec<OutPair>,
+    work: &mut WorkStats,
+) {
+    for stored in stored_run {
+        for probe in probe_tuples {
+            if probe.key == stored.key && sem.joins(probe.t, probe.side, stored.t) {
+                out.push(OutPair::from_probe(probe, stored.t, stored.seq));
+                work.emitted += 1;
+            }
+        }
+    }
+    work.comparisons += (probe_tuples.len() * stored_run.len()) as u64;
+}
+
+/// The paper's Block Nested-Loop Join: physical block scans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactEngine;
+
+impl ProbeEngine for ExactEngine {
+    fn on_seal(&mut self, _tuple: &Tuple) {}
+
+    fn on_expire_block(&mut self, _side: Side, _block: &Block) {}
+
+    fn probe(
+        &mut self,
+        fresh: &[Tuple],
+        opposite: &WindowPartition,
+        sem: &JoinSemantics,
+        out: &mut Vec<OutPair>,
+        work: &mut WorkStats,
+    ) {
+        if fresh.is_empty() {
+            return;
+        }
+        work.blocks_touched += opposite.block_count() as u64;
+        opposite.for_each_sealed_run(|run| scan_run(fresh, run, sem, out, work));
+    }
+}
+
+/// Index-accelerated engine charging BNLJ-equivalent work.
+///
+/// Per side, sealed tuples are indexed as `key → time-ordered (t, seq)`
+/// entries. A probe binary-searches the window-valid range of its key's
+/// entry list, so discovery is `O(log n + matches)` while the *charged*
+/// cost remains the full scan the paper's system would perform.
+#[derive(Debug, Clone, Default)]
+pub struct CountedEngine {
+    index: [HashMap<u64, VecDeque<(u64, u64)>>; 2],
+}
+
+impl ProbeEngine for CountedEngine {
+    fn on_seal(&mut self, tuple: &Tuple) {
+        let entries = self.index[tuple.side.index()].entry(tuple.key).or_default();
+        debug_assert!(
+            entries.back().is_none_or(|&(t, s)| (t, s) <= (tuple.t, tuple.seq)),
+            "seals must arrive in time order per side"
+        );
+        entries.push_back((tuple.t, tuple.seq));
+    }
+
+    fn on_expire_block(&mut self, side: Side, block: &Block) {
+        let map = &mut self.index[side.index()];
+        for tup in block.tuples() {
+            let entries = map.get_mut(&tup.key).expect("expired tuple was sealed");
+            let front = entries.pop_front().expect("expired tuple was indexed");
+            debug_assert_eq!(front, (tup.t, tup.seq), "oldest-first expiry invariant");
+            if entries.is_empty() {
+                map.remove(&tup.key);
+            }
+        }
+    }
+
+    fn probe(
+        &mut self,
+        fresh: &[Tuple],
+        opposite: &WindowPartition,
+        sem: &JoinSemantics,
+        out: &mut Vec<OutPair>,
+        work: &mut WorkStats,
+    ) {
+        if fresh.is_empty() {
+            return;
+        }
+        // Identical charge to the BNLJ scan.
+        work.blocks_touched += opposite.block_count() as u64;
+        work.comparisons += (fresh.len() * opposite.sealed_count()) as u64;
+
+        let opp = fresh[0].side.opposite();
+        let map = &self.index[opp.index()];
+        for probe in fresh {
+            let Some(entries) = map.get(&probe.key) else { continue };
+            // Stored-older bound: stored.t >= probe.t - W(opposite).
+            let lower = probe.t.saturating_sub(sem.window_us(opp));
+            // Stored-newer bound: stored.t <= probe.t + W(probe side).
+            let upper = probe.t.saturating_add(sem.window_us(probe.side));
+            let (a, b) = entries.as_slices();
+            let start_a = a.partition_point(|&(t, _)| t < lower);
+            for &(t, seq) in &a[start_a..] {
+                if t > upper {
+                    break;
+                }
+                out.push(OutPair::from_probe(probe, t, seq));
+                work.emitted += 1;
+            }
+            if a.last().is_none_or(|&(t, _)| t <= upper) {
+                let start_b = b.partition_point(|&(t, _)| t < lower);
+                for &(t, seq) in &b[start_b..] {
+                    if t > upper {
+                        break;
+                    }
+                    out.push(OutPair::from_probe(probe, t, seq));
+                    work.emitted += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEM: JoinSemantics = JoinSemantics { w_left_us: 1_000, w_right_us: 1_000 };
+
+    fn tl(t: u64, key: u64, seq: u64) -> Tuple {
+        Tuple::new(Side::Left, t, key, seq)
+    }
+    fn tr(t: u64, key: u64, seq: u64) -> Tuple {
+        Tuple::new(Side::Right, t, key, seq)
+    }
+
+    /// Builds a sealed right-side window from tuples and mirrors them
+    /// into an engine's index.
+    fn sealed_right<E: ProbeEngine>(engine: &mut E, tuples: &[Tuple]) -> WindowPartition {
+        let mut w = WindowPartition::new(Side::Right, 4);
+        for &t in tuples {
+            w.append(t);
+            w.seal();
+            engine.on_seal(&t);
+        }
+        w
+    }
+
+    fn run_probe<E: ProbeEngine>(
+        engine: &mut E,
+        fresh: &[Tuple],
+        opposite: &WindowPartition,
+    ) -> (Vec<OutPair>, WorkStats) {
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        engine.probe(fresh, opposite, &SEM, &mut out, &mut work);
+        (out, work)
+    }
+
+    #[test]
+    fn exact_engine_finds_window_valid_matches() {
+        let mut e = ExactEngine;
+        let stored = [tr(100, 7, 0), tr(500, 7, 1), tr(500, 9, 2), tr(2000, 7, 3)];
+        let w = sealed_right(&mut e, &stored);
+        let fresh = [tl(1200, 7, 0)];
+        let (out, work) = run_probe(&mut e, &fresh, &w);
+        // t=100 is out of window (1200-100 > 1000); t=2000 is newer but
+        // within the probe's own window; key 9 doesn't match.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|p| p.right == (500, 1)));
+        assert!(out.iter().any(|p| p.right == (2000, 3)));
+        assert_eq!(work.comparisons, 4);
+        assert_eq!(work.emitted, 2);
+        assert_eq!(work.blocks_touched, 1);
+    }
+
+    #[test]
+    fn counted_engine_matches_exact_engine() {
+        let stored = [
+            tr(100, 7, 0),
+            tr(500, 7, 1),
+            tr(500, 9, 2),
+            tr(900, 7, 3),
+            tr(1500, 7, 4),
+            tr(2500, 7, 5),
+        ];
+        let fresh = [tl(1200, 7, 0), tl(1300, 9, 1), tl(1400, 42, 2)];
+
+        let mut ex = ExactEngine;
+        let w_ex = sealed_right(&mut ex, &stored);
+        let (mut out_ex, work_ex) = run_probe(&mut ex, &fresh, &w_ex);
+
+        let mut ct = CountedEngine::default();
+        let w_ct = sealed_right(&mut ct, &stored);
+        let (mut out_ct, work_ct) = run_probe(&mut ct, &fresh, &w_ct);
+
+        out_ex.sort_by_key(|p| p.id());
+        out_ct.sort_by_key(|p| p.id());
+        assert_eq!(out_ex, out_ct, "outputs must be identical");
+        assert_eq!(work_ex, work_ct, "charged work must be identical");
+    }
+
+    #[test]
+    fn probes_skip_fresh_opposite_tuples() {
+        // The opposite window has one sealed and one fresh tuple; only
+        // the sealed one may match (§IV-D duplicate elimination).
+        for counted in [false, true] {
+            let mut ex = ExactEngine;
+            let mut ct = CountedEngine::default();
+            let mut w = WindowPartition::new(Side::Right, 4);
+            let sealed = tr(100, 7, 0);
+            w.append(sealed);
+            w.seal();
+            ex.on_seal(&sealed);
+            ct.on_seal(&sealed);
+            w.append(tr(200, 7, 1)); // fresh: not sealed, not indexed
+            let fresh = [tl(300, 7, 0)];
+            let (out, work) = if counted {
+                run_probe(&mut ct, &fresh, &w)
+            } else {
+                run_probe(&mut ex, &fresh, &w)
+            };
+            assert_eq!(out.len(), 1, "counted={counted}");
+            assert_eq!(out[0].right, (100, 0));
+            assert_eq!(work.comparisons, 1, "only the sealed tuple is scanned");
+        }
+    }
+
+    #[test]
+    fn counted_engine_expiry_prunes_index() {
+        let mut ct = CountedEngine::default();
+        let mut w = WindowPartition::new(Side::Right, 2);
+        for (i, t) in [tr(10, 7, 0), tr(20, 7, 1), tr(3000, 7, 2)].iter().enumerate() {
+            w.append(*t);
+            w.seal();
+            ct.on_seal(t);
+            let _ = i;
+        }
+        // Expire the first block (t=10,20).
+        let b = w.pop_expired_front(5000, 1000, 0).expect("expired");
+        ct.on_expire_block(Side::Right, &b);
+        let fresh = [tl(3100, 7, 0)];
+        let (out, _) = run_probe(&mut ct, &fresh, &w);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].right, (3000, 2));
+    }
+
+    #[test]
+    fn empty_probe_is_free() {
+        let mut ex = ExactEngine;
+        let w = sealed_right(&mut ex, &[tr(1, 7, 0)]);
+        let (out, work) = run_probe(&mut ex, &[], &w);
+        assert!(out.is_empty());
+        assert!(work.is_zero());
+    }
+
+    #[test]
+    fn scan_run_counts_every_comparison() {
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        let probes = [tl(100, 1, 0), tl(100, 2, 1)];
+        let stored = [tr(50, 1, 0), tr(60, 3, 1), tr(70, 2, 2)];
+        scan_run(&probes, &stored, &SEM, &mut out, &mut work);
+        assert_eq!(work.comparisons, 6);
+        assert_eq!(out.len(), 2);
+        assert_eq!(work.emitted, 2);
+    }
+
+    #[test]
+    fn duplicate_keys_all_match() {
+        for counted in [false, true] {
+            let stored = [tr(100, 7, 0), tr(101, 7, 1), tr(102, 7, 2)];
+            let fresh = [tl(500, 7, 0)];
+            let (out, _) = if counted {
+                let mut e = CountedEngine::default();
+                let w = sealed_right(&mut e, &stored);
+                run_probe(&mut e, &fresh, &w)
+            } else {
+                let mut e = ExactEngine;
+                let w = sealed_right(&mut e, &stored);
+                run_probe(&mut e, &fresh, &w)
+            };
+            assert_eq!(out.len(), 3, "counted={counted}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Reference single-node join oracle.
+//!
+//! A direct, obviously-correct implementation of the §II semantics used
+//! as ground truth by the test suites: every distributed configuration
+//! (any number of slaves, with/without tuning, across reorganizations)
+//! must produce exactly this set of output pairs.
+
+use crate::{JoinSemantics, OutPair, Tuple};
+use std::collections::HashMap;
+
+/// Computes the complete, duplicate-free join result of `arrivals`.
+///
+/// Arrivals are processed in `(t, seq, side)` order; each tuple probes
+/// everything that arrived before it, so each unordered pair is
+/// evaluated exactly once, with the §II predicate (the earlier tuple
+/// must still be inside its own window at the later tuple's arrival).
+///
+/// Complexity is `O(n · matches)` via a per-key index — fine for test
+/// workloads; this is an oracle, not a system component.
+pub fn reference_join(arrivals: &[Tuple], sem: &JoinSemantics) -> Vec<OutPair> {
+    let mut sorted: Vec<Tuple> = arrivals.to_vec();
+    sorted.sort_by_key(|t| (t.t, t.seq, t.side));
+
+    // Per side, key → (t, seq) of already-arrived tuples.
+    let mut index: [HashMap<u64, Vec<(u64, u64)>>; 2] = [HashMap::new(), HashMap::new()];
+    let mut out = Vec::new();
+    for probe in &sorted {
+        if let Some(stored) = index[probe.side.opposite().index()].get(&probe.key) {
+            for &(t, seq) in stored {
+                if sem.joins(probe.t, probe.side, t) {
+                    out.push(OutPair::from_probe(probe, t, seq));
+                }
+            }
+        }
+        index[probe.side.index()].entry(probe.key).or_default().push((probe.t, probe.seq));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Side;
+
+    const SEM: JoinSemantics = JoinSemantics { w_left_us: 100, w_right_us: 100 };
+
+    fn tl(t: u64, key: u64, seq: u64) -> Tuple {
+        Tuple::new(Side::Left, t, key, seq)
+    }
+    fn tr(t: u64, key: u64, seq: u64) -> Tuple {
+        Tuple::new(Side::Right, t, key, seq)
+    }
+
+    #[test]
+    fn basic_pairs() {
+        let out = reference_join(&[tl(0, 1, 0), tr(50, 1, 0), tr(150, 1, 1)], &SEM);
+        // (0, 50) joins; (0, 150) is outside W1=100.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].left, (0, 0));
+        assert_eq!(out[0].right, (50, 0));
+    }
+
+    #[test]
+    fn asymmetric_windows() {
+        let sem = JoinSemantics { w_left_us: 10, w_right_us: 1000 };
+        // Left tuple at 0; right at 500: later-right, earlier-left →
+        // uses W1=10 → no. Right at 5, left at 10: later-left, earlier
+        // right → uses W2=1000 → yes.
+        let out = reference_join(&[tl(0, 1, 0), tr(500, 1, 0)], &sem);
+        assert!(out.is_empty());
+        let out = reference_join(&[tr(5, 1, 0), tl(10, 1, 1)], &sem);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn same_side_never_joins() {
+        let out = reference_join(&[tl(0, 1, 0), tl(1, 1, 1), tl(2, 1, 2)], &SEM);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let shuffled = [tr(50, 1, 0), tl(0, 1, 0)];
+        let out = reference_join(&shuffled, &SEM);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].newest_t(), 50);
+    }
+
+    #[test]
+    fn cross_product_on_hot_key() {
+        let mut arr = Vec::new();
+        for i in 0..5 {
+            arr.push(tl(i, 7, i));
+            arr.push(tr(i, 7, i));
+        }
+        let out = reference_join(&arr, &SEM);
+        assert_eq!(out.len(), 25, "5x5 pairs, all within the window");
+        let mut ids: Vec<_> = out.iter().map(|p| p.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 25, "no duplicates");
+    }
+}

@@ -1,0 +1,104 @@
+//! Repartitioning policy (§IV-C) and degree-of-declustering policy
+//! (§V-A) as pure, unit-testable functions. `MasterCore` composes them.
+
+/// Load class of a slave, from its average buffer occupancy `f_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeClass {
+    /// `f_i >= Th_sup`: overloaded; yields one partition-group.
+    Supplier,
+    /// `f_i <= Th_con`: underloaded; receives a partition-group.
+    Consumer,
+    /// Neither.
+    Neutral,
+}
+
+/// Classifies occupancies against the thresholds (`0 <= Th_con < Th_sup <= 1`).
+pub fn classify(occupancy: f64, th_con: f64, th_sup: f64) -> NodeClass {
+    debug_assert!(th_con < th_sup);
+    if occupancy >= th_sup {
+        NodeClass::Supplier
+    } else if occupancy <= th_con {
+        NodeClass::Consumer
+    } else {
+        NodeClass::Neutral
+    }
+}
+
+/// Pairs each supplier with a unique consumer by a single scan, in the
+/// given order (§IV-C: "The supplier-consumer pairs can be identified by
+/// a single scan over the list of the slave nodes"). Unpaired suppliers
+/// wait for the next reorganization epoch.
+pub fn pair_moves(suppliers: &[usize], consumers: &[usize]) -> Vec<(usize, usize)> {
+    suppliers.iter().copied().zip(consumers.iter().copied()).collect()
+}
+
+/// Degree-of-declustering decision (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DodDecision {
+    /// Keep the current degree.
+    Keep,
+    /// Activate one more slave: `N_sup > β · N_con`.
+    Grow,
+    /// Deactivate one slave: no supplier exists (every node is neutral
+    /// or consumer), so the system is under-utilised.
+    Shrink,
+}
+
+/// Applies the §V-A rules given the class counts.
+///
+/// * Shrink when there is no supplier **and** at least one consumer
+///   (an all-neutral system is exactly loaded — keep it).
+/// * Grow when `N_sup > β · N_con` (with `N_con = 0` any supplier
+///   triggers growth).
+pub fn decide_dod(n_sup: usize, n_con: usize, beta: f64) -> DodDecision {
+    if n_sup == 0 {
+        if n_con > 0 {
+            DodDecision::Shrink
+        } else {
+            DodDecision::Keep
+        }
+    } else if n_sup as f64 > beta * n_con as f64 {
+        DodDecision::Grow
+    } else {
+        DodDecision::Keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_thresholds() {
+        let (con, sup) = (0.01, 0.5);
+        assert_eq!(classify(0.0, con, sup), NodeClass::Consumer);
+        assert_eq!(classify(0.01, con, sup), NodeClass::Consumer);
+        assert_eq!(classify(0.02, con, sup), NodeClass::Neutral);
+        assert_eq!(classify(0.49, con, sup), NodeClass::Neutral);
+        assert_eq!(classify(0.5, con, sup), NodeClass::Supplier);
+        assert_eq!(classify(1.7, con, sup), NodeClass::Supplier);
+    }
+
+    #[test]
+    fn pairing_is_one_to_one_single_scan() {
+        assert_eq!(pair_moves(&[3, 5], &[1, 2, 4]), vec![(3, 1), (5, 2)]);
+        assert_eq!(pair_moves(&[3, 5, 7], &[1]), vec![(3, 1)]);
+        assert!(pair_moves(&[], &[1, 2]).is_empty());
+        assert!(pair_moves(&[1], &[]).is_empty());
+    }
+
+    #[test]
+    fn dod_rules() {
+        // No supplier + a consumer -> under-utilised -> shrink.
+        assert_eq!(decide_dod(0, 2, 0.5), DodDecision::Shrink);
+        // All neutral -> exactly loaded -> keep.
+        assert_eq!(decide_dod(0, 0, 0.5), DodDecision::Keep);
+        // Suppliers greatly outnumber consumers -> grow.
+        assert_eq!(decide_dod(2, 1, 0.5), DodDecision::Grow);
+        assert_eq!(decide_dod(1, 0, 0.5), DodDecision::Grow);
+        // Balanced: 1 supplier, 2 consumers, beta=0.5 -> 1 > 1 is false.
+        assert_eq!(decide_dod(1, 2, 0.5), DodDecision::Keep);
+        // Smaller beta grows sooner.
+        assert_eq!(decide_dod(1, 2, 0.4), DodDecision::Grow);
+    }
+}

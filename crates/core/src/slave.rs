@@ -1,0 +1,352 @@
+//! The slave node: stream buffer + join module + state mover (§IV-D,
+//! Fig. 2). Sans-io: the driver feeds batches in and pulls outputs,
+//! occupancy samples and extracted partition states out.
+
+use crate::{
+    hash::partition_of, GroupState, OutPair, Params, PartitionGroup, PartitionedBuffer,
+    ProbeEngine, Tuple, WorkStats,
+};
+use std::collections::BTreeMap;
+
+/// One slave's join-processing state.
+#[derive(Debug)]
+pub struct SlaveCore<E: ProbeEngine> {
+    id: usize,
+    params: Params,
+    groups: BTreeMap<u32, PartitionGroup<E>>,
+    buffer: PartitionedBuffer,
+    watermark: u64,
+    occupancy_samples: Vec<f64>,
+}
+
+impl<E: ProbeEngine> SlaveCore<E> {
+    /// An empty slave owning no partitions yet.
+    pub fn new(id: usize, params: Params) -> Self {
+        let buffer = PartitionedBuffer::new(params.npart, params.tuple_bytes, params.slave_buffer_bytes);
+        SlaveCore { id, params, groups: BTreeMap::new(), buffer, watermark: 0, occupancy_samples: Vec::new() }
+    }
+
+    /// This slave's identifier (as known to the master).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Creates an empty partition-group for `pid` (initial assignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition is already owned.
+    pub fn create_group(&mut self, pid: u32) {
+        let prev = self.groups.insert(pid, PartitionGroup::new(&self.params));
+        assert!(prev.is_none(), "slave {} already owns partition {pid}", self.id);
+    }
+
+    /// Partitions currently owned, ascending.
+    pub fn owned_partitions(&self) -> Vec<u32> {
+        self.groups.keys().copied().collect()
+    }
+
+    /// Buffers a batch received from the master. Tuples are routed to
+    /// per-partition mini-buffers; ownership is asserted at processing
+    /// time, so a batch may arrive for a partition whose state is still
+    /// being installed within the same epoch.
+    pub fn receive_batch(&mut self, batch: Vec<Tuple>) {
+        for t in batch {
+            let pid = partition_of(t.key, self.params.npart);
+            self.buffer.push(pid, t);
+        }
+    }
+
+    /// Processes everything buffered: per partition (ascending id),
+    /// inserts tuples in arrival order — probing, sealing, expiring and
+    /// fine-tuning as it goes — then flushes and expires each touched
+    /// group.
+    ///
+    /// Expiry is driven by each partition's **own** watermark, never the
+    /// slave-global one. Partitions are independent FIFO sub-streams:
+    /// all future probes of a partition carry timestamps at or above its
+    /// local watermark, so local-watermark expiry is exact — whereas a
+    /// partition whose tuples the master is holding back during a state
+    /// move (§IV-C) lags the global clock by the move latency, and
+    /// expiring its blocks against the global watermark would drop
+    /// matches for the delayed probes.
+    ///
+    /// Join outputs are appended to `out`; counted work to `work`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tuples are buffered for a partition this slave does not
+    /// own — a protocol violation by the driver/master.
+    pub fn process_pending(&mut self, out: &mut Vec<OutPair>, work: &mut WorkStats) {
+        for pid in self.buffer.non_empty_partitions() {
+            let tuples = self.buffer.drain_partition(pid);
+            let group = self.groups.get_mut(&pid).unwrap_or_else(|| {
+                panic!("slave {} received tuples for unowned partition {pid}", self.id)
+            });
+            let mut local_watermark = 0;
+            for t in tuples {
+                local_watermark = local_watermark.max(t.t);
+                group.insert(t, out, work);
+            }
+            self.watermark = self.watermark.max(local_watermark);
+            group.flush_all(out, work);
+            group.expire_and_tune(local_watermark, out, work);
+        }
+    }
+
+    /// Records one buffer-occupancy sample (driver calls this at the end
+    /// of each distribution epoch, §IV-C).
+    pub fn record_occupancy(&mut self) {
+        self.occupancy_samples.push(self.buffer.occupancy());
+    }
+
+    /// Average buffer occupancy `f_i` over the closing reorganization
+    /// epoch; clears the samples. Zero when no samples were taken.
+    pub fn take_avg_occupancy(&mut self) -> f64 {
+        if self.occupancy_samples.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.occupancy_samples.iter().sum();
+        let n = self.occupancy_samples.len() as f64;
+        self.occupancy_samples.clear();
+        sum / n
+    }
+
+    /// Extracts partition `pid` for transfer to another slave (§IV-C
+    /// state mover). Pending buffered tuples of the partition travel
+    /// with the window state, preserving their arrival order.
+    pub fn extract_group(&mut self, pid: u32, work: &mut WorkStats) -> (GroupState, Vec<Tuple>) {
+        let group = self
+            .groups
+            .remove(&pid)
+            .unwrap_or_else(|| panic!("slave {} cannot extract unowned partition {pid}", self.id));
+        let pending = self.buffer.drain_partition(pid);
+        work.tuples_moved += pending.len() as u64;
+        (group.extract_state(work), pending)
+    }
+
+    /// Installs a transferred partition (§IV-C). Pending tuples carried
+    /// with the state are re-buffered for the next processing pass.
+    pub fn install_group(&mut self, pid: u32, state: GroupState, pending: Vec<Tuple>, work: &mut WorkStats) {
+        assert!(
+            !self.groups.contains_key(&pid),
+            "slave {} already owns partition {pid}",
+            self.id
+        );
+        work.tuples_moved += pending.len() as u64;
+        let group = PartitionGroup::from_state(&self.params, state, work);
+        self.groups.insert(pid, group);
+        for t in pending {
+            self.buffer.push(pid, t);
+        }
+    }
+
+    /// Total window blocks across owned partitions (the paper's
+    /// "window size within a node" metric).
+    pub fn window_blocks(&self) -> usize {
+        self.groups.values().map(PartitionGroup::total_blocks).sum()
+    }
+
+    /// Total window tuples across owned partitions.
+    pub fn window_tuples(&self) -> usize {
+        self.groups.values().map(PartitionGroup::tuple_count).sum()
+    }
+
+    /// Tuples waiting in the stream buffer.
+    pub fn backlog_tuples(&self) -> usize {
+        self.buffer.total_tuples()
+    }
+
+    /// Current buffer occupancy (instantaneous, not the epoch average).
+    pub fn buffer_occupancy(&self) -> f64 {
+        self.buffer.occupancy()
+    }
+
+    /// Largest timestamp processed so far.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// The run parameters (shared by drivers for sizing).
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::CountedEngine;
+    use crate::Side;
+
+    fn small_params() -> Params {
+        let mut p = Params::default_paper();
+        p.npart = 4;
+        p.block_bytes = 256;
+        p.sem.w_left_us = 1_000_000;
+        p.sem.w_right_us = 1_000_000;
+        p.expiry_lag_us = 0;
+        p
+    }
+
+    fn slave_with_all_partitions() -> SlaveCore<CountedEngine> {
+        let p = small_params();
+        let mut s = SlaveCore::new(0, p.clone());
+        for pid in 0..p.npart {
+            s.create_group(pid);
+        }
+        s
+    }
+
+    #[test]
+    fn processes_batches_and_joins() {
+        let mut s = slave_with_all_partitions();
+        s.receive_batch(vec![
+            Tuple::new(Side::Left, 100, 5, 0),
+            Tuple::new(Side::Right, 200, 5, 0),
+            Tuple::new(Side::Right, 300, 6, 1),
+        ]);
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        s.process_pending(&mut out, &mut work);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, 5);
+        assert_eq!(s.backlog_tuples(), 0);
+        assert_eq!(s.window_tuples(), 3);
+        assert_eq!(s.watermark(), 300);
+        assert!(work.inserts == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unowned partition")]
+    fn unowned_partition_is_a_protocol_error() {
+        let p = small_params();
+        let mut s: SlaveCore<CountedEngine> = SlaveCore::new(0, p);
+        s.receive_batch(vec![Tuple::new(Side::Left, 1, 5, 0)]);
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        s.process_pending(&mut out, &mut work);
+    }
+
+    #[test]
+    fn occupancy_sampling_averages_and_clears() {
+        let mut s = slave_with_all_partitions();
+        // 1 MB buffer; 64-byte tuples.
+        let batch: Vec<Tuple> = (0..8192).map(|i| Tuple::new(Side::Left, i, i, i)).collect();
+        s.receive_batch(batch); // 8192 * 64 B = 512 KB = 0.5 occupancy
+        s.record_occupancy();
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        s.process_pending(&mut out, &mut work);
+        s.record_occupancy(); // drained: 0.0
+        let avg = s.take_avg_occupancy();
+        assert!((avg - 0.25).abs() < 1e-9, "avg of 0.5 and 0.0, got {avg}");
+        assert_eq!(s.take_avg_occupancy(), 0.0, "samples cleared");
+    }
+
+    #[test]
+    fn state_move_between_slaves_preserves_results() {
+        let p = small_params();
+        let mut a = slave_with_all_partitions();
+        // Load left tuples with a specific key, then move that partition
+        // to a fresh slave and probe from the right.
+        let key = 5u64;
+        let pid = partition_of(key, p.npart);
+        a.receive_batch((0..50).map(|i| Tuple::new(Side::Left, 100 + i, key, i)).collect());
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        a.process_pending(&mut out, &mut work);
+        assert!(out.is_empty());
+
+        let (state, pending) = a.extract_group(pid, &mut work);
+        assert!(pending.is_empty());
+        assert!(!a.owned_partitions().contains(&pid));
+
+        let mut b: SlaveCore<CountedEngine> = SlaveCore::new(1, p.clone());
+        b.install_group(pid, state, pending, &mut work);
+        assert_eq!(b.window_tuples(), 50);
+        b.receive_batch(vec![Tuple::new(Side::Right, 500, key, 0)]);
+        b.process_pending(&mut out, &mut work);
+        assert_eq!(out.len(), 50, "every moved tuple still joins");
+    }
+
+    #[test]
+    fn pending_tuples_travel_with_the_state() {
+        let p = small_params();
+        let mut a = slave_with_all_partitions();
+        let key = 5u64;
+        let pid = partition_of(key, p.npart);
+        // Buffered but never processed at A.
+        a.receive_batch(vec![Tuple::new(Side::Left, 100, key, 0)]);
+        let mut work = WorkStats::default();
+        let (state, pending) = a.extract_group(pid, &mut work);
+        assert_eq!(pending.len(), 1);
+
+        let mut b: SlaveCore<CountedEngine> = SlaveCore::new(1, p);
+        b.install_group(pid, state, pending, &mut work);
+        b.receive_batch(vec![Tuple::new(Side::Right, 200, key, 0)]);
+        let mut out = Vec::new();
+        b.process_pending(&mut out, &mut work);
+        assert_eq!(out.len(), 1, "the in-flight tuple was not lost");
+    }
+
+    #[test]
+    fn expiry_reclaims_window_state_per_partition() {
+        let mut s = slave_with_all_partitions();
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        s.receive_batch((0..100).map(|i| Tuple::new(Side::Left, i * 1000, i, i)).collect());
+        s.process_pending(&mut out, &mut work);
+        let before = s.window_tuples();
+        assert_eq!(before, 100);
+        // Jump far past the window — expiry is per-partition (a
+        // partition lagging behind the global clock, e.g. held during a
+        // state move, must keep its blocks), so touch every partition.
+        s.receive_batch(
+            (0..400u64)
+                .map(|i| Tuple::new(Side::Right, 100_000_000 + i, i, i))
+                .collect(),
+        );
+        s.process_pending(&mut out, &mut work);
+        assert!(
+            s.window_tuples() <= 400,
+            "old left tuples must expire, kept {}",
+            s.window_tuples()
+        );
+        let lefts: usize = 100 - (s.window_tuples().saturating_sub(400));
+        assert!(lefts >= 95, "almost all left tuples should be gone");
+    }
+
+    #[test]
+    fn untouched_partition_retains_state_for_delayed_probes() {
+        // The §IV-C hold scenario: partition A's tuples are delayed (a
+        // state move); the rest of the world races ahead. A's window
+        // must survive so the delayed probes still match.
+        let p = small_params();
+        let mut s = slave_with_all_partitions();
+        let key_a = 5u64;
+        let pid_a = partition_of(key_a, p.npart);
+        s.receive_batch(vec![Tuple::new(Side::Left, 1_000, key_a, 0)]);
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        s.process_pending(&mut out, &mut work);
+        // Other partitions advance far past the window.
+        let mut seq = 0;
+        let others: Vec<Tuple> = (0..1000u64)
+            .filter(|k| partition_of(*k, p.npart) != pid_a)
+            .take(50)
+            .map(|k| {
+                seq += 1;
+                Tuple::new(Side::Right, 500_000_000, k, seq)
+            })
+            .collect();
+        assert!(!others.is_empty());
+        s.receive_batch(others);
+        s.process_pending(&mut out, &mut work);
+        // The delayed probe still joins.
+        s.receive_batch(vec![Tuple::new(Side::Right, 900_000, key_a, 999)]);
+        let before = out.len();
+        s.process_pending(&mut out, &mut work);
+        assert_eq!(out.len() - before, 1, "delayed probe lost its match");
+    }
+}

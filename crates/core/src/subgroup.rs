@@ -1,0 +1,79 @@
+//! Sub-group communication (§V-B): the slaves are divided into `n_g`
+//! groups; the distribution epoch is divided into `n_g` slots and each
+//! group exchanges with the master only during its slot. This caps the
+//! worst-case wait for the serially-transmitting master NIC and roughly
+//! halves the master's peak buffer, per the paper's bound
+//! `M_buf = (r·t_d / 2) · (1 + 1/n_g)`.
+
+/// The sub-group (and therefore slot) of the active slave with rank
+/// `active_rank` (0-based position among the active slaves), for `ng`
+/// groups. Slaves are assigned round-robin.
+pub fn slot_of_slave(active_rank: usize, ng: u32) -> u32 {
+    assert!(ng > 0, "ng must be positive");
+    (active_rank as u32) % ng
+}
+
+/// Start offset of slot `slot` within a distribution epoch of
+/// `dist_epoch_us`.
+pub fn slot_offset_us(slot: u32, ng: u32, dist_epoch_us: u64) -> u64 {
+    assert!(slot < ng, "slot out of range");
+    dist_epoch_us * slot as u64 / ng as u64
+}
+
+/// The paper's master-side peak buffer bound for one stream (§V-B):
+///
+/// ```text
+/// M_buf = (r_i · t_d / 2) · (1 + 1/n_g)    [tuples]
+/// ```
+///
+/// returned here in **bytes** for `rate` tuples/s, epoch `t_d` (µs) and
+/// `tuple_bytes`-sized tuples. Experiment X2 validates the bound against
+/// measured peaks.
+pub fn master_buffer_bound_bytes(rate: f64, dist_epoch_us: u64, ng: u32, tuple_bytes: usize) -> f64 {
+    assert!(ng > 0);
+    let td_s = dist_epoch_us as f64 / 1e6;
+    rate * td_s / 2.0 * (1.0 + 1.0 / ng as f64) * tuple_bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_slot_assignment() {
+        assert_eq!(slot_of_slave(0, 2), 0);
+        assert_eq!(slot_of_slave(1, 2), 1);
+        assert_eq!(slot_of_slave(2, 2), 0);
+        assert_eq!(slot_of_slave(5, 3), 2);
+        // ng = 1: everyone in slot 0.
+        for r in 0..10 {
+            assert_eq!(slot_of_slave(r, 1), 0);
+        }
+    }
+
+    #[test]
+    fn slot_offsets_divide_the_epoch() {
+        assert_eq!(slot_offset_us(0, 4, 2_000_000), 0);
+        assert_eq!(slot_offset_us(1, 4, 2_000_000), 500_000);
+        assert_eq!(slot_offset_us(3, 4, 2_000_000), 1_500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn slot_must_be_in_range() {
+        slot_offset_us(4, 4, 1);
+    }
+
+    #[test]
+    fn buffer_bound_shrinks_with_more_groups() {
+        // r = 1500 t/s, t_d = 2 s, 64-byte tuples.
+        let one = master_buffer_bound_bytes(1500.0, 2_000_000, 1, 64);
+        let four = master_buffer_bound_bytes(1500.0, 2_000_000, 4, 64);
+        let huge = master_buffer_bound_bytes(1500.0, 2_000_000, 1000, 64);
+        // ng=1: r·td bytes = 1500*2*64 = 192000.
+        assert!((one - 192_000.0).abs() < 1e-6);
+        assert!(four < one);
+        // ng→∞ halves the requirement.
+        assert!((huge / one - 0.5).abs() < 0.01);
+    }
+}

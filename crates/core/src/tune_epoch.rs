@@ -1,0 +1,158 @@
+//! Dynamic distribution-epoch tuning — the paper's stated future work
+//! (§VIII: "dynamically tuning various performance parameters (i.e.,
+//! group size and distribution epoch)").
+//!
+//! Figures 13–14 expose the trade-off a fixed `t_d` must strike: small
+//! epochs minimise production delay but pay the per-message envelope
+//! every epoch (communication overhead explodes, Fig. 14); large epochs
+//! amortise the envelope but hold tuples at the master for `t_d/2` on
+//! average (delay grows linearly, Fig. 13). The controller here walks
+//! `t_d` between configured bounds using the slaves' measured
+//! communication fraction as the signal, multiplicatively — the same
+//! AIMD-flavoured shape used for probing an unknown sweet spot when the
+//! cost model cannot be trusted (§V-A's argument for adaptivity over
+//! estimation applies verbatim).
+
+/// Bounds and thresholds for the epoch controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochTuning {
+    /// Smallest allowed distribution epoch (µs).
+    pub min_us: u64,
+    /// Largest allowed distribution epoch (µs).
+    pub max_us: u64,
+    /// Grow the epoch when the slaves' communication fraction (comm
+    /// time over wall time) exceeds this.
+    pub comm_high: f64,
+    /// Shrink the epoch (cutting delay) when the communication fraction
+    /// is below this **and** the slaves have idle headroom.
+    pub comm_low: f64,
+    /// Required idle fraction before shrinking.
+    pub idle_headroom: f64,
+    /// Multiplicative step (> 1). Growth uses `step`, shrink `1/step`.
+    pub step: f64,
+}
+
+impl Default for EpochTuning {
+    fn default() -> Self {
+        EpochTuning {
+            min_us: 250_000,
+            max_us: 8_000_000,
+            comm_high: 0.25,
+            comm_low: 0.10,
+            idle_headroom: 0.20,
+            step: 1.5,
+        }
+    }
+}
+
+impl EpochTuning {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_us == 0 || self.min_us > self.max_us {
+            return Err("need 0 < min_us <= max_us".into());
+        }
+        if self.comm_low >= self.comm_high || self.comm_low.is_nan() || self.comm_high.is_nan() {
+            return Err("need comm_low < comm_high".into());
+        }
+        if self.step <= 1.0 {
+            return Err("step must exceed 1".into());
+        }
+        Ok(())
+    }
+
+    /// One controller step: given the current epoch and the fractions of
+    /// wall time the slaves spent communicating and idling over the
+    /// closing reorganization epoch, returns the next epoch (µs).
+    ///
+    /// * communication-bound (`comm_frac > comm_high`): grow the epoch —
+    ///   fewer, larger messages (walking right on Fig. 14's curve);
+    /// * comfortable (`comm_frac < comm_low` and idle headroom): shrink
+    ///   the epoch — cut the master-side wait (walking left on Fig. 13);
+    /// * otherwise hold.
+    pub fn next_epoch(&self, current_us: u64, comm_frac: f64, idle_frac: f64) -> u64 {
+        debug_assert!(self.validate().is_ok());
+        let next = if comm_frac > self.comm_high {
+            (current_us as f64 * self.step) as u64
+        } else if comm_frac < self.comm_low && idle_frac > self.idle_headroom {
+            (current_us as f64 / self.step) as u64
+        } else {
+            current_us
+        };
+        next.clamp(self.min_us, self.max_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> EpochTuning {
+        EpochTuning::default()
+    }
+
+    #[test]
+    fn default_is_valid() {
+        t().validate().unwrap();
+    }
+
+    #[test]
+    fn grows_when_communication_bound() {
+        assert_eq!(t().next_epoch(1_000_000, 0.4, 0.0), 1_500_000);
+    }
+
+    #[test]
+    fn shrinks_when_comfortable() {
+        assert_eq!(t().next_epoch(1_500_000, 0.05, 0.5), 1_000_000);
+    }
+
+    #[test]
+    fn holds_in_the_dead_band() {
+        assert_eq!(t().next_epoch(2_000_000, 0.15, 0.5), 2_000_000);
+        // Low comm but no idle headroom (CPU-bound): shrinking would
+        // only add messages to an already busy node — hold.
+        assert_eq!(t().next_epoch(2_000_000, 0.05, 0.05), 2_000_000);
+    }
+
+    #[test]
+    fn clamps_to_bounds() {
+        assert_eq!(t().next_epoch(8_000_000, 0.9, 0.0), 8_000_000);
+        assert_eq!(t().next_epoch(250_000, 0.0, 1.0), 250_000);
+        let wide = EpochTuning { min_us: 100, max_us: 200, ..t() };
+        assert_eq!(wide.next_epoch(150, 0.9, 0.0), 200);
+        assert_eq!(wide.next_epoch(150, 0.0, 1.0), 100);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(EpochTuning { min_us: 0, ..t() }.validate().is_err());
+        assert!(EpochTuning { min_us: 9, max_us: 8, ..t() }.validate().is_err());
+        assert!(EpochTuning { comm_low: 0.5, comm_high: 0.4, ..t() }.validate().is_err());
+        assert!(EpochTuning { step: 1.0, ..t() }.validate().is_err());
+    }
+
+    #[test]
+    fn converges_from_both_directions() {
+        // Simulated closed loop: comm fraction falls as the epoch grows
+        // (Fig. 14's hyperbola): comm_frac = k / td.
+        let k = 0.4 * 1_000_000.0; // comm-bound at 1 s epochs
+        let tuning = t();
+        let mut td = tuning.min_us;
+        for _ in 0..32 {
+            let comm = k / td as f64;
+            td = tuning.next_epoch(td, comm, 0.5);
+        }
+        let settled_comm = k / td as f64;
+        assert!(
+            settled_comm <= tuning.comm_high && settled_comm >= tuning.comm_low / 2.0,
+            "controller settled at td={td} with comm fraction {settled_comm:.3}"
+        );
+        // From above:
+        let mut td2 = tuning.max_us;
+        for _ in 0..32 {
+            let comm = k / td2 as f64;
+            td2 = tuning.next_epoch(td2, comm, 0.5);
+        }
+        let ratio = td as f64 / td2 as f64;
+        assert!((0.3..3.4).contains(&ratio), "both directions settle near one point ({td} vs {td2})");
+    }
+}

@@ -1,0 +1,309 @@
+//! One stream's mini window-partition: a time-ordered queue of blocks
+//! with the paper's head-block *fresh tuple* protocol (§IV-D).
+//!
+//! New tuples land in the *head* block. Tuples that have not yet probed
+//! the opposite window are **fresh**; they occupy the tail of the head
+//! block (`fresh_start..`). Probing seals them. Freshness is the
+//! mechanism behind the paper's duplicate elimination: a probing tuple
+//! skips the opposite window's fresh tail, because those tuples will
+//! probe (and find it) later.
+//!
+//! Expiry is block-granular: the oldest block is dropped once its newest
+//! tuple has been outside the window for `lag` extra microseconds (see
+//! `Params::expiry_lag_us`); a block containing fresh tuples never
+//! expires.
+
+use crate::{Block, Side, Tuple};
+use std::collections::VecDeque;
+
+/// A time-ordered, block-organised window for one stream side.
+#[derive(Debug, Clone)]
+pub struct WindowPartition {
+    side: Side,
+    block_tuples: usize,
+    blocks: VecDeque<Block>,
+    /// Index into the head (newest) block; `head[fresh_start..]` is fresh.
+    fresh_start: usize,
+    tuple_count: usize,
+}
+
+impl WindowPartition {
+    /// An empty window for `side` with `block_tuples` tuples per block.
+    pub fn new(side: Side, block_tuples: usize) -> Self {
+        assert!(block_tuples > 0, "blocks must hold at least one tuple");
+        WindowPartition { side, block_tuples, blocks: VecDeque::new(), fresh_start: 0, tuple_count: 0 }
+    }
+
+    /// Rebuilds a window from already-sealed, time-ordered tuples (state
+    /// installation after a move, split or merge).
+    pub fn from_tuples(side: Side, block_tuples: usize, tuples: Vec<Tuple>) -> Self {
+        let mut w = Self::new(side, block_tuples);
+        for t in tuples {
+            w.append(t);
+            w.seal();
+        }
+        w
+    }
+
+    /// The stream side this window belongs to.
+    #[inline]
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Appends a tuple to the head block, opening a new head if the
+    /// current one is full. Returns `true` when the head block *became*
+    /// full with this append — the caller must flush (probe) before
+    /// appending more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the head block is full and still contains
+    /// fresh tuples (the caller skipped a flush).
+    pub fn append(&mut self, t: Tuple) -> bool {
+        debug_assert_eq!(t.side, self.side, "tuple routed to the wrong side");
+        let need_new_head = match self.blocks.back() {
+            None => true,
+            Some(b) => b.len() == self.block_tuples,
+        };
+        if need_new_head {
+            if let Some(b) = self.blocks.back() {
+                assert!(
+                    self.fresh_start == b.len(),
+                    "head block is full but unsealed: flush before appending"
+                );
+            }
+            self.blocks.push_back(Block::with_capacity(self.block_tuples));
+            self.fresh_start = 0;
+        }
+        let head = self.blocks.back_mut().expect("head exists");
+        head.push(t);
+        self.tuple_count += 1;
+        head.len() == self.block_tuples
+    }
+
+    /// The fresh (not yet probed) tail of the head block.
+    #[inline]
+    pub fn fresh_slice(&self) -> &[Tuple] {
+        match self.blocks.back() {
+            Some(b) => &b.tuples()[self.fresh_start..],
+            None => &[],
+        }
+    }
+
+    /// Number of fresh tuples.
+    #[inline]
+    pub fn fresh_count(&self) -> usize {
+        self.blocks.back().map_or(0, |b| b.len() - self.fresh_start)
+    }
+
+    /// Marks every fresh tuple as sealed (after it probed).
+    #[inline]
+    pub fn seal(&mut self) {
+        self.fresh_start = self.blocks.back().map_or(0, Block::len);
+    }
+
+    /// Total stored tuples.
+    #[inline]
+    pub fn tuple_count(&self) -> usize {
+        self.tuple_count
+    }
+
+    /// Stored tuples that have already probed (visible to the opposite
+    /// side's probes).
+    #[inline]
+    pub fn sealed_count(&self) -> usize {
+        self.tuple_count - self.fresh_count()
+    }
+
+    /// Number of blocks (including a partial head).
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterates blocks oldest-first.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Visits every **sealed** run of tuples, oldest-first: each non-head
+    /// block in full, then the sealed prefix of the head block. This is
+    /// exactly what a probing tuple scans (fresh tail skipped — §IV-D
+    /// duplicate elimination).
+    pub fn for_each_sealed_run(&self, mut f: impl FnMut(&[Tuple])) {
+        let n = self.blocks.len();
+        for (i, b) in self.blocks.iter().enumerate() {
+            let run = if i + 1 == n { &b.tuples()[..self.fresh_start] } else { b.tuples() };
+            if !run.is_empty() {
+                f(run);
+            }
+        }
+    }
+
+    /// Drops and returns the oldest block if it is fully expired at
+    /// `watermark`: `newest_t + window_us + lag_us < watermark`. A block
+    /// holding fresh tuples never expires.
+    pub fn pop_expired_front(&mut self, watermark: u64, window_us: u64, lag_us: u64) -> Option<Block> {
+        let front = self.blocks.front()?;
+        let is_head = self.blocks.len() == 1;
+        if is_head && self.fresh_count() > 0 {
+            return None;
+        }
+        let newest = front.newest_t().expect("blocks are never empty");
+        if newest.saturating_add(window_us).saturating_add(lag_us) < watermark {
+            let b = self.blocks.pop_front().expect("front exists");
+            self.tuple_count -= b.len();
+            if self.blocks.is_empty() {
+                self.fresh_start = 0;
+            }
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    /// Consumes the window, yielding all tuples oldest-first (state
+    /// extraction for partition movement).
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        let mut v = Vec::with_capacity(self.tuple_count);
+        for b in self.blocks {
+            v.extend(b.into_tuples());
+        }
+        v
+    }
+
+    /// Oldest stored timestamp (`None` when empty).
+    pub fn oldest_t(&self) -> Option<u64> {
+        self.blocks.front().and_then(Block::oldest_t)
+    }
+
+    /// Newest stored timestamp (`None` when empty).
+    pub fn newest_t(&self) -> Option<u64> {
+        self.blocks.back().and_then(Block::newest_t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(at: u64, seq: u64) -> Tuple {
+        Tuple::new(Side::Left, at, 7, seq)
+    }
+
+    fn window() -> WindowPartition {
+        WindowPartition::new(Side::Left, 4)
+    }
+
+    #[test]
+    fn append_reports_full_head() {
+        let mut w = window();
+        assert!(!w.append(t(1, 0)));
+        assert!(!w.append(t(2, 1)));
+        assert!(!w.append(t(3, 2)));
+        assert!(w.append(t(4, 3)), "fourth append fills the 4-tuple block");
+        assert_eq!(w.tuple_count(), 4);
+        assert_eq!(w.block_count(), 1);
+        assert_eq!(w.fresh_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush before appending")]
+    fn appending_past_unsealed_full_head_panics() {
+        let mut w = window();
+        for i in 0..4 {
+            w.append(t(i, i));
+        }
+        w.append(t(9, 9));
+    }
+
+    #[test]
+    fn seal_then_new_head() {
+        let mut w = window();
+        for i in 0..4 {
+            w.append(t(i, i));
+        }
+        w.seal();
+        assert_eq!(w.fresh_count(), 0);
+        assert_eq!(w.sealed_count(), 4);
+        w.append(t(10, 10));
+        assert_eq!(w.block_count(), 2);
+        assert_eq!(w.fresh_count(), 1);
+        assert_eq!(w.fresh_slice().len(), 1);
+        assert_eq!(w.fresh_slice()[0].t, 10);
+    }
+
+    #[test]
+    fn sealed_runs_skip_fresh_tail() {
+        let mut w = window();
+        for i in 0..4 {
+            w.append(t(i, i));
+        }
+        w.seal();
+        w.append(t(10, 10));
+        w.seal();
+        w.append(t(11, 11)); // fresh
+        let mut runs: Vec<Vec<u64>> = Vec::new();
+        w.for_each_sealed_run(|r| runs.push(r.iter().map(|x| x.t).collect()));
+        assert_eq!(runs, vec![vec![0, 1, 2, 3], vec![10]]);
+    }
+
+    #[test]
+    fn expiry_drops_whole_old_blocks_only() {
+        let mut w = window();
+        for i in 0..4 {
+            w.append(t(i, i));
+        }
+        w.seal();
+        w.append(t(100, 4));
+        w.seal();
+        // Window 50, lag 0. At watermark 54 the first block (newest t=3)
+        // satisfies 3 + 50 < 54.
+        let b = w.pop_expired_front(54, 50, 0).expect("front expired");
+        assert_eq!(b.len(), 4);
+        assert_eq!(w.tuple_count(), 1);
+        // Remaining block is not expired.
+        assert!(w.pop_expired_front(54, 50, 0).is_none());
+    }
+
+    #[test]
+    fn lag_retains_blocks_longer() {
+        let mut w = window();
+        w.append(t(0, 0));
+        w.seal();
+        w.append(t(1, 1));
+        w.seal();
+        w.append(t(2, 2));
+        w.seal();
+        w.append(t(3, 3));
+        w.seal();
+        w.append(t(100, 4));
+        w.seal();
+        assert!(w.pop_expired_front(54, 50, 10).is_none(), "lag keeps it");
+        assert!(w.pop_expired_front(64, 50, 10).is_some(), "past lag it goes");
+    }
+
+    #[test]
+    fn fresh_head_never_expires() {
+        let mut w = window();
+        w.append(t(0, 0));
+        assert!(w.pop_expired_front(u64::MAX, 1, 0).is_none());
+        w.seal();
+        assert!(w.pop_expired_front(u64::MAX, 1, 0).is_some());
+        assert_eq!(w.tuple_count(), 0);
+        assert_eq!(w.block_count(), 0);
+    }
+
+    #[test]
+    fn from_tuples_rebuild_is_fully_sealed() {
+        let tuples: Vec<Tuple> = (0..10).map(|i| t(i, i)).collect();
+        let w = WindowPartition::from_tuples(Side::Left, 4, tuples.clone());
+        assert_eq!(w.tuple_count(), 10);
+        assert_eq!(w.block_count(), 3);
+        assert_eq!(w.fresh_count(), 0);
+        assert_eq!(w.oldest_t(), Some(0));
+        assert_eq!(w.newest_t(), Some(9));
+        assert_eq!(w.into_tuples(), tuples);
+    }
+}

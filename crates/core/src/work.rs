@@ -1,0 +1,54 @@
+//! Work accounting: the join module counts what it does; the simulator's
+//! cost model prices it. Fields mirror `windjoin_sim::CpuWork` — the
+//! cluster driver converts between them so that `core` stays independent
+//! of the simulation substrate.
+
+/// Counted work for one processing step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    /// BNLJ inner-loop tuple comparisons (dominant cost; §IV-D).
+    pub comparisons: u64,
+    /// Output tuples constructed.
+    pub emitted: u64,
+    /// Tuples inserted into window partitions.
+    pub inserts: u64,
+    /// Hash computations and directory lookups.
+    pub hash_ops: u64,
+    /// Blocks fetched, appended, scanned-as-a-unit or expired.
+    pub blocks_touched: u64,
+    /// Tuples packed/unpacked for partition-group state movement, and
+    /// tuples relocated by mini-group splits/merges.
+    pub tuples_moved: u64,
+}
+
+impl WorkStats {
+    /// Component-wise accumulate.
+    pub fn add(&mut self, other: &WorkStats) {
+        self.comparisons += other.comparisons;
+        self.emitted += other.emitted;
+        self.inserts += other.inserts;
+        self.hash_ops += other.hash_ops;
+        self.blocks_touched += other.blocks_touched;
+        self.tuples_moved += other.tuples_moved;
+    }
+
+    /// True when nothing was counted.
+    pub fn is_zero(&self) -> bool {
+        *self == WorkStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = WorkStats { comparisons: 1, ..Default::default() };
+        a.add(&WorkStats { comparisons: 2, emitted: 3, ..Default::default() });
+        assert_eq!(a.comparisons, 3);
+        assert_eq!(a.emitted, 3);
+        assert!(!a.is_zero());
+        assert!(WorkStats::default().is_zero());
+    }
+}

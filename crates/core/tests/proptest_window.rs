@@ -1,0 +1,155 @@
+//! Property tests for the window/block layer and the tuning layer:
+//! structural invariants under arbitrary append/seal/expire sequences,
+//! and conservation of tuples across splits and merges.
+
+use proptest::prelude::*;
+use windjoin_core::probe::ExactEngine;
+use windjoin_core::{
+    Params, PartitionGroup, Side, Tuple, TuningParams, WindowPartition, WorkStats,
+};
+
+#[derive(Debug, Clone)]
+enum WinOp {
+    Append(u64), // time gap
+    Seal,
+    Expire(u64), // watermark advance
+}
+
+fn win_ops() -> impl Strategy<Value = Vec<WinOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (0u64..100).prop_map(WinOp::Append),
+            2 => Just(WinOp::Seal),
+            1 => (0u64..5_000).prop_map(WinOp::Expire),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn window_partition_invariants(ops in win_ops(), block_tuples in 1usize..9) {
+        let mut w = WindowPartition::new(Side::Left, block_tuples);
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut live: Vec<(u64, u64)> = Vec::new(); // model: (t, seq)
+        let window_us = 1_000u64;
+        for op in ops {
+            match op {
+                WinOp::Append(gap) => {
+                    now += gap;
+                    // The protocol requires flushing a full head before
+                    // appending; mirror that contract.
+                    if w.fresh_count() > 0 && w.fresh_count() == block_tuples {
+                        w.seal();
+                    }
+                    let full = w.append(Tuple::new(Side::Left, now, 7, seq));
+                    live.push((now, seq));
+                    seq += 1;
+                    if full {
+                        w.seal();
+                    }
+                }
+                WinOp::Seal => w.seal(),
+                WinOp::Expire(adv) => {
+                    now += adv;
+                    while let Some(b) = w.pop_expired_front(now, window_us, 0) {
+                        for t in b.tuples() {
+                            let pos = live.iter().position(|&(bt, bs)| (bt, bs) == (t.t, t.seq));
+                            prop_assert!(pos.is_some(), "expired tuple not in model");
+                            live.remove(pos.unwrap());
+                            prop_assert!(
+                                t.t + window_us < now,
+                                "tuple expired too early: {} + {} >= {}",
+                                t.t, window_us, now
+                            );
+                        }
+                    }
+                }
+            }
+            // Invariants after every operation:
+            prop_assert_eq!(w.tuple_count(), live.len(), "tuple_count");
+            prop_assert!(w.fresh_count() <= block_tuples, "fresh confined to head block");
+            prop_assert_eq!(w.sealed_count() + w.fresh_count(), w.tuple_count());
+            let mut seen = 0usize;
+            let mut last: Option<(u64, u64)> = None;
+            for b in w.iter_blocks() {
+                prop_assert!(b.len() <= block_tuples);
+                prop_assert!(!b.is_empty());
+                for t in b.tuples() {
+                    if let Some(prev) = last {
+                        prop_assert!(prev <= (t.t, t.seq), "global time order");
+                    }
+                    last = Some((t.t, t.seq));
+                    seen += 1;
+                }
+            }
+            prop_assert_eq!(seen, w.tuple_count());
+        }
+    }
+
+    #[test]
+    fn tuning_conserves_tuples_and_bounds_groups(
+        keys in proptest::collection::vec(any::<u64>(), 1..500),
+        theta in 1usize..4,
+    ) {
+        let mut p = Params::default_paper();
+        p.block_bytes = 256; // 4 tuples per block
+        p.sem.w_left_us = u64::MAX / 4;
+        p.sem.w_right_us = u64::MAX / 4;
+        p.tuning = Some(TuningParams { theta_blocks: theta, max_depth: 8 });
+        let mut g: PartitionGroup<ExactEngine> = PartitionGroup::new(&p);
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        for (i, &k) in keys.iter().enumerate() {
+            let side = if i % 2 == 0 { Side::Left } else { Side::Right };
+            g.insert(Tuple::new(side, i as u64, k, i as u64), &mut out, &mut work);
+        }
+        g.flush_all(&mut out, &mut work);
+        prop_assert_eq!(g.tuple_count(), keys.len(), "no tuple lost by splitting");
+        // Every mini-group respects 2θ unless it is saturated at max
+        // depth (identical low hash bits).
+        for mg in g.iter_minigroups() {
+            if g.depth() < 8 {
+                prop_assert!(
+                    mg.total_blocks() <= 2 * theta,
+                    "group of {} blocks exceeds 2θ = {}",
+                    mg.total_blocks(),
+                    2 * theta
+                );
+            }
+        }
+        // Expire everything: groups must merge back and stay consistent.
+        g.expire_and_tune(u64::MAX, &mut out, &mut work);
+        prop_assert_eq!(g.tuple_count(), 0);
+        prop_assert_eq!(g.minigroup_count(), 1);
+    }
+
+    #[test]
+    fn state_roundtrip_is_identity(
+        keys in proptest::collection::vec(any::<u64>(), 1..300),
+        theta in 1usize..4,
+    ) {
+        let mut p = Params::default_paper();
+        p.block_bytes = 256;
+        p.sem.w_left_us = u64::MAX / 4;
+        p.sem.w_right_us = u64::MAX / 4;
+        p.tuning = Some(TuningParams { theta_blocks: theta, max_depth: 8 });
+        let mut g: PartitionGroup<ExactEngine> = PartitionGroup::new(&p);
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        for (i, &k) in keys.iter().enumerate() {
+            let side = if i % 3 == 0 { Side::Right } else { Side::Left };
+            g.insert(Tuple::new(side, i as u64, k, i as u64), &mut out, &mut work);
+        }
+        g.flush_all(&mut out, &mut work);
+        let (count, minis, depth) = (g.tuple_count(), g.minigroup_count(), g.depth());
+        let state = g.extract_state(&mut work);
+        let g2: PartitionGroup<ExactEngine> = PartitionGroup::from_state(&p, state, &mut work);
+        prop_assert_eq!(g2.tuple_count(), count);
+        prop_assert_eq!(g2.minigroup_count(), minis);
+        prop_assert_eq!(g2.depth(), depth);
+    }
+}

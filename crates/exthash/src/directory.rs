@@ -1,0 +1,589 @@
+//! The extendible-hash directory proper.
+
+use std::fmt;
+
+/// Identifies the hash bit that distinguishes the two halves of a split.
+///
+/// When a bucket of local depth `d'` splits, entries whose hash has bit
+/// `d'` (zero-based) **clear** stay in the original bucket; entries with
+/// the bit **set** move to the new sibling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitBit(u8);
+
+impl SplitBit {
+    /// Zero-based index of the distinguishing bit.
+    #[inline]
+    pub fn bit_index(self) -> u8 {
+        self.0
+    }
+
+    /// Mask with only the distinguishing bit set; `hash & mask() != 0`
+    /// means the entry belongs in the *new* (returned) bucket.
+    #[inline]
+    pub fn mask(self) -> u64 {
+        1u64 << self.0
+    }
+
+    /// Whether `hash` belongs to the new sibling bucket after the split.
+    #[inline]
+    pub fn goes_to_sibling(self, hash: u64) -> bool {
+        hash & self.mask() != 0
+    }
+}
+
+/// Why a split could not be performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitError {
+    /// The bucket already has the maximum permitted local depth.
+    ///
+    /// Splitting further would require growing the directory past
+    /// `max_depth`. Callers typically mark such a bucket *saturated* and
+    /// stop trying to split it (this bounds directory growth when many
+    /// identical hashes collide — e.g. a single hot join-attribute value).
+    MaxDepth,
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitError::MaxDepth => write!(f, "bucket is at the maximum directory depth"),
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
+/// Result of a [`Directory::try_merge`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// The bucket and its buddy were merged; local depth decreased by one.
+    Merged,
+    /// The bucket has local depth zero: nothing to merge with.
+    NoBuddy,
+    /// The buddy currently has a different local depth (the paper only
+    /// merges buddies of equal local depth).
+    DepthMismatch,
+    /// The caller's predicate rejected the merge (e.g. combined size
+    /// would exceed `2θ`).
+    Rejected,
+}
+
+/// A view of one distinct bucket, yielded by iteration.
+#[derive(Debug)]
+pub struct BucketRef<'a, B> {
+    /// Canonical low-bit pattern of the bucket (its `local_depth` low bits).
+    pub pattern: u64,
+    /// Local depth `d'` of the bucket.
+    pub local_depth: u8,
+    /// The bucket payload.
+    pub bucket: &'a B,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<B> {
+    local_depth: u8,
+    /// Canonical pattern: the `local_depth` low bits shared by every hash
+    /// routed to this bucket.
+    pattern: u64,
+    payload: B,
+}
+
+/// An extendible-hash directory with caller-driven splits and merges.
+///
+/// See the [crate-level docs](crate) for the model. All operations are
+/// `O(1)` except `split`/`try_merge`/directory doubling, which are linear
+/// in the number of directory entries (`2^global_depth`).
+#[derive(Debug, Clone)]
+pub struct Directory<B> {
+    global_depth: u8,
+    max_depth: u8,
+    /// `entries[h & mask]` is an index into `slots`. Length `1 << global_depth`.
+    entries: Vec<u32>,
+    slots: Vec<Option<Slot<B>>>,
+    free: Vec<u32>,
+    bucket_count: usize,
+}
+
+impl<B> Directory<B> {
+    /// Creates a directory of global depth 0 holding the single `initial`
+    /// bucket. `max_depth` bounds how far the directory may double (the
+    /// directory holds at most `2^max_depth` entries). `max_depth` must be
+    /// at most 30.
+    pub fn new(max_depth: u8, initial: B) -> Self {
+        assert!(max_depth <= 30, "max_depth must be <= 30");
+        Directory {
+            global_depth: 0,
+            max_depth,
+            entries: vec![0],
+            slots: vec![Some(Slot { local_depth: 0, pattern: 0, payload: initial })],
+            free: Vec::new(),
+            bucket_count: 1,
+        }
+    }
+
+    /// Current global depth `d`; the directory has `2^d` entries.
+    #[inline]
+    pub fn global_depth(&self) -> u8 {
+        self.global_depth
+    }
+
+    /// The configured maximum depth.
+    #[inline]
+    pub fn max_depth(&self) -> u8 {
+        self.max_depth
+    }
+
+    /// Number of *distinct* buckets (not directory entries).
+    #[inline]
+    pub fn bucket_count(&self) -> usize {
+        self.bucket_count
+    }
+
+    /// Number of directory entries (`2^global_depth`).
+    #[inline]
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn dir_mask(&self) -> u64 {
+        (self.entries.len() as u64) - 1
+    }
+
+    #[inline]
+    fn slot_of(&self, hash: u64) -> u32 {
+        self.entries[(hash & self.dir_mask()) as usize]
+    }
+
+    /// Local depth of the bucket responsible for `hash`.
+    #[inline]
+    pub fn local_depth(&self, hash: u64) -> u8 {
+        let s = self.slot_of(hash);
+        self.slots[s as usize].as_ref().expect("live slot").local_depth
+    }
+
+    /// Canonical low-bit pattern of the bucket responsible for `hash`.
+    #[inline]
+    pub fn pattern(&self, hash: u64) -> u64 {
+        let s = self.slot_of(hash);
+        self.slots[s as usize].as_ref().expect("live slot").pattern
+    }
+
+    /// Shared reference to the bucket responsible for `hash`.
+    #[inline]
+    pub fn get(&self, hash: u64) -> &B {
+        let s = self.slot_of(hash);
+        &self.slots[s as usize].as_ref().expect("live slot").payload
+    }
+
+    /// Mutable reference to the bucket responsible for `hash`.
+    #[inline]
+    pub fn get_mut(&mut self, hash: u64) -> &mut B {
+        let s = self.slot_of(hash);
+        &mut self.slots[s as usize].as_mut().expect("live slot").payload
+    }
+
+    /// Iterates over each distinct bucket exactly once, in ascending
+    /// canonical-pattern order is *not* guaranteed; iteration order is the
+    /// slot allocation order (stable across clones).
+    pub fn iter(&self) -> impl Iterator<Item = BucketRef<'_, B>> {
+        self.slots.iter().filter_map(|s| {
+            s.as_ref().map(|s| BucketRef {
+                pattern: s.pattern,
+                local_depth: s.local_depth,
+                bucket: &s.payload,
+            })
+        })
+    }
+
+    /// Iterates mutably over each distinct bucket exactly once.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, u8, &mut B)> {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.as_mut().map(|s| (s.pattern, s.local_depth, &mut s.payload)))
+    }
+
+    /// Consumes the directory, yielding every distinct bucket payload.
+    pub fn into_buckets(self) -> impl Iterator<Item = (u64, u8, B)> {
+        self.slots
+            .into_iter()
+            .filter_map(|s| s.map(|s| (s.pattern, s.local_depth, s.payload)))
+    }
+
+    fn alloc_slot(&mut self, slot: Slot<B>) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Some(slot);
+            i
+        } else {
+            self.slots.push(Some(slot));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Doubles the directory: every entry is duplicated, global depth +1.
+    fn double(&mut self) {
+        let old = self.entries.len();
+        self.entries.reserve(old);
+        for i in 0..old {
+            self.entries.push(self.entries[i]);
+        }
+        self.global_depth += 1;
+    }
+
+    /// Splits the bucket responsible for `hash`.
+    ///
+    /// If the bucket's local depth equals the global depth, the directory
+    /// doubles first (error if that would exceed `max_depth`). The caller's
+    /// `divide` closure receives the original bucket and the [`SplitBit`];
+    /// it must remove the entries whose split bit is set and return them as
+    /// the new sibling bucket.
+    ///
+    /// Returns the split bit actually used.
+    pub fn split<F>(&mut self, hash: u64, divide: F) -> Result<SplitBit, SplitError>
+    where
+        F: FnOnce(&mut B, SplitBit) -> B,
+    {
+        let slot_idx = self.slot_of(hash);
+        let (old_depth, pattern) = {
+            let s = self.slots[slot_idx as usize].as_ref().expect("live slot");
+            (s.local_depth, s.pattern)
+        };
+        if old_depth == self.max_depth {
+            return Err(SplitError::MaxDepth);
+        }
+        if old_depth == self.global_depth {
+            self.double();
+        }
+        let bit = SplitBit(old_depth);
+        let new_depth = old_depth + 1;
+        let sibling_pattern = pattern | bit.mask();
+
+        let sibling_payload = {
+            let s = self.slots[slot_idx as usize].as_mut().expect("live slot");
+            s.local_depth = new_depth;
+            debug_assert_eq!(s.pattern, pattern);
+            divide(&mut s.payload, bit)
+        };
+        let sibling_idx = self.alloc_slot(Slot {
+            local_depth: new_depth,
+            pattern: sibling_pattern,
+            payload: sibling_payload,
+        });
+        self.bucket_count += 1;
+
+        // Repoint the directory entries that now belong to the sibling:
+        // entries e with e ≡ sibling_pattern (mod 2^new_depth).
+        let step = 1usize << new_depth;
+        let mut e = sibling_pattern as usize;
+        while e < self.entries.len() {
+            debug_assert_eq!(self.entries[e], slot_idx);
+            self.entries[e] = sibling_idx;
+            e += step;
+        }
+        Ok(bit)
+    }
+
+    /// Attempts to merge the bucket responsible for `hash` with its buddy.
+    ///
+    /// Following §IV-D of the paper, the merge happens only when the buddy
+    /// has the **same local depth** and the caller's `can_merge` predicate
+    /// accepts the pair (the paper requires the combined size to stay below
+    /// `2θ`). On success the `merge` closure folds the buddy's payload into
+    /// the kept bucket (the one whose pattern has the buddy bit clear), the
+    /// local depth decreases by one, and the directory shrinks if every
+    /// bucket's local depth is now strictly below the global depth.
+    pub fn try_merge<C, M>(&mut self, hash: u64, can_merge: C, merge: M) -> MergeOutcome
+    where
+        C: FnOnce(&B, &B) -> bool,
+        M: FnOnce(&mut B, B),
+    {
+        let slot_idx = self.slot_of(hash);
+        let (depth, pattern) = {
+            let s = self.slots[slot_idx as usize].as_ref().expect("live slot");
+            (s.local_depth, s.pattern)
+        };
+        if depth == 0 {
+            return MergeOutcome::NoBuddy;
+        }
+        let buddy_bit = 1u64 << (depth - 1);
+        let buddy_pattern = pattern ^ buddy_bit;
+        let buddy_idx = self.entries[(buddy_pattern & self.dir_mask()) as usize];
+        debug_assert_ne!(buddy_idx, slot_idx);
+        let buddy_depth = self.slots[buddy_idx as usize].as_ref().expect("live slot").local_depth;
+        if buddy_depth != depth {
+            return MergeOutcome::DepthMismatch;
+        }
+        {
+            let a = self.slots[slot_idx as usize].as_ref().expect("live slot");
+            let b = self.slots[buddy_idx as usize].as_ref().expect("live slot");
+            if !can_merge(&a.payload, &b.payload) {
+                return MergeOutcome::Rejected;
+            }
+        }
+        // Keep the bucket whose pattern has the buddy bit clear.
+        let (keep_idx, drop_idx) = if pattern & buddy_bit == 0 {
+            (slot_idx, buddy_idx)
+        } else {
+            (buddy_idx, slot_idx)
+        };
+        let dropped = self.slots[drop_idx as usize].take().expect("live slot");
+        self.free.push(drop_idx);
+        self.bucket_count -= 1;
+        {
+            let keep = self.slots[keep_idx as usize].as_mut().expect("live slot");
+            keep.local_depth = depth - 1;
+            keep.pattern &= !buddy_bit;
+            merge(&mut keep.payload, dropped.payload);
+        }
+        // Repoint entries of the dropped bucket.
+        for e in self.entries.iter_mut() {
+            if *e == drop_idx {
+                *e = keep_idx;
+            }
+        }
+        self.maybe_shrink();
+        MergeOutcome::Merged
+    }
+
+    /// Halves the directory while every local depth is strictly below the
+    /// global depth. Keeps `global_depth >= 0`.
+    fn maybe_shrink(&mut self) {
+        while self.global_depth > 0 {
+            let max_local = self
+                .slots
+                .iter()
+                .filter_map(|s| s.as_ref().map(|s| s.local_depth))
+                .max()
+                .unwrap_or(0);
+            if max_local >= self.global_depth {
+                break;
+            }
+            let half = self.entries.len() / 2;
+            debug_assert!(self.entries[..half] == self.entries[half..]);
+            self.entries.truncate(half);
+            self.global_depth -= 1;
+        }
+    }
+
+    /// Verifies every structural invariant; used by tests and property
+    /// tests. Panics with a description on violation.
+    pub fn check_invariants(&self) {
+        assert_eq!(self.entries.len(), 1usize << self.global_depth, "entry count");
+        assert!(self.global_depth <= self.max_depth, "global depth bound");
+        let live: Vec<u32> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i as u32))
+            .collect();
+        assert_eq!(live.len(), self.bucket_count, "bucket_count");
+        for &i in &live {
+            let s = self.slots[i as usize].as_ref().unwrap();
+            assert!(s.local_depth <= self.global_depth, "local<=global");
+            let mask = (1u64 << s.local_depth) - 1;
+            assert_eq!(s.pattern & !mask, 0, "pattern within local bits");
+            // Every entry congruent to the pattern points here, and no other.
+            let mut pointed = 0usize;
+            for (e, &slot) in self.entries.iter().enumerate() {
+                let is_mine = (e as u64) & mask == s.pattern;
+                if is_mine {
+                    assert_eq!(slot, i, "entry {e} must point to bucket {i}");
+                    pointed += 1;
+                } else {
+                    assert_ne!(slot, i, "entry {e} must not point to bucket {i}");
+                }
+            }
+            assert_eq!(
+                pointed,
+                1usize << (self.global_depth - s.local_depth),
+                "entry multiplicity"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_patterns(dir: &Directory<Vec<u64>>) -> Vec<(u64, u8)> {
+        let mut v: Vec<_> = dir.iter().map(|b| (b.pattern, b.local_depth)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn vec_split(b: &mut Vec<u64>, bit: SplitBit) -> Vec<u64> {
+        let (stay, go): (Vec<_>, Vec<_>) = b.drain(..).partition(|h| !bit.goes_to_sibling(*h));
+        *b = stay;
+        go
+    }
+
+    #[test]
+    fn new_directory_is_depth_zero() {
+        let dir: Directory<Vec<u64>> = Directory::new(4, Vec::new());
+        assert_eq!(dir.global_depth(), 0);
+        assert_eq!(dir.bucket_count(), 1);
+        assert_eq!(dir.entry_count(), 1);
+        dir.check_invariants();
+    }
+
+    #[test]
+    fn all_hashes_route_to_single_bucket_initially() {
+        let mut dir: Directory<Vec<u64>> = Directory::new(4, Vec::new());
+        for h in [0u64, 1, 7, 0xffff_ffff_ffff_ffff] {
+            dir.get_mut(h).push(h);
+        }
+        assert_eq!(dir.get(0).len(), 4);
+    }
+
+    #[test]
+    fn split_doubles_directory_when_needed() {
+        let mut dir: Directory<Vec<u64>> = Directory::new(4, vec![0b00, 0b01, 0b10, 0b11]);
+        let bit = dir.split(0, vec_split).unwrap();
+        assert_eq!(bit.bit_index(), 0);
+        assert_eq!(dir.global_depth(), 1);
+        assert_eq!(dir.bucket_count(), 2);
+        dir.check_invariants();
+        assert_eq!(dir.get(0b00), &vec![0b00, 0b10]);
+        assert_eq!(dir.get(0b01), &vec![0b01, 0b11]);
+    }
+
+    #[test]
+    fn split_without_doubling_when_local_below_global() {
+        let mut dir: Directory<Vec<u64>> = Directory::new(4, (0..8u64).collect());
+        dir.split(0, vec_split).unwrap(); // d=1, both buckets depth 1
+        dir.split(0, vec_split).unwrap(); // bucket 0 -> depth 2, directory doubles to d=2
+        assert_eq!(dir.global_depth(), 2);
+        // Bucket containing hash 1 still has depth 1 — splitting it must not double.
+        assert_eq!(dir.local_depth(1), 1);
+        dir.split(1, vec_split).unwrap();
+        assert_eq!(dir.global_depth(), 2);
+        assert_eq!(dir.bucket_count(), 4);
+        dir.check_invariants();
+        assert_eq!(
+            collect_patterns(&dir),
+            vec![(0b00, 2), (0b01, 2), (0b10, 2), (0b11, 2)]
+        );
+        for h in 0..8u64 {
+            assert!(dir.get(h).contains(&h), "hash {h} routed correctly");
+        }
+    }
+
+    #[test]
+    fn split_at_max_depth_fails() {
+        let mut dir: Directory<Vec<u64>> = Directory::new(1, (0..4u64).collect());
+        dir.split(0, vec_split).unwrap();
+        assert_eq!(dir.split(0, vec_split), Err(SplitError::MaxDepth));
+        assert_eq!(dir.split(1, vec_split), Err(SplitError::MaxDepth));
+        dir.check_invariants();
+    }
+
+    #[test]
+    fn merge_restores_single_bucket() {
+        let mut dir: Directory<Vec<u64>> = Directory::new(4, (0..8u64).collect());
+        dir.split(0, vec_split).unwrap();
+        let out = dir.try_merge(0, |_, _| true, |keep, gone| keep.extend(gone));
+        assert_eq!(out, MergeOutcome::Merged);
+        assert_eq!(dir.bucket_count(), 1);
+        assert_eq!(dir.global_depth(), 0, "directory shrinks after merge");
+        let mut all = dir.get(0).clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..8u64).collect::<Vec<_>>());
+        dir.check_invariants();
+    }
+
+    #[test]
+    fn merge_depth_mismatch_rejected() {
+        let mut dir: Directory<Vec<u64>> = Directory::new(4, (0..16u64).collect());
+        dir.split(0, vec_split).unwrap(); // depth 1 / depth 1
+        dir.split(0, vec_split).unwrap(); // bucket 00 depth 2, bucket 1 depth 1
+        // Buddy of bucket(0b00) at depth 2 is bucket(0b10), also depth 2 — ok.
+        // But buddy of bucket(0b01) (depth 1) ... has depth 1; buddy is
+        // pattern 0b00 which has depth 2 -> mismatch.
+        let out = dir.try_merge(1, |_, _| true, |k, g| k.extend(g));
+        assert_eq!(out, MergeOutcome::DepthMismatch);
+        dir.check_invariants();
+    }
+
+    #[test]
+    fn merge_rejected_by_predicate() {
+        let mut dir: Directory<Vec<u64>> = Directory::new(4, (0..8u64).collect());
+        dir.split(0, vec_split).unwrap();
+        let out = dir.try_merge(0, |_, _| false, |k, g| k.extend(g));
+        assert_eq!(out, MergeOutcome::Rejected);
+        assert_eq!(dir.bucket_count(), 2);
+        dir.check_invariants();
+    }
+
+    #[test]
+    fn merge_depth_zero_has_no_buddy() {
+        let mut dir: Directory<Vec<u64>> = Directory::new(4, vec![1u64]);
+        assert_eq!(
+            dir.try_merge(0, |_, _| true, |_, _| {}),
+            MergeOutcome::NoBuddy
+        );
+    }
+
+    #[test]
+    fn deep_split_and_full_merge_roundtrip() {
+        let mut dir: Directory<Vec<u64>> = Directory::new(6, (0..64u64).collect());
+        // Split every bucket until all are at depth 3.
+        for _ in 0..3 {
+            let patterns: Vec<u64> = dir.iter().map(|b| b.pattern).collect();
+            for p in patterns {
+                dir.split(p, vec_split).unwrap();
+            }
+            dir.check_invariants();
+        }
+        assert_eq!(dir.bucket_count(), 8);
+        assert_eq!(dir.global_depth(), 3);
+        for h in 0..64u64 {
+            assert!(dir.get(h).contains(&h));
+            assert_eq!(dir.pattern(h), h & 0b111);
+        }
+        // Merge everything back.
+        loop {
+            let patterns: Vec<u64> = dir.iter().map(|b| b.pattern).collect();
+            let mut merged_any = false;
+            for p in patterns {
+                if dir.try_merge(p, |_, _| true, |k, g| k.extend(g)) == MergeOutcome::Merged {
+                    merged_any = true;
+                }
+            }
+            dir.check_invariants();
+            if !merged_any {
+                break;
+            }
+        }
+        assert_eq!(dir.bucket_count(), 1);
+        assert_eq!(dir.global_depth(), 0);
+        let mut all = dir.get(0).clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..64u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_buckets_yields_every_bucket_once() {
+        let mut dir: Directory<Vec<u64>> = Directory::new(4, (0..8u64).collect());
+        dir.split(0, vec_split).unwrap();
+        dir.split(0, vec_split).unwrap();
+        let buckets: Vec<_> = dir.into_buckets().collect();
+        assert_eq!(buckets.len(), 3);
+        let total: usize = buckets.iter().map(|(_, _, b)| b.len()).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn iter_mut_visits_each_bucket_once() {
+        let mut dir: Directory<Vec<u64>> = Directory::new(4, (0..8u64).collect());
+        dir.split(0, vec_split).unwrap();
+        let mut seen = 0;
+        for (_, _, b) in dir.iter_mut() {
+            b.push(999);
+            seen += 1;
+        }
+        assert_eq!(seen, 2);
+        assert!(dir.get(0).contains(&999));
+        assert!(dir.get(1).contains(&999));
+    }
+}

@@ -1,0 +1,105 @@
+//! Extendible hashing directory (Fagin, Nievergelt, Pippenger, Strong 1979).
+//!
+//! This crate provides the directory structure used by `windjoin-core` for
+//! *fine-grained partition tuning* (§IV-D of Chakraborty & Singh, CLUSTER
+//! 2013): every overflowing partition-group owns one extendible-hash
+//! directory whose buckets are *mini-partition-groups*.
+//!
+//! The directory indexes buckets by the `d` **least-significant bits** of an
+//! adopted hash function `h(k)` (exactly as in the paper), where `d` is the
+//! *global depth*. Each bucket carries a *local depth* `d' <= d`; the number
+//! of directory entries pointing at a bucket is `2^(d - d')`, and those
+//! entries agree on their `d'` low bits.
+//!
+//! The structure is generic over the bucket payload `B`, so it is reusable
+//! for any application that needs dynamic hashing with explicit split/merge
+//! control. Splitting and merging are *caller driven*: the caller decides
+//! when a bucket has overflowed (`> 2θ` in the paper) or underflowed
+//! (`< θ`) and invokes [`Directory::split`] / [`Directory::try_merge`];
+//! this crate maintains the directory invariants.
+//!
+//! # Example
+//!
+//! ```
+//! use windjoin_exthash::Directory;
+//!
+//! // Buckets are plain `Vec<u64>`s of hashes here.
+//! let mut dir: Directory<Vec<u64>> = Directory::new(8, Vec::new());
+//! for h in 0..16u64 {
+//!     dir.get_mut(h).push(h);
+//! }
+//! // Split the bucket containing hash 0: move entries whose split bit is
+//! // set into the returned sibling bucket.
+//! let split_bit = dir.split(0, |b, bit| {
+//!     let (stay, go): (Vec<_>, Vec<_>) = b.drain(..).partition(|h| h & bit.mask() == 0);
+//!     *b = stay;
+//!     go
+//! }).unwrap();
+//! assert_eq!(split_bit.bit_index(), 0);
+//! assert_eq!(dir.global_depth(), 1);
+//! assert_eq!(dir.bucket_count(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod directory;
+
+pub use directory::{BucketRef, Directory, MergeOutcome, SplitBit, SplitError};
+
+/// Computes the paper's buddy-entry formula (§IV-D):
+///
+/// ```text
+///          ⎧ l + 2^(d-d')   if 2^(d-d'+1) divides l
+/// l_bud =  ⎨
+///          ⎩ l - 2^(d-d')   otherwise
+/// ```
+///
+/// `l` is the first directory entry of a bucket, `d` the global depth and
+/// `dprime` the bucket's local depth. The result is the first entry of the
+/// buddy bucket. Equivalent to flipping the lowest bit of the bucket
+/// number — see the `paper_lbud_matches_bit_flip` test.
+///
+/// # Panics
+///
+/// Panics if `dprime == 0` (a depth-0 bucket covers the whole directory and
+/// has no buddy) or `dprime > d`.
+pub fn paper_lbud(l: u64, d: u8, dprime: u8) -> u64 {
+    assert!(dprime > 0, "depth-0 bucket has no buddy");
+    assert!(dprime <= d, "local depth cannot exceed global depth");
+    let step = 1u64 << (d - dprime);
+    if l.is_multiple_of(step << 1) {
+        l + step
+    } else {
+        l - step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lbud_matches_bit_flip() {
+        // The paper numbers directory entries so that a bucket occupies a
+        // contiguous range [l, l + 2^(d-d')). In that numbering the buddy
+        // of bucket number `b = l / 2^(d-d')` is `b ^ 1`, which is what
+        // `paper_lbud` computes.
+        for d in 1..=6u8 {
+            for dprime in 1..=d {
+                let step = 1u64 << (d - dprime);
+                for bucket in 0..(1u64 << dprime) {
+                    let l = bucket * step;
+                    let lb = paper_lbud(l, d, dprime);
+                    let expect = (bucket ^ 1) * step;
+                    assert_eq!(lb, expect, "d={d} d'={dprime} l={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no buddy")]
+    fn paper_lbud_rejects_depth_zero() {
+        paper_lbud(0, 3, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the extendible-hash directory: random interleavings
+//! of inserts, splits and merges must preserve every structural invariant
+//! and never lose or duplicate an element.
+
+use proptest::prelude::*;
+use windjoin_exthash::{Directory, MergeOutcome, SplitBit};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Split(u64),
+    Merge(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u64>().prop_map(Op::Insert),
+        2 => any::<u64>().prop_map(Op::Split),
+        2 => any::<u64>().prop_map(Op::Merge),
+    ]
+}
+
+fn vec_split(b: &mut Vec<u64>, bit: SplitBit) -> Vec<u64> {
+    let (stay, go): (Vec<_>, Vec<_>) = b.drain(..).partition(|h| !bit.goes_to_sibling(*h));
+    *b = stay;
+    go
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_ops_preserve_invariants(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut dir: Directory<Vec<u64>> = Directory::new(8, Vec::new());
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(h) => {
+                    dir.get_mut(h).push(h);
+                    model.push(h);
+                }
+                Op::Split(h) => {
+                    let _ = dir.split(h, vec_split);
+                }
+                Op::Merge(h) => {
+                    let _ = dir.try_merge(h, |_, _| true, |k, g| k.extend(g));
+                }
+            }
+            dir.check_invariants();
+        }
+        // No element lost or duplicated, and every element is in the
+        // bucket its hash routes to.
+        let mut seen: Vec<u64> = Vec::new();
+        for b in dir.iter() {
+            for &h in b.bucket {
+                prop_assert_eq!(dir.pattern(h), b.pattern, "element {} misrouted", h);
+                seen.push(h);
+            }
+        }
+        seen.sort_unstable();
+        model.sort_unstable();
+        prop_assert_eq!(seen, model);
+    }
+
+    #[test]
+    fn merge_after_split_is_identity(hashes in proptest::collection::vec(any::<u64>(), 1..64), pivot in any::<u64>()) {
+        let mut dir: Directory<Vec<u64>> = Directory::new(8, Vec::new());
+        for &h in &hashes {
+            dir.get_mut(h).push(h);
+        }
+        let before: Vec<u64> = {
+            let mut v = dir.get(pivot).clone();
+            v.sort_unstable();
+            v
+        };
+        if dir.split(pivot, vec_split).is_ok() {
+            let out = dir.try_merge(pivot, |_, _| true, |k, g| k.extend(g));
+            prop_assert_eq!(out, MergeOutcome::Merged);
+            let mut after = dir.get(pivot).clone();
+            after.sort_unstable();
+            prop_assert_eq!(before, after);
+        }
+        dir.check_invariants();
+    }
+
+    #[test]
+    fn lbud_formula_total(d in 1u8..=10, bucket_bits in any::<u64>()) {
+        for dprime in 1..=d {
+            let step = 1u64 << (d - dprime);
+            let bucket = bucket_bits & ((1u64 << dprime) - 1);
+            let l = bucket * step;
+            let lb = windjoin_exthash::paper_lbud(l, d, dprime);
+            // Applying the formula twice returns to the original entry.
+            prop_assert_eq!(windjoin_exthash::paper_lbud(lb, d, dprime), l);
+        }
+    }
+}

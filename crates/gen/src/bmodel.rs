@@ -1,0 +1,162 @@
+//! The b-model skew generator (Wang, Ailamaki, Faloutsos 2002).
+//!
+//! The b-model is a multiplicative cascade: a value domain is split in
+//! half and a fraction `b` of the probability mass goes to one half,
+//! `1 - b` to the other, recursively. With `b = 0.7` this is closely
+//! related to the database "80/20 law" the paper cites (Gray et al. 1994):
+//! at every scale, ~70% of accesses hit ~50% of the domain.
+//!
+//! We sample a value by walking the cascade: at every level, the *lower*
+//! half is chosen with probability `b`. Key frequency is therefore
+//! monotone in the number of one-bits of the value's path, producing a
+//! self-similar, heavy-tailed popularity profile over the whole domain.
+//! Downstream code hashes keys before partitioning, so the monotone
+//! layout carries no structural bias into the join.
+
+use rand::Rng;
+
+/// A b-model sampler over the integer domain `[0, domain)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BModel {
+    bias: f64,
+    domain: u64,
+}
+
+impl BModel {
+    /// Creates a b-model with the given `bias` (the paper's `b`, default
+    /// 0.7) over `[0, domain)` (the paper uses `domain = 10^7`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.5 <= bias < 1.0` and `domain >= 1`.
+    pub fn new(bias: f64, domain: u64) -> Self {
+        assert!((0.5..1.0).contains(&bias), "bias must be in [0.5, 1.0)");
+        assert!(domain >= 1, "domain must be non-empty");
+        BModel { bias, domain }
+    }
+
+    /// The bias parameter `b`.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Samples one value from the cascade.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (mut lo, mut hi) = (0u64, self.domain);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if rng.gen::<f64>() < self.bias {
+                hi = mid; // the heavy half is the lower half
+            } else {
+                lo = mid;
+            }
+        }
+        lo
+    }
+
+    /// The probability of the single most popular value (value 0):
+    /// `b^ceil(log2 domain)` — useful for sizing expectations in tests and
+    /// experiment notes.
+    pub fn top_probability(&self) -> f64 {
+        let levels = (self.domain as f64).log2().ceil();
+        self.bias.powf(levels)
+    }
+
+    /// The *self-collision* probability `q = Σ_k p_k²`: the probability
+    /// that two independent samples are equal. For the dyadic cascade this
+    /// is `(b² + (1-b)²)^levels`. The expected number of join matches per
+    /// probing tuple is `q × |opposite window|`.
+    pub fn collision_probability(&self) -> f64 {
+        let levels = (self.domain as f64).log2().ceil();
+        (self.bias * self.bias + (1.0 - self.bias) * (1.0 - self.bias)).powf(levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let m = BModel::new(0.7, 10_000_000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(m.sample(&mut rng) < 10_000_000);
+        }
+    }
+
+    #[test]
+    fn bias_half_is_uniform_ish() {
+        let m = BModel::new(0.5, 1024);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let lower = (0..n).filter(|_| m.sample(&mut rng) < 512).count();
+        let frac = lower as f64 / n as f64;
+        assert!((0.49..0.51).contains(&frac), "b=0.5 should split evenly, got {frac}");
+    }
+
+    #[test]
+    fn bias_skews_mass_to_lower_half() {
+        let m = BModel::new(0.7, 1024);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let lower = (0..n).filter(|_| m.sample(&mut rng) < 512).count();
+        let frac = lower as f64 / n as f64;
+        assert!((0.69..0.71).contains(&frac), "top level must split 70/30, got {frac}");
+    }
+
+    #[test]
+    fn skew_is_self_similar() {
+        // Within the lower half, the lower quarter again receives ~b of
+        // the half's mass.
+        let m = BModel::new(0.7, 1024);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let samples: Vec<u64> = (0..200_000).map(|_| m.sample(&mut rng)).collect();
+        let in_half = samples.iter().filter(|&&v| v < 512).count();
+        let in_quarter = samples.iter().filter(|&&v| v < 256).count();
+        let frac = in_quarter as f64 / in_half as f64;
+        assert!((0.68..0.72).contains(&frac), "second level must also split ~70/30, got {frac}");
+    }
+
+    #[test]
+    fn collision_probability_predicts_sampled_collisions() {
+        let m = BModel::new(0.7, 1 << 14);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 30_000usize;
+        let samples: Vec<u64> = (0..n).map(|_| m.sample(&mut rng)).collect();
+        let mut counts = std::collections::HashMap::new();
+        for &s in &samples {
+            *counts.entry(s).or_insert(0u64) += 1;
+        }
+        // Empirical sum p_k^2.
+        let q_emp: f64 = counts
+            .values()
+            .map(|&c| (c as f64 / n as f64).powi(2))
+            .sum();
+        let q_model = m.collision_probability();
+        assert!(
+            q_emp > q_model * 0.5 && q_emp < q_model * 2.0,
+            "empirical {q_emp:.3e} vs model {q_model:.3e}"
+        );
+    }
+
+    #[test]
+    fn degenerate_domain_of_one() {
+        let m = BModel::new(0.7, 1);
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert_eq!(m.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias")]
+    fn rejects_bias_out_of_range() {
+        BModel::new(1.0, 10);
+    }
+}

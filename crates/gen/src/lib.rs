@@ -1,0 +1,52 @@
+//! Synthetic data-stream workload generation for `windjoin`.
+//!
+//! Reproduces the workload of §VI-A of Chakraborty & Singh (CLUSTER 2013):
+//!
+//! * tuples arrive following a **Poisson process** with average rate `λ`
+//!   per stream (rates may vary over time via [`RateSchedule`]);
+//! * join-attribute values are drawn from the integer domain
+//!   `[0 .. 10^7]` with skew captured by the **b-model** (Wang, Ailamaki,
+//!   Faloutsos 2002), closely related to the database "80/20 law";
+//! * every stream tuple is 64 bytes long (sizing is enforced by
+//!   `windjoin-core`'s block accounting; generators emit logical tuples).
+//!
+//! Also provided, for ablation experiments beyond the paper: **Zipf**
+//! (rejection-inversion sampling), **uniform**, and **constant** key
+//! distributions.
+//!
+//! Everything is deterministic given a seed, so simulated experiments are
+//! exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use windjoin_gen::{KeyDist, RateSchedule, StreamSpec, merge_streams};
+//!
+//! let spec = StreamSpec {
+//!     rate: RateSchedule::constant(1500.0),
+//!     keys: KeyDist::BModel { bias: 0.7, domain: 10_000_000 },
+//!     seed: 42,
+//! };
+//! // Two streams, merged into one timestamp-ordered sequence.
+//! let s1 = spec.clone().arrivals(0);
+//! let s2 = StreamSpec { seed: 43, ..spec }.arrivals(1);
+//! let merged: Vec<_> = merge_streams(vec![s1, s2])
+//!     .take_while(|a| a.at_us < 1_000_000)
+//!     .collect();
+//! // ~2 * 1500 arrivals in the first second.
+//! assert!(merged.len() > 2400 && merged.len() < 3600);
+//! ```
+
+#![warn(missing_docs)]
+
+mod arrival;
+mod bmodel;
+mod keys;
+mod stream;
+mod zipf;
+
+pub use arrival::{PoissonArrivals, RateSchedule};
+pub use bmodel::BModel;
+pub use keys::{KeyDist, KeySampler};
+pub use stream::{merge_streams, Arrival, MergedStreams, StreamArrivals, StreamSpec};
+pub use zipf::Zipf;

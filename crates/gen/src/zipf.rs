@@ -1,0 +1,156 @@
+//! Zipf-distributed key sampling via rejection-inversion
+//! (Hörmann & Derflinger 1996), O(1) per sample with no tables — suitable
+//! for the paper's `10^7`-value domain where a cumulative table would be
+//! prohibitive.
+
+use rand::Rng;
+
+/// Samples ranks `1..=n` with probability proportional to `rank^-s`,
+/// then maps rank `r` to key `r - 1` so the domain is `[0, n)` like the
+/// other key distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    dd: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `[0, n)` with exponent `s > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0` or `s` is not finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "domain must be non-empty");
+        assert!(s > 0.0 && s.is_finite(), "exponent must be positive and finite");
+        let h_x1 = Self::h_static(s, 1.5) - 1.0;
+        let h_n = Self::h_static(s, n as f64 + 0.5);
+        let dd = 1.0 - Self::h_inv_static(s, Self::h_static(s, 2.5) - 2f64.powf(-s));
+        Zipf { n, s, h_x1, h_n, dd }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// `H(x) = ∫ x^-s dx`, increasing in `x`.
+    fn h_static(s: f64, x: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+        }
+    }
+
+    fn h_inv_static(s: f64, u: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            u.exp()
+        } else {
+            (1.0 + u * (1.0 - s)).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        Self::h_static(self.s, x)
+    }
+
+    fn h_inv(&self, u: f64) -> f64 {
+        Self::h_inv_static(self.s, u)
+    }
+
+    /// Samples one key from `[0, n)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = x.clamp(1.0, self.n as f64).round();
+            if (k - x).abs() <= self.dd || u >= self.h(k + 0.5) - (-self.s * k.ln()).exp() {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn freq(n: u64, s: f64, samples: usize, seed: u64) -> Vec<u64> {
+        let z = Zipf::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let counts = freq(100, 1.0, 100_000, 2);
+        assert!(counts[0] > counts[1], "key 0 must be the most popular");
+        assert!(counts[1] > counts[9], "popularity must decay with rank");
+    }
+
+    #[test]
+    fn frequency_ratio_follows_power_law() {
+        // p(1)/p(2) = 2^s.
+        let s = 1.5;
+        let counts = freq(1000, s, 400_000, 3);
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        let expect = 2f64.powf(s);
+        assert!(
+            (ratio / expect - 1.0).abs() < 0.15,
+            "ratio {ratio:.2} vs expected {expect:.2}"
+        );
+    }
+
+    #[test]
+    fn exponent_one_special_case() {
+        let counts = freq(100, 1.0, 200_000, 4);
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio / 2.0 - 1.0).abs() < 0.15, "s=1: p(1)/p(2)=2, got {ratio:.2}");
+    }
+
+    #[test]
+    fn large_domain_sampling_is_fast_and_valid() {
+        let z = Zipf::new(10_000_000, 1.1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50_000 {
+            assert!(z.sample(&mut rng) < 10_000_000);
+        }
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_exponent() {
+        Zipf::new(10, 0.0);
+    }
+}

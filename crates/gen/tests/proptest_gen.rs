@@ -1,0 +1,72 @@
+//! Property tests for the workload generators.
+
+use proptest::prelude::*;
+use windjoin_gen::{merge_streams, BModel, KeyDist, PoissonArrivals, RateSchedule, StreamSpec, Zipf};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn poisson_is_strictly_increasing(rate in 10.0f64..100_000.0, seed in any::<u64>()) {
+        let arr: Vec<u64> = PoissonArrivals::new(RateSchedule::constant(rate), seed).take(500).collect();
+        for w in arr.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_unbiased(rate in 100.0f64..20_000.0, seed in any::<u64>()) {
+        // Count arrivals over a horizon long enough for ±25% bounds.
+        let horizon_us = ((50_000.0 / rate) * 1e6) as u64; // ~50k expected
+        let n = PoissonArrivals::new(RateSchedule::constant(rate), seed)
+            .take_while(|&t| t <= horizon_us)
+            .count() as f64;
+        let expect = rate * horizon_us as f64 / 1e6;
+        prop_assert!((n - expect).abs() < expect * 0.25, "n={n} expect={expect}");
+    }
+
+    #[test]
+    fn bmodel_domain_respected(bias in 0.5f64..0.99, domain in 1u64..1_000_000, seed in any::<u64>()) {
+        let m = BModel::new(bias, domain);
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let rng: &mut rand::rngs::SmallRng = &mut rng;
+        for _ in 0..200 {
+            prop_assert!(m.sample(rng) < domain);
+        }
+    }
+
+    #[test]
+    fn zipf_domain_respected(s in 0.5f64..3.0, domain in 1u64..1_000_000, seed in any::<u64>()) {
+        let z = Zipf::new(domain, s);
+        let mut rng: rand::rngs::SmallRng = rand::SeedableRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < domain);
+        }
+    }
+
+    #[test]
+    fn merged_streams_total_order(seed_a in any::<u64>(), seed_b in any::<u64>(), rate in 50.0f64..5_000.0) {
+        let spec = |seed| StreamSpec {
+            rate: RateSchedule::constant(rate),
+            keys: KeyDist::Uniform { domain: 100 },
+            seed,
+        };
+        let merged: Vec<_> =
+            merge_streams(vec![spec(seed_a).arrivals(0), spec(seed_b).arrivals(1)])
+                .take(1_000)
+                .collect();
+        for w in merged.windows(2) {
+            prop_assert!(
+                (w[0].at_us, w[0].stream, w[0].seq) <= (w[1].at_us, w[1].stream, w[1].seq)
+            );
+        }
+        // Per-stream sequence numbers stay dense.
+        for stream in [0u8, 1] {
+            let seqs: Vec<u64> =
+                merged.iter().filter(|a| a.stream == stream).map(|a| a.seq).collect();
+            for (i, &s) in seqs.iter().enumerate() {
+                prop_assert_eq!(s, i as u64);
+            }
+        }
+    }
+}

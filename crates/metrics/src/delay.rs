@@ -1,0 +1,114 @@
+//! Production-delay tracking with warm-up gating.
+
+use crate::{Histogram, Welford};
+
+/// Tracks the paper's *average production delay* metric (§VI-A).
+///
+/// For each output tuple, the caller supplies the emission time and the
+/// arrival timestamp of the **more recent** joining tuple; the delay is
+/// their difference. Samples emitted before the configured warm-up end
+/// are discarded, matching the paper's methodology (20-minute runs,
+/// statistics gathered after a 10-minute start-up interval).
+#[derive(Debug, Clone)]
+pub struct DelayTracker {
+    warmup_end_us: u64,
+    stats: Welford,
+    hist: Histogram,
+}
+
+impl DelayTracker {
+    /// Tracker that ignores every sample emitted before `warmup_end_us`.
+    pub fn new(warmup_end_us: u64) -> Self {
+        DelayTracker { warmup_end_us, stats: Welford::new(), hist: Histogram::new() }
+    }
+
+    /// Records an output produced at `emit_us` whose newer constituent
+    /// tuple arrived at `newer_arrival_us`. Returns the recorded delay, or
+    /// `None` if the sample fell in the warm-up window.
+    ///
+    /// Emission cannot precede arrival; that would indicate a protocol
+    /// bug, so it panics in debug builds and clamps to zero in release.
+    pub fn record(&mut self, emit_us: u64, newer_arrival_us: u64) -> Option<u64> {
+        debug_assert!(
+            emit_us >= newer_arrival_us,
+            "output emitted before its newest input arrived ({emit_us} < {newer_arrival_us})"
+        );
+        if emit_us < self.warmup_end_us {
+            return None;
+        }
+        let delay = emit_us.saturating_sub(newer_arrival_us);
+        self.stats.push(delay as f64);
+        self.hist.record(delay);
+        Some(delay)
+    }
+
+    /// Number of recorded (post-warm-up) outputs.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Average production delay in seconds.
+    pub fn mean_delay_s(&self) -> f64 {
+        self.stats.mean() / 1e6
+    }
+
+    /// Maximum production delay in seconds (0 when empty).
+    pub fn max_delay_s(&self) -> f64 {
+        self.stats.max().unwrap_or(0.0) / 1e6
+    }
+
+    /// Delay quantile in seconds (`None` when empty); factor-2 accurate.
+    pub fn quantile_s(&self, q: f64) -> Option<f64> {
+        self.hist.quantile(q).map(|us| us as f64 / 1e6)
+    }
+
+    /// Merges another tracker (same warm-up) into this one.
+    pub fn merge(&mut self, other: &DelayTracker) {
+        self.stats.merge(&other.stats);
+        self.hist.merge(&other.hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_samples_are_dropped() {
+        let mut d = DelayTracker::new(1_000_000);
+        assert_eq!(d.record(500_000, 400_000), None);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.record(1_500_000, 400_000), Some(1_100_000));
+        assert_eq!(d.count(), 1);
+    }
+
+    #[test]
+    fn mean_delay_in_seconds() {
+        let mut d = DelayTracker::new(0);
+        d.record(2_000_000, 1_000_000); // 1 s
+        d.record(4_000_000, 1_000_000); // 3 s
+        assert!((d.mean_delay_s() - 2.0).abs() < 1e-9);
+        assert!((d.max_delay_s() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_report_in_seconds() {
+        let mut d = DelayTracker::new(0);
+        for i in 1..=100u64 {
+            d.record(i * 1_000_000, 0);
+        }
+        let p50 = d.quantile_s(0.5).unwrap();
+        assert!((50.0..=128.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = DelayTracker::new(0);
+        let mut b = DelayTracker::new(0);
+        a.record(10, 0);
+        b.record(20, 0);
+        b.record(30, 0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+}

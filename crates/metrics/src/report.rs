@@ -1,0 +1,154 @@
+//! Plain-text and CSV result tables.
+//!
+//! The `repro` harness prints one [`Table`] per paper figure, with the
+//! same independent variable in the first column and one series per
+//! remaining column, so the output can be compared line-by-line with the
+//! plots in the paper (and re-plotted from the CSV form).
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table of `f64` cells with a title.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<Option<f64>>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its length must match the headers. Use `None` for
+    /// not-applicable cells.
+    pub fn push_row(&mut self, row: Vec<Option<f64>>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of plain values.
+    pub fn push_values(&mut self, row: &[f64]) {
+        self.push_row(row.iter().map(|&v| Some(v)).collect());
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor (row, column).
+    pub fn cell(&self, row: usize, col: usize) -> Option<f64> {
+        self.rows.get(row).and_then(|r| r.get(col).copied().flatten())
+    }
+
+    /// Column accessor by header name.
+    pub fn column(&self, header: &str) -> Option<Vec<Option<f64>>> {
+        let idx = self.headers.iter().position(|h| h == header)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    fn fmt_cell(v: Option<f64>) -> String {
+        match v {
+            None => "-".to_string(),
+            Some(0.0) => "0".to_string(),
+            Some(v) if v.abs() >= 10000.0 || v.abs() < 0.001 => format!("{v:.3e}"),
+            Some(v) if v.fract() == 0.0 && v.abs() < 1e9 => format!("{v:.0}"),
+            Some(v) => format!("{v:.3}"),
+        }
+    }
+
+    /// Renders the aligned plain-text form.
+    pub fn to_text(&self) -> String {
+        let mut cells: Vec<Vec<String>> = vec![self.headers.clone()];
+        for r in &self.rows {
+            cells.push(r.iter().map(|&v| Self::fmt_cell(v)).collect());
+        }
+        let widths: Vec<usize> = (0..self.headers.len())
+            .map(|c| cells.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        for (i, row) in cells.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(s, w)| format!("{s:>w$}", w = w))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+            if i == 0 {
+                let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+                let _ = writeln!(out, "{}", "-".repeat(total));
+            }
+        }
+        out
+    }
+
+    /// Renders CSV (title as a `#` comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for r in &self.rows {
+            let line: Vec<String> = r
+                .iter()
+                .map(|&v| v.map(|v| format!("{v}")).unwrap_or_default())
+                .collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let mut t = Table::new("Fig. X", &["rate", "delay_s"]);
+        t.push_values(&[1500.0, 0.75]);
+        t.push_values(&[3000.0, 12.5]);
+        let s = t.to_text();
+        assert!(s.contains("# Fig. X"));
+        assert!(s.contains("rate"));
+        assert!(s.contains("0.750"));
+        assert!(s.contains("12.500"));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec![Some(1.0), None]);
+        let csv = t.to_csv();
+        assert!(csv.contains("a,b"));
+        assert!(csv.contains("1,"));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let mut t = Table::new("T", &["x", "y"]);
+        t.push_values(&[1.0, 10.0]);
+        t.push_values(&[2.0, 20.0]);
+        assert_eq!(t.column("y"), Some(vec![Some(10.0), Some(20.0)]));
+        assert_eq!(t.column("z"), None);
+        assert_eq!(t.cell(1, 0), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("T", &["a"]);
+        t.push_values(&[1.0, 2.0]);
+    }
+}

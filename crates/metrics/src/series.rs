@@ -1,0 +1,125 @@
+//! Fixed-interval time series (buffer occupancy, window sizes, degree of
+//! declustering over time).
+
+/// Accumulates `(t_us, value)` observations into fixed-width bins and
+/// reports the per-bin mean — used for occupancy traces and the adaptive
+/// degree-of-declustering plots.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bin_us: u64,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// A series with bins of `bin_us` microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_us == 0`.
+    pub fn new(bin_us: u64) -> Self {
+        assert!(bin_us > 0, "bin width must be positive");
+        TimeSeries { bin_us, sums: Vec::new(), counts: Vec::new() }
+    }
+
+    /// Records `value` at time `t_us`.
+    pub fn record(&mut self, t_us: u64, value: f64) {
+        let bin = (t_us / self.bin_us) as usize;
+        if bin >= self.sums.len() {
+            self.sums.resize(bin + 1, 0.0);
+            self.counts.resize(bin + 1, 0);
+        }
+        self.sums[bin] += value;
+        self.counts[bin] += 1;
+    }
+
+    /// Bin width in microseconds.
+    pub fn bin_us(&self) -> u64 {
+        self.bin_us
+    }
+
+    /// Number of bins touched so far (including empty gaps).
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Mean of bin `i` (`None` for empty bins).
+    pub fn bin_mean(&self, i: usize) -> Option<f64> {
+        if i < self.counts.len() && self.counts[i] > 0 {
+            Some(self.sums[i] / self.counts[i] as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates `(bin_start_us, mean)` over non-empty bins.
+    pub fn iter_means(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        (0..self.len()).filter_map(move |i| self.bin_mean(i).map(|m| (i as u64 * self.bin_us, m)))
+    }
+
+    /// Overall mean across every observation.
+    pub fn overall_mean(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.sums.iter().sum::<f64>() / total as f64
+        }
+    }
+
+    /// Largest bin mean (`None` when empty).
+    pub fn peak(&self) -> Option<f64> {
+        (0..self.len()).filter_map(|i| self.bin_mean(i)).fold(None, |acc, m| {
+            Some(acc.map_or(m, |a: f64| a.max(m)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_average_observations() {
+        let mut s = TimeSeries::new(1_000_000);
+        s.record(0, 1.0);
+        s.record(500_000, 3.0);
+        s.record(1_200_000, 10.0);
+        assert_eq!(s.bin_mean(0), Some(2.0));
+        assert_eq!(s.bin_mean(1), Some(10.0));
+        assert_eq!(s.bin_mean(2), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iter_means_skips_gaps() {
+        let mut s = TimeSeries::new(10);
+        s.record(0, 1.0);
+        s.record(35, 5.0);
+        let v: Vec<_> = s.iter_means().collect();
+        assert_eq!(v, vec![(0, 1.0), (30, 5.0)]);
+    }
+
+    #[test]
+    fn overall_and_peak() {
+        let mut s = TimeSeries::new(10);
+        s.record(1, 2.0);
+        s.record(11, 4.0);
+        s.record(12, 8.0);
+        assert!((s.overall_mean() - 14.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.peak(), Some(6.0));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.overall_mean(), 0.0);
+        assert_eq!(s.peak(), None);
+    }
+}

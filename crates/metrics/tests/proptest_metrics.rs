@@ -1,0 +1,95 @@
+//! Property tests for the metrics crate: streaming statistics agree
+//! with naive recomputation; merges are order-insensitive; histogram
+//! quantiles bracket true quantiles within the documented factor of 2.
+
+use proptest::prelude::*;
+use windjoin_metrics::{Histogram, TimeSeries, Welford};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(w.min(), Some(min));
+        prop_assert_eq!(w.max(), Some(max));
+    }
+
+    #[test]
+    fn welford_merge_any_split(xs in proptest::collection::vec(-1e4f64..1e4, 2..200), cut in any::<proptest::sample::Index>()) {
+        let k = 1 + cut.index(xs.len() - 1);
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..k] {
+            a.push(x);
+        }
+        for &x in &xs[k..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4 * (1.0 + whole.variance()));
+    }
+
+    #[test]
+    fn histogram_quantiles_within_factor_two(mut xs in proptest::collection::vec(1u64..1_000_000, 1..300), q in 0.0f64..=1.0) {
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        xs.sort_unstable();
+        let idx = (((q * xs.len() as f64).ceil() as usize).max(1) - 1).min(xs.len() - 1);
+        let truth = xs[idx];
+        let est = h.quantile(q).unwrap();
+        // Bucket upper bound: truth <= est < 2 * truth (power-of-two buckets).
+        prop_assert!(est >= truth, "estimate {est} below truth {truth}");
+        prop_assert!(est < truth.saturating_mul(2).max(2), "estimate {est} above 2x truth {truth}");
+    }
+
+    #[test]
+    fn histogram_merge_equals_concat(a in proptest::collection::vec(1u64..1_000_000, 0..100), b in proptest::collection::vec(1u64..1_000_000, 0..100)) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &x in &a {
+            ha.record(x);
+            hc.record(x);
+        }
+        for &x in &b {
+            hb.record(x);
+            hc.record(x);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.sum(), hc.sum());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q));
+        }
+    }
+
+    #[test]
+    fn timeseries_overall_mean_is_weighted(obs in proptest::collection::vec((0u64..10_000, -100f64..100.0), 1..200)) {
+        let mut s = TimeSeries::new(100);
+        for &(t, v) in &obs {
+            s.record(t, v);
+        }
+        let mean = obs.iter().map(|&(_, v)| v).sum::<f64>() / obs.len() as f64;
+        prop_assert!((s.overall_mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()) + 1e-9);
+        // Peak is at least the overall mean.
+        prop_assert!(s.peak().unwrap() >= s.overall_mean() - 1e-9);
+    }
+}

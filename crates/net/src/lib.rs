@@ -1,0 +1,27 @@
+//! Wire format and in-process message passing for `windjoin`.
+//!
+//! The paper runs over mpiJava/LAM-MPI with blocking, connection-oriented
+//! send/receive and a *machine-independent* tuple format (§IV-B). This
+//! crate supplies the equivalents:
+//!
+//! * [`wire`] — explicit little-endian framing for 64-byte tuples.
+//!   Both of §IV-B's options for mapping merged tuples back to their
+//!   source streams are implemented: per-tuple **stream tags** and
+//!   per-run **punctuation marks**.
+//! * [`message`] — the protocol messages exchanged between master,
+//!   slaves and collector (tuple batches, occupancy reports, move
+//!   directives, partition state, acks, results), with a binary codec.
+//! * [`transport`] — rank-addressed blocking channels (crossbeam) with
+//!   bounded capacity, used by the threaded runtime. Receiving blocks
+//!   until the sender's message arrives, mirroring the blocking
+//!   communication the paper's §III is designed around.
+
+#![warn(missing_docs)]
+
+pub mod message;
+pub mod transport;
+pub mod wire;
+
+pub use message::Message;
+pub use transport::{Endpoint, Frame, Network};
+pub use wire::{decode_batch, encode_batch, Tagging, TUPLE_WIRE_BYTES};

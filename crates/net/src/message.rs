@@ -1,0 +1,255 @@
+//! Protocol messages between master, slaves and the collector, with a
+//! binary codec so the threaded runtime exchanges machine-independent
+//! bytes end to end (§IV-B), not Rust objects.
+
+use crate::wire::{decode_batch, encode_batch, Tagging, WireError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use windjoin_core::group::BucketState;
+use windjoin_core::{GroupState, OutPair, Side, Tuple};
+
+/// Everything that travels between nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Master → slave: the epoch's merged tuple batch (§IV-B).
+    Batch(Vec<Tuple>),
+    /// Slave → master: average buffer occupancy over the closing
+    /// reorganization epoch (§IV-C).
+    Occupancy(f64),
+    /// Master → supplier slave: move partition `pid` to slave `to`.
+    MoveDirective {
+        /// Partition-group to extract.
+        pid: u32,
+        /// Destination slave rank.
+        to: u32,
+    },
+    /// Supplier → consumer: the extracted partition-group state plus the
+    /// supplier-side pending tuples (§IV-C state mover).
+    State {
+        /// Partition-group id.
+        pid: u32,
+        /// Window state with splitting information.
+        state: GroupState,
+        /// Pending buffered tuples travelling with the state.
+        pending: Vec<Tuple>,
+    },
+    /// Consumer → master: the move of `pid` finished; release its tuples.
+    MoveComplete {
+        /// Partition-group id.
+        pid: u32,
+    },
+    /// Slave → collector: join results (with the emitting slave's rank).
+    Outputs(Vec<OutPair>),
+    /// Master → everyone: the run is over.
+    Shutdown,
+}
+
+const K_BATCH: u8 = 1;
+const K_OCC: u8 = 2;
+const K_MOVE: u8 = 3;
+const K_STATE: u8 = 4;
+const K_DONE: u8 = 5;
+const K_OUT: u8 = 6;
+const K_SHUT: u8 = 7;
+
+fn put_tuples(buf: &mut BytesMut, tuples: &[Tuple]) {
+    let b = encode_batch(tuples, Tagging::StreamTag);
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(&b);
+}
+
+fn get_tuples(buf: &mut Bytes) -> Result<Vec<Tuple>, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let body = buf.split_to(len);
+    decode_batch(body)
+}
+
+fn put_pair(buf: &mut BytesMut, p: &OutPair) {
+    buf.put_u64_le(p.key);
+    buf.put_u64_le(p.left.0);
+    buf.put_u64_le(p.left.1);
+    buf.put_u64_le(p.right.0);
+    buf.put_u64_le(p.right.1);
+}
+
+fn get_pair(buf: &mut Bytes) -> Result<OutPair, WireError> {
+    if buf.remaining() < 40 {
+        return Err(WireError::Truncated);
+    }
+    Ok(OutPair {
+        key: buf.get_u64_le(),
+        left: (buf.get_u64_le(), buf.get_u64_le()),
+        right: (buf.get_u64_le(), buf.get_u64_le()),
+    })
+}
+
+impl Message {
+    /// Encodes to a self-describing byte frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Message::Batch(tuples) => {
+                buf.put_u8(K_BATCH);
+                put_tuples(&mut buf, tuples);
+            }
+            Message::Occupancy(f) => {
+                buf.put_u8(K_OCC);
+                buf.put_f64_le(*f);
+            }
+            Message::MoveDirective { pid, to } => {
+                buf.put_u8(K_MOVE);
+                buf.put_u32_le(*pid);
+                buf.put_u32_le(*to);
+            }
+            Message::State { pid, state, pending } => {
+                buf.put_u8(K_STATE);
+                buf.put_u32_le(*pid);
+                buf.put_u32_le(state.buckets.len() as u32);
+                for b in &state.buckets {
+                    buf.put_u64_le(b.pattern);
+                    buf.put_u8(b.depth);
+                    // Left/right tuples as tagged batches; the sides are
+                    // known but tagging keeps one decoder path.
+                    put_tuples(&mut buf, &b.left);
+                    put_tuples(&mut buf, &b.right);
+                }
+                put_tuples(&mut buf, pending);
+            }
+            Message::MoveComplete { pid } => {
+                buf.put_u8(K_DONE);
+                buf.put_u32_le(*pid);
+            }
+            Message::Outputs(pairs) => {
+                buf.put_u8(K_OUT);
+                buf.put_u32_le(pairs.len() as u32);
+                for p in pairs {
+                    put_pair(&mut buf, p);
+                }
+            }
+            Message::Shutdown => {
+                buf.put_u8(K_SHUT);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame produced by [`Message::encode`].
+    pub fn decode(mut buf: Bytes) -> Result<Message, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        match buf.get_u8() {
+            K_BATCH => Ok(Message::Batch(get_tuples(&mut buf)?)),
+            K_OCC => {
+                if buf.remaining() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::Occupancy(buf.get_f64_le()))
+            }
+            K_MOVE => {
+                if buf.remaining() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::MoveDirective { pid: buf.get_u32_le(), to: buf.get_u32_le() })
+            }
+            K_STATE => {
+                if buf.remaining() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                let pid = buf.get_u32_le();
+                let nbuckets = buf.get_u32_le() as usize;
+                let mut buckets = Vec::with_capacity(nbuckets);
+                for _ in 0..nbuckets {
+                    if buf.remaining() < 9 {
+                        return Err(WireError::Truncated);
+                    }
+                    let pattern = buf.get_u64_le();
+                    let depth = buf.get_u8();
+                    let left = get_tuples(&mut buf)?;
+                    let right = get_tuples(&mut buf)?;
+                    debug_assert!(left.iter().all(|t| t.side == Side::Left));
+                    debug_assert!(right.iter().all(|t| t.side == Side::Right));
+                    buckets.push(BucketState { pattern, depth, left, right });
+                }
+                let pending = get_tuples(&mut buf)?;
+                Ok(Message::State { pid, state: GroupState { buckets }, pending })
+            }
+            K_DONE => {
+                if buf.remaining() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::MoveComplete { pid: buf.get_u32_le() })
+            }
+            K_OUT => {
+                if buf.remaining() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push(get_pair(&mut buf)?);
+                }
+                Ok(Message::Outputs(pairs))
+            }
+            K_SHUT => Ok(Message::Shutdown),
+            other => Err(WireError::BadTagScheme(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let enc = m.encode();
+        let dec = Message::decode(enc).unwrap();
+        assert_eq!(m, dec);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Message::Batch(vec![
+            Tuple::new(Side::Left, 1, 2, 3),
+            Tuple::new(Side::Right, 4, 5, 6),
+        ]));
+        roundtrip(Message::Batch(Vec::new()));
+        roundtrip(Message::Occupancy(0.375));
+        roundtrip(Message::MoveDirective { pid: 17, to: 3 });
+        roundtrip(Message::State {
+            pid: 9,
+            state: GroupState {
+                buckets: vec![
+                    BucketState {
+                        pattern: 0b01,
+                        depth: 2,
+                        left: vec![Tuple::new(Side::Left, 1, 2, 3)],
+                        right: vec![],
+                    },
+                    BucketState {
+                        pattern: 0b11,
+                        depth: 2,
+                        left: vec![],
+                        right: vec![Tuple::new(Side::Right, 7, 8, 9)],
+                    },
+                ],
+            },
+            pending: vec![Tuple::new(Side::Left, 10, 11, 12)],
+        });
+        roundtrip(Message::MoveComplete { pid: 4 });
+        roundtrip(Message::Outputs(vec![OutPair { key: 1, left: (2, 3), right: (4, 5) }]));
+        roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let enc = Message::Occupancy(1.0).encode();
+        assert!(Message::decode(enc.slice(0..4)).is_err());
+        assert!(Message::decode(Bytes::new()).is_err());
+    }
+}

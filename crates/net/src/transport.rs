@@ -1,0 +1,190 @@
+//! Rank-addressed blocking transport over crossbeam channels.
+//!
+//! Models the communication regime the paper assumes (§III): reliable,
+//! connection-oriented, **blocking** — a receive blocks until the sender
+//! is scheduled to send, and a send blocks when the peer's inbox is full
+//! (bounded capacity models the no-unbounded-async-buffering constraint).
+//! The threaded runtime in `windjoin-cluster` runs one node per thread on
+//! top of this.
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// One delivered frame: the sender's rank and the payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sender rank.
+    pub from: usize,
+    /// Encoded message payload.
+    pub payload: Bytes,
+}
+
+/// A fully-connected network of `n` ranks.
+#[derive(Debug)]
+pub struct Network {
+    endpoints: Vec<Option<Endpoint>>,
+}
+
+/// One rank's handle: send to any rank, receive from your own inbox.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    rank: usize,
+    senders: Vec<Sender<Frame>>,
+    receiver: Receiver<Frame>,
+}
+
+impl Network {
+    /// Builds a network of `n` ranks with per-inbox `capacity` frames.
+    pub fn new(n: usize, capacity: usize) -> Self {
+        assert!(n > 0 && capacity > 0);
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (s, r) = bounded(capacity);
+            senders.push(s);
+            receivers.push(r);
+        }
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Some(Endpoint { rank, senders: senders.clone(), receiver }))
+            .collect();
+        Network { endpoints }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True when the network has no ranks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Takes rank `r`'s endpoint (each rank is taken once, typically by
+    /// its thread).
+    pub fn take(&mut self, rank: usize) -> Endpoint {
+        self.endpoints[rank].take().expect("endpoint already taken")
+    }
+}
+
+/// Send-side failure: the peer's inbox channel is closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer disconnected")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+impl Endpoint {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the network.
+    pub fn network_len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Blocking send of `payload` to rank `to` (blocks while the peer's
+    /// inbox is full).
+    pub fn send(&self, to: usize, payload: Bytes) -> Result<(), Disconnected> {
+        self.senders[to]
+            .send(Frame { from: self.rank, payload })
+            .map_err(|_| Disconnected)
+    }
+
+    /// Blocking receive of the next frame addressed to this rank.
+    pub fn recv(&self) -> Result<Frame, Disconnected> {
+        self.receiver.recv().map_err(|_| Disconnected)
+    }
+
+    /// Receive with a timeout; `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected> {
+        match self.receiver.recv_timeout(d) {
+            Ok(f) => Ok(Some(f)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(Disconnected),
+        }
+    }
+
+    /// Non-blocking receive; `None` when the inbox is empty.
+    pub fn try_recv(&self) -> Option<Frame> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_delivered_in_order_with_sender_rank() {
+        let mut net = Network::new(3, 16);
+        let a = net.take(0);
+        let b = net.take(1);
+        a.send(1, Bytes::from_static(b"x")).unwrap();
+        a.send(1, Bytes::from_static(b"y")).unwrap();
+        let f1 = b.recv().unwrap();
+        let f2 = b.recv().unwrap();
+        assert_eq!((f1.from, &f1.payload[..]), (0, &b"x"[..]));
+        assert_eq!((f2.from, &f2.payload[..]), (0, &b"y"[..]));
+    }
+
+    #[test]
+    fn self_send_works() {
+        let mut net = Network::new(1, 4);
+        let a = net.take(0);
+        a.send(0, Bytes::from_static(b"loop")).unwrap();
+        assert_eq!(&a.recv().unwrap().payload[..], b"loop");
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let mut net = Network::new(2, 1);
+        let a = net.take(0);
+        let b = net.take(1);
+        a.send(1, Bytes::from_static(b"1")).unwrap();
+        // The second send must block until rank 1 drains its inbox.
+        let t = std::thread::spawn(move || {
+            a.send(1, Bytes::from_static(b"2")).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished(), "send must block on the full inbox");
+        assert_eq!(&b.recv().unwrap().payload[..], b"1");
+        t.join().unwrap();
+        assert_eq!(&b.recv().unwrap().payload[..], b"2");
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let mut net = Network::new(2, 4);
+        let b = net.take(1);
+        assert_eq!(b.recv_timeout(Duration::from_millis(10)).unwrap(), None);
+    }
+
+    #[test]
+    fn disconnect_is_reported() {
+        let mut net = Network::new(2, 4);
+        let a = net.take(0);
+        let b = net.take(1);
+        drop(net); // drops nothing live
+        drop(b); // rank 1 inbox receiver gone
+        assert_eq!(a.send(1, Bytes::new()), Err(Disconnected));
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint already taken")]
+    fn endpoints_are_taken_once() {
+        let mut net = Network::new(1, 1);
+        let _a = net.take(0);
+        let _b = net.take(0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Machine-independent tuple framing (§IV-B).
+//!
+//! Every tuple occupies exactly [`TUPLE_WIRE_BYTES`] = 64 bytes on the
+//! wire (Table I), little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     arrival timestamp (µs)
+//! 8       8     join-attribute value
+//! 16      8     per-stream sequence number
+//! 24      1     stream side (0 = S1, 1 = S2; 0 under punctuated tagging)
+//! 25      39    payload (zero-filled unless supplied)
+//! ```
+//!
+//! A batch is framed as `[tag scheme u8][tuple count u32]` followed by
+//! the body. §IV-B describes two ways to recover the source stream of
+//! merged tuples; both are implemented and interchangeable:
+//!
+//! * [`Tagging::StreamTag`] — every tuple carries its stream id
+//!   ("augmenting an extra attribute with each stream tuple");
+//! * [`Tagging::Punctuated`] — the batch is a sequence of runs, each
+//!   prefixed by a punctuation mark `[side u8][run length u32]`
+//!   ("putting special punctuation marks at the sequence of tuples from
+//!   each stream").
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use windjoin_core::{Side, Tuple};
+
+/// Wire size of one tuple (Table I).
+pub const TUPLE_WIRE_BYTES: usize = 64;
+
+const HEADER_BYTES: usize = 1 + 4;
+const PUNCT_BYTES: usize = 1 + 4;
+
+/// Stream-identification scheme for merged batches (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tagging {
+    /// Per-tuple stream id.
+    StreamTag,
+    /// Per-run punctuation marks.
+    Punctuated,
+}
+
+impl Tagging {
+    fn as_byte(self) -> u8 {
+        match self {
+            Tagging::StreamTag => 0,
+            Tagging::Punctuated => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(Tagging::StreamTag),
+            1 => Ok(Tagging::Punctuated),
+            other => Err(WireError::BadTagScheme(other)),
+        }
+    }
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Unknown tagging scheme byte.
+    BadTagScheme(u8),
+    /// Unknown side byte inside a tuple or punctuation mark.
+    BadSide(u8),
+    /// The buffer ended before the announced content.
+    Truncated,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadTagScheme(b) => write!(f, "unknown tagging scheme {b}"),
+            WireError::BadSide(b) => write!(f, "unknown stream side {b}"),
+            WireError::Truncated => write!(f, "buffer shorter than announced content"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_tuple(buf: &mut BytesMut, t: &Tuple, side_byte: u8) {
+    buf.put_u64_le(t.t);
+    buf.put_u64_le(t.key);
+    buf.put_u64_le(t.seq);
+    buf.put_u8(side_byte);
+    buf.put_bytes(0, TUPLE_WIRE_BYTES - 25);
+}
+
+fn get_tuple(buf: &mut Bytes, forced_side: Option<Side>) -> Result<Tuple, WireError> {
+    if buf.remaining() < TUPLE_WIRE_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let t = buf.get_u64_le();
+    let key = buf.get_u64_le();
+    let seq = buf.get_u64_le();
+    let side_byte = buf.get_u8();
+    buf.advance(TUPLE_WIRE_BYTES - 25);
+    let side = match forced_side {
+        Some(s) => s,
+        None => match side_byte {
+            0 => Side::Left,
+            1 => Side::Right,
+            other => return Err(WireError::BadSide(other)),
+        },
+    };
+    Ok(Tuple { t, key, seq, side })
+}
+
+/// Encodes a merged batch with the chosen tagging scheme. Tuple order is
+/// preserved under [`Tagging::StreamTag`]; under [`Tagging::Punctuated`]
+/// tuples are grouped into maximal same-side runs (which preserves
+/// per-stream order — all the join needs).
+pub fn encode_batch(tuples: &[Tuple], tagging: Tagging) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_BYTES + tuples.len() * (TUPLE_WIRE_BYTES + 1));
+    buf.put_u8(tagging.as_byte());
+    buf.put_u32_le(tuples.len() as u32);
+    match tagging {
+        Tagging::StreamTag => {
+            for t in tuples {
+                put_tuple(&mut buf, t, t.side.index() as u8);
+            }
+        }
+        Tagging::Punctuated => {
+            let mut i = 0;
+            while i < tuples.len() {
+                let side = tuples[i].side;
+                let run_end = tuples[i..]
+                    .iter()
+                    .position(|t| t.side != side)
+                    .map(|p| i + p)
+                    .unwrap_or(tuples.len());
+                buf.put_u8(side.index() as u8);
+                buf.put_u32_le((run_end - i) as u32);
+                for t in &tuples[i..run_end] {
+                    put_tuple(&mut buf, t, 0);
+                }
+                i = run_end;
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a batch produced by [`encode_batch`].
+pub fn decode_batch(mut buf: Bytes) -> Result<Vec<Tuple>, WireError> {
+    if buf.remaining() < HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let tagging = Tagging::from_byte(buf.get_u8())?;
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    match tagging {
+        Tagging::StreamTag => {
+            for _ in 0..count {
+                out.push(get_tuple(&mut buf, None)?);
+            }
+        }
+        Tagging::Punctuated => {
+            while out.len() < count {
+                if buf.remaining() < PUNCT_BYTES {
+                    return Err(WireError::Truncated);
+                }
+                let side = match buf.get_u8() {
+                    0 => Side::Left,
+                    1 => Side::Right,
+                    other => return Err(WireError::BadSide(other)),
+                };
+                let run = buf.get_u32_le() as usize;
+                if out.len() + run > count {
+                    return Err(WireError::Truncated);
+                }
+                for _ in 0..run {
+                    out.push(get_tuple(&mut buf, Some(side))?);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Exact encoded size of a batch under a tagging scheme (for link-cost
+/// accounting in the drivers).
+pub fn encoded_batch_bytes(tuples: &[Tuple], tagging: Tagging) -> usize {
+    match tagging {
+        Tagging::StreamTag => HEADER_BYTES + tuples.len() * TUPLE_WIRE_BYTES,
+        Tagging::Punctuated => {
+            let mut runs = 0usize;
+            let mut prev: Option<Side> = None;
+            for t in tuples {
+                if prev != Some(t.side) {
+                    runs += 1;
+                    prev = Some(t.side);
+                }
+            }
+            HEADER_BYTES + runs * PUNCT_BYTES + tuples.len() * TUPLE_WIRE_BYTES
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Tuple> {
+        vec![
+            Tuple::new(Side::Left, 1, 100, 0),
+            Tuple::new(Side::Left, 2, 200, 1),
+            Tuple::new(Side::Right, 3, 300, 0),
+            Tuple::new(Side::Left, 9, 400, 2),
+        ]
+    }
+
+    #[test]
+    fn stream_tag_roundtrip_preserves_order() {
+        let b = encode_batch(&sample(), Tagging::StreamTag);
+        assert_eq!(b.len(), encoded_batch_bytes(&sample(), Tagging::StreamTag));
+        let decoded = decode_batch(b).unwrap();
+        assert_eq!(decoded, sample());
+    }
+
+    #[test]
+    fn punctuated_roundtrip_preserves_per_stream_order() {
+        let b = encode_batch(&sample(), Tagging::Punctuated);
+        assert_eq!(b.len(), encoded_batch_bytes(&sample(), Tagging::Punctuated));
+        let decoded = decode_batch(b).unwrap();
+        // Same multiset, same per-stream order.
+        let lefts: Vec<u64> =
+            decoded.iter().filter(|t| t.side == Side::Left).map(|t| t.seq).collect();
+        let rights: Vec<u64> =
+            decoded.iter().filter(|t| t.side == Side::Right).map(|t| t.seq).collect();
+        assert_eq!(lefts, vec![0, 1, 2]);
+        assert_eq!(rights, vec![0]);
+        assert_eq!(decoded.len(), sample().len());
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        for tagging in [Tagging::StreamTag, Tagging::Punctuated] {
+            let b = encode_batch(&[], tagging);
+            assert_eq!(decode_batch(b).unwrap(), Vec::new());
+        }
+    }
+
+    #[test]
+    fn tuple_occupies_exactly_64_bytes() {
+        let one = [Tuple::new(Side::Right, u64::MAX, u64::MAX, u64::MAX)];
+        let b = encode_batch(&one, Tagging::StreamTag);
+        assert_eq!(b.len(), HEADER_BYTES + 64);
+        assert_eq!(decode_batch(b).unwrap(), one);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let b = encode_batch(&sample(), Tagging::StreamTag);
+        let cut = b.slice(0..b.len() - 1);
+        assert_eq!(decode_batch(cut), Err(WireError::Truncated));
+        assert_eq!(decode_batch(Bytes::new()), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_bytes_are_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(9); // unknown scheme
+        raw.put_u32_le(0);
+        assert_eq!(decode_batch(raw.freeze()), Err(WireError::BadTagScheme(9)));
+
+        let mut raw = BytesMut::new();
+        raw.put_u8(0); // stream-tag scheme
+        raw.put_u32_le(1);
+        let t = Tuple::new(Side::Left, 1, 2, 3);
+        put_tuple(&mut raw, &t, 7); // invalid side byte
+        assert_eq!(decode_batch(raw.freeze()), Err(WireError::BadSide(7)));
+    }
+}

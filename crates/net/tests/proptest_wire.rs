@@ -1,0 +1,79 @@
+//! Property tests for the wire layer: any batch round-trips through
+//! both tagging schemes; any message round-trips through the codec;
+//! corrupt frames never panic.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use windjoin_core::{OutPair, Side, Tuple};
+use windjoin_net::{decode_batch, encode_batch, Message, Tagging};
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(|(t, key, seq, left)| {
+        Tuple::new(if left { Side::Left } else { Side::Right }, t, key, seq)
+    })
+}
+
+fn arb_batch() -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec(arb_tuple(), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn stream_tag_roundtrip_exact(batch in arb_batch()) {
+        let encoded = encode_batch(&batch, Tagging::StreamTag);
+        let decoded = decode_batch(encoded).unwrap();
+        prop_assert_eq!(decoded, batch);
+    }
+
+    #[test]
+    fn punctuated_roundtrip_preserves_streams(batch in arb_batch()) {
+        let encoded = encode_batch(&batch, Tagging::Punctuated);
+        let decoded = decode_batch(encoded).unwrap();
+        prop_assert_eq!(decoded.len(), batch.len());
+        for side in [Side::Left, Side::Right] {
+            let orig: Vec<&Tuple> = batch.iter().filter(|t| t.side == side).collect();
+            let got: Vec<&Tuple> = decoded.iter().filter(|t| t.side == side).collect();
+            prop_assert_eq!(orig, got, "per-stream sequence must survive");
+        }
+    }
+
+    #[test]
+    fn message_codec_roundtrip(batch in arb_batch(), pid in any::<u32>(), occ in 0.0f64..10.0) {
+        for msg in [
+            Message::Batch(batch.clone()),
+            Message::Occupancy(occ),
+            Message::MoveDirective { pid, to: pid % 7 },
+            Message::MoveComplete { pid },
+            Message::Outputs(
+                batch
+                    .iter()
+                    .map(|t| OutPair { key: t.key, left: (t.t, t.seq), right: (t.seq, t.t) })
+                    .collect(),
+            ),
+            Message::Shutdown,
+        ] {
+            let decoded = Message::decode(msg.encode()).unwrap();
+            prop_assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(noise in proptest::collection::vec(any::<u8>(), 0..300)) {
+        // Decoding garbage may error, must not panic.
+        let _ = decode_batch(Bytes::from(noise.clone()));
+        let _ = Message::decode(Bytes::from(noise));
+    }
+
+    #[test]
+    fn truncated_valid_frames_error_not_panic(batch in arb_batch(), cut in any::<proptest::sample::Index>()) {
+        let encoded = encode_batch(&batch, Tagging::StreamTag);
+        if encoded.len() > 1 {
+            let n = 1 + cut.index(encoded.len() - 1);
+            if n < encoded.len() {
+                prop_assert!(decode_batch(encoded.slice(0..n)).is_err());
+            }
+        }
+    }
+}

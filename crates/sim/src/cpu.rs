@@ -1,0 +1,75 @@
+//! A single virtual CPU per node: work runs serially, in submission order.
+
+/// Tracks when a node's CPU is next free and accounts queued work.
+///
+/// The slaves in the paper process join work single-threadedly per
+/// operator instance; when offered work exceeds capacity, the backlog
+/// queues and the buffer occupancy (and production delay) grows — this
+/// type is where that behaviour comes from in the simulator.
+#[derive(Debug, Clone, Default)]
+pub struct CpuTimeline {
+    busy_until: u64,
+    total_busy_us: u64,
+}
+
+impl CpuTimeline {
+    /// A CPU that is free from time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `duration_us` of work that becomes *ready* at `ready_us`.
+    /// Returns `(start, end)`: the work starts when both the CPU is free
+    /// and the work is ready, and runs without preemption.
+    pub fn run(&mut self, ready_us: u64, duration_us: u64) -> (u64, u64) {
+        let start = ready_us.max(self.busy_until);
+        let end = start + duration_us;
+        self.busy_until = end;
+        self.total_busy_us += duration_us;
+        (start, end)
+    }
+
+    /// When the CPU next becomes free.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Backlog between `now` and the time the CPU frees up.
+    pub fn backlog_us(&self, now_us: u64) -> u64 {
+        self.busy_until.saturating_sub(now_us)
+    }
+
+    /// Total busy microseconds ever accounted.
+    pub fn total_busy_us(&self) -> u64 {
+        self.total_busy_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_runs_serially() {
+        let mut c = CpuTimeline::new();
+        assert_eq!(c.run(0, 100), (0, 100));
+        assert_eq!(c.run(0, 50), (100, 150), "second job queues");
+        assert_eq!(c.run(1000, 10), (1000, 1010), "idle gap then run");
+        assert_eq!(c.total_busy_us(), 160);
+    }
+
+    #[test]
+    fn backlog_measures_queue() {
+        let mut c = CpuTimeline::new();
+        c.run(0, 1000);
+        assert_eq!(c.backlog_us(250), 750);
+        assert_eq!(c.backlog_us(2000), 0);
+    }
+
+    #[test]
+    fn zero_duration_work() {
+        let mut c = CpuTimeline::new();
+        assert_eq!(c.run(5, 0), (5, 5));
+        assert_eq!(c.total_busy_us(), 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Deterministic discrete-event engine.
+//!
+//! Time is `u64` microseconds. Actors are trait objects owned by the
+//! [`Sim`]; they communicate only through scheduled messages. Two events
+//! with the same timestamp fire in the order they were scheduled, making
+//! every run exactly reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Index of an actor inside a [`Sim`].
+pub type ActorId = usize;
+
+/// A simulation participant. `M` is the shared message type of the world.
+pub trait Actor<M> {
+    /// Called once when the simulation starts (before any message).
+    fn on_start(&mut self, _ctx: &mut Ctx<M>) {}
+
+    /// Handles one delivered message. Use `ctx` to schedule follow-ups.
+    fn on_msg(&mut self, msg: M, ctx: &mut Ctx<M>);
+}
+
+/// Scheduling context handed to actors during a callback.
+pub struct Ctx<'a, M> {
+    now: u64,
+    self_id: ActorId,
+    pending: &'a mut Vec<(u64, ActorId, M)>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulated time (microseconds).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The id of the actor being called.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Delivers `msg` to `dst` at absolute time `at` (clamped to now).
+    pub fn send_at(&mut self, at: u64, dst: ActorId, msg: M) {
+        self.pending.push((at.max(self.now), dst, msg));
+    }
+
+    /// Delivers `msg` to `dst` after `delay_us`.
+    pub fn send_after(&mut self, delay_us: u64, dst: ActorId, msg: M) {
+        self.pending.push((self.now.saturating_add(delay_us), dst, msg));
+    }
+
+    /// Schedules a message to the calling actor itself.
+    pub fn send_self(&mut self, delay_us: u64, msg: M) {
+        let id = self.self_id;
+        self.send_after(delay_us, id, msg);
+    }
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: u64,
+    seq: u64,
+    dst: ActorId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulation world: an event heap plus the actors.
+pub struct Sim<M> {
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled<M>>>,
+    actors: Vec<Box<dyn Actor<M>>>,
+    started: bool,
+    delivered: u64,
+}
+
+impl<M> Default for Sim<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Sim<M> {
+    /// An empty world at time 0.
+    pub fn new() -> Self {
+        Sim { now: 0, seq: 0, heap: BinaryHeap::new(), actors: Vec::new(), started: false, delivered: 0 }
+    }
+
+    /// Adds an actor, returning its id. Must be called before [`Sim::run_until`].
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        assert!(!self.started, "actors must be added before the simulation starts");
+        self.actors.push(actor);
+        self.actors.len() - 1
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Schedules a message from outside any actor (e.g. initial stimuli).
+    pub fn schedule(&mut self, at: u64, dst: ActorId, msg: M) {
+        assert!(dst < self.actors.len(), "unknown actor {dst}");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at: at.max(self.now), seq, dst, msg }));
+    }
+
+    fn flush_pending(&mut self, pending: Vec<(u64, ActorId, M)>) {
+        for (at, dst, msg) in pending {
+            assert!(dst < self.actors.len(), "unknown actor {dst}");
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Reverse(Scheduled { at, seq, dst, msg }));
+        }
+    }
+
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let mut pending = Vec::new();
+        for id in 0..self.actors.len() {
+            let mut ctx = Ctx { now: self.now, self_id: id, pending: &mut pending };
+            self.actors[id].on_start(&mut ctx);
+        }
+        self.flush_pending(pending);
+    }
+
+    /// Delivers the next event if one exists and is at or before `t_end`.
+    /// Returns `false` when the queue is exhausted or the next event lies
+    /// beyond `t_end` (the clock then advances to `t_end`).
+    pub fn step_until(&mut self, t_end: u64) -> bool {
+        self.start();
+        match self.heap.peek() {
+            Some(Reverse(ev)) if ev.at <= t_end => {}
+            _ => {
+                self.now = self.now.max(t_end);
+                return false;
+            }
+        }
+        let Reverse(ev) = self.heap.pop().expect("peeked");
+        self.now = ev.at;
+        self.delivered += 1;
+        let mut pending = Vec::new();
+        {
+            let mut ctx = Ctx { now: self.now, self_id: ev.dst, pending: &mut pending };
+            self.actors[ev.dst].on_msg(ev.msg, &mut ctx);
+        }
+        self.flush_pending(pending);
+        true
+    }
+
+    /// Runs until the queue drains or simulated time would pass `t_end`.
+    pub fn run_until(&mut self, t_end: u64) {
+        while self.step_until(t_end) {}
+    }
+
+    /// Consumes the world and returns the actors (for result extraction).
+    pub fn into_actors(self) -> Vec<Box<dyn Actor<M>>> {
+        self.actors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Log = Rc<RefCell<Vec<(u64, usize, u32)>>>;
+
+    struct Echo {
+        log: Log,
+        forward_to: Option<ActorId>,
+    }
+
+    impl Actor<u32> for Echo {
+        fn on_msg(&mut self, msg: u32, ctx: &mut Ctx<u32>) {
+            self.log.borrow_mut().push((ctx.now(), ctx.self_id(), msg));
+            if let Some(dst) = self.forward_to {
+                if msg > 0 {
+                    ctx.send_after(10, dst, msg - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<u32> = Sim::new();
+        let a = sim.add_actor(Box::new(Echo { log: log.clone(), forward_to: None }));
+        sim.schedule(50, a, 1);
+        sim.schedule(10, a, 2);
+        sim.schedule(30, a, 3);
+        sim.run_until(u64::MAX);
+        assert_eq!(*log.borrow(), vec![(10, a, 2), (30, a, 3), (50, a, 1)]);
+    }
+
+    #[test]
+    fn equal_times_fire_in_schedule_order() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<u32> = Sim::new();
+        let a = sim.add_actor(Box::new(Echo { log: log.clone(), forward_to: None }));
+        for i in 0..10 {
+            sim.schedule(42, a, i);
+        }
+        sim.run_until(u64::MAX);
+        let msgs: Vec<u32> = log.borrow().iter().map(|e| e.2).collect();
+        assert_eq!(msgs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ping_pong_chain_terminates() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<u32> = Sim::new();
+        // Two actors forwarding to each other with decreasing counters.
+        let a = sim.add_actor(Box::new(Echo { log: log.clone(), forward_to: Some(1) }));
+        let b = sim.add_actor(Box::new(Echo { log: log.clone(), forward_to: Some(0) }));
+        sim.schedule(0, a, 5);
+        sim.run_until(u64::MAX);
+        let events = log.borrow();
+        assert_eq!(events.len(), 6); // 5,4,3,2,1,0
+        assert_eq!(events[0], (0, a, 5));
+        assert_eq!(events[5], (50, b.max(a), 0).clone().to_owned());
+        assert_eq!(sim.delivered(), 6);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<u32> = Sim::new();
+        let a = sim.add_actor(Box::new(Echo { log: log.clone(), forward_to: None }));
+        sim.schedule(100, a, 1);
+        sim.schedule(200, a, 2);
+        sim.run_until(150);
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(sim.now(), 150);
+        sim.run_until(300);
+        assert_eq!(log.borrow().len(), 2);
+    }
+
+    struct Starter {
+        log: Log,
+    }
+    impl Actor<u32> for Starter {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            ctx.send_self(5, 99);
+        }
+        fn on_msg(&mut self, msg: u32, ctx: &mut Ctx<u32>) {
+            self.log.borrow_mut().push((ctx.now(), ctx.self_id(), msg));
+        }
+    }
+
+    #[test]
+    fn on_start_runs_before_first_event() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<u32> = Sim::new();
+        let a = sim.add_actor(Box::new(Starter { log: log.clone() }));
+        sim.run_until(u64::MAX);
+        assert_eq!(*log.borrow(), vec![(5, a, 99)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown actor")]
+    fn scheduling_to_unknown_actor_panics() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule(0, 3, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Network-monitoring scenario (one of the paper's §I motivations):
+//! correlate packet summaries observed at two taps to find flows seen at
+//! both within a short window — e.g. ingress/egress correlation.
+//!
+//! Stream S1 = flow records from tap A, stream S2 = flow records from
+//! tap B; the join attribute is the flow id. A small set of elephant
+//! flows dominates (Zipf), so the fine-grained partition tuning matters:
+//! hot flows split into mini-partition-groups instead of bloating one
+//! scan.
+//!
+//! ```text
+//! cargo run --release --example network_monitor
+//! ```
+
+use std::time::Duration;
+use windjoin::cluster::{run_threaded, ThreadedConfig};
+use windjoin::core::Params;
+use windjoin::gen::KeyDist;
+
+fn main() {
+    // 3 s correlation window: flows must appear at both taps within 3 s.
+    let mut params = Params::default_paper().with_window_secs(3).with_dist_epoch_us(100_000);
+    params.reorg_epoch_us = 1_000_000;
+    params.npart = 24;
+
+    let cfg = ThreadedConfig {
+        params,
+        slaves: 3,
+        rate: 800.0, // flow records per second per tap
+        keys: KeyDist::Zipf { s: 1.1, domain: 50_000 }, // elephant flows
+        seed: 2024,
+        run: Duration::from_secs(6),
+        warmup: Duration::from_secs(2),
+        adaptive_dod: false,
+        capture_outputs: false,
+    };
+
+    println!("correlating two 800 rec/s taps over a 3 s window on 3 slaves...");
+    let report = run_threaded(&cfg);
+
+    let secs = report.window_s();
+    println!();
+    println!("flow records processed  : {}", report.tuples_in);
+    println!("cross-tap correlations  : {}", report.outputs_total);
+    println!(
+        "correlation rate        : {:.0} matches/s",
+        report.outputs as f64 / secs
+    );
+    println!("avg detection latency   : {:.1} ms", report.avg_delay_s() * 1e3);
+    println!(
+        "p99 detection latency   : {:.1} ms",
+        report.delay.quantile_s(0.99).unwrap_or(0.0) * 1e3
+    );
+    assert!(report.outputs_total > 0);
+    println!("\nok: cross-tap flow correlation ran end to end.");
+}

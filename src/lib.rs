@@ -1,0 +1,31 @@
+//! # windjoin — parallel sliding-window stream joins on a shared-nothing cluster
+//!
+//! A production-quality Rust reproduction of *"Parallelizing Windowed Stream
+//! Joins in a Shared-Nothing Cluster"* (Abhirup Chakraborty & Ajit Singh,
+//! IEEE CLUSTER 2013).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] — the paper's contribution: the windowed-join module with
+//!   fine-grained partition tuning, and the master/slave/collector protocol
+//!   state machines.
+//! * [`cluster`] — execution drivers: a deterministic execution-driven
+//!   cluster simulator and an in-process threaded runtime.
+//! * [`gen`] — synthetic workloads (Poisson arrivals, b-model skew, Zipf).
+//! * [`exthash`] — extendible hashing (Fagin et al. 1979).
+//! * [`net`] — machine-independent wire format and rank-addressed transport.
+//! * [`sim`] — the discrete-event simulation engine and cost models.
+//! * [`metrics`] — delay/CPU/idle/communication accounting and reports.
+//! * [`baselines`] — Aligned/Coordinated Tuple Routing baselines and
+//!   ablation configurations.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use windjoin_baselines as baselines;
+pub use windjoin_cluster as cluster;
+pub use windjoin_core as core;
+pub use windjoin_exthash as exthash;
+pub use windjoin_gen as gen;
+pub use windjoin_metrics as metrics;
+pub use windjoin_net as net;
+pub use windjoin_sim as sim;
