@@ -134,16 +134,15 @@ impl<R: Router> Actor<Ev> for BaselineSim<R> {
                     }
                 }
                 for (node, batch) in batches.into_iter().enumerate() {
-                    let bytes = BATCH_HEADER_BYTES
-                        + (batch.len() * self.cfg.params.tuple_bytes) as u64;
+                    let bytes =
+                        BATCH_HEADER_BYTES + (batch.len() * self.cfg.params.tuple_bytes) as u64;
                     self.shared.borrow_mut().network_bytes += bytes;
                     let tr = self.nic.send(now, bytes);
-                    ctx.send_at(tr.delivered_us, ctx.self_id(), Ev::Deliver {
-                        node,
-                        batch,
-                        bytes,
-                        slot_start: now,
-                    });
+                    ctx.send_at(
+                        tr.delivered_us,
+                        ctx.self_id(),
+                        Ev::Deliver { node, batch, bytes, slot_start: now },
+                    );
                 }
                 ctx.send_self(self.cfg.params.dist_epoch_us, Ev::Slot);
             }
@@ -274,7 +273,9 @@ pub fn run_baseline<R: Router + 'static>(cfg: &RunConfig, router: R) -> Baseline
             let nu = usage.node(i);
             ((nu.cpu_s() + nu.comm_s()) * 1e6) as u64
         };
-        usage.node_mut(i).add_idle(cfg.warmup_us, cfg.warmup_us + window_us.saturating_sub(busy_us));
+        usage
+            .node_mut(i)
+            .add_idle(cfg.warmup_us, cfg.warmup_us + window_us.saturating_sub(busy_us));
     }
     BaselineReport {
         outputs: sh.delay.count(),

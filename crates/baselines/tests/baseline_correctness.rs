@@ -87,12 +87,7 @@ fn ctr_network_is_n_times_atr_unicast() {
     );
     // ...while ATR ships one copy plus at most one overlap copy
     // (segment = 2W duplicates the last half of each segment).
-    assert!(
-        atr.network_bytes < unicast * 2,
-        "ATR {} vs unicast {}",
-        atr.network_bytes,
-        unicast
-    );
+    assert!(atr.network_bytes < unicast * 2, "ATR {} vs unicast {}", atr.network_bytes, unicast);
 }
 
 #[test]

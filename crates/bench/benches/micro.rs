@@ -8,8 +8,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use windjoin_core::probe::{CountedEngine, ExactEngine};
 use windjoin_core::{
-    MasterCore, OutPair, Params, PartitionGroup, ProbeEngine, Side, Tuple, TuningParams,
-    WorkStats,
+    MasterCore, OutPair, Params, PartitionGroup, ProbeEngine, Side, TuningParams, Tuple, WorkStats,
 };
 use windjoin_gen::{BModel, KeyDist, PoissonArrivals, RateSchedule, Zipf};
 use windjoin_net::{decode_batch, encode_batch, Tagging};
@@ -42,26 +41,22 @@ fn bench_probe(c: &mut Criterion) {
         for tuned in [false, true] {
             let label = if tuned { "tuned" } else { "flat" };
             group.throughput(Throughput::Elements(1));
-            group.bench_with_input(
-                BenchmarkId::new(label, window),
-                &window,
-                |b, &window| {
-                    // ExactEngine: physical scans — this is the real
-                    // BNLJ cost the CostModel charges for.
-                    let mut g: PartitionGroup<ExactEngine> = loaded_group(window, tuned);
-                    let mut out: Vec<OutPair> = Vec::new();
-                    let mut work = WorkStats::default();
-                    let mut i = 0u64;
-                    b.iter(|| {
-                        out.clear();
-                        let t = Tuple::new(Side::Right, window + i, i % 1_000_000, i);
-                        g.insert(black_box(t), &mut out, &mut work);
-                        g.flush_all(&mut out, &mut work);
-                        i += 1;
-                        black_box(out.len())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, window), &window, |b, &window| {
+                // ExactEngine: physical scans — this is the real
+                // BNLJ cost the CostModel charges for.
+                let mut g: PartitionGroup<ExactEngine> = loaded_group(window, tuned);
+                let mut out: Vec<OutPair> = Vec::new();
+                let mut work = WorkStats::default();
+                let mut i = 0u64;
+                b.iter(|| {
+                    out.clear();
+                    let t = Tuple::new(Side::Right, window + i, i % 1_000_000, i);
+                    g.insert(black_box(t), &mut out, &mut work);
+                    g.flush_all(&mut out, &mut work);
+                    i += 1;
+                    black_box(out.len())
+                });
+            });
         }
     }
     group.finish();

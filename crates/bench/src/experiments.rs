@@ -16,8 +16,22 @@ use windjoin_metrics::Table;
 
 /// All experiment names accepted by [`run_experiment`].
 pub const EXPERIMENT_NAMES: &[&str] = &[
-    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "x1-baselines", "x2-subgroup", "x3-skew", "x4-theta", "x5-adaptive-epoch",
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "x1-baselines",
+    "x2-subgroup",
+    "x3-skew",
+    "x4-theta",
+    "x5-adaptive-epoch",
 ];
 
 /// Dispatches an experiment by name.
@@ -87,7 +101,19 @@ pub fn table1() -> Vec<Table> {
     let p = Params::default_paper();
     let mut t = Table::new(
         "Table I — default values used in experiments (paper-identical)",
-        &["W_i (min)", "lambda (t/s)", "b", "Th_con", "Th_sup", "theta (MB)", "block (KB)", "t_d (s)", "t_r (s)", "npart", "tuple (B)"],
+        &[
+            "W_i (min)",
+            "lambda (t/s)",
+            "b",
+            "Th_con",
+            "Th_sup",
+            "theta (MB)",
+            "block (KB)",
+            "t_d (s)",
+            "t_r (s)",
+            "npart",
+            "tuple (B)",
+        ],
     );
     t.push_values(&[
         p.sem.w_left_us as f64 / 60e6,
@@ -133,10 +159,8 @@ pub fn fig5(scale: Scale) -> Vec<Table> {
 
 /// Fig. 6: average delay vs arrival rate, 3–5 slaves.
 pub fn fig6(scale: Scale) -> Vec<Table> {
-    let rates = smoke_limited(
-        &[1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0, 7000.0, 8000.0],
-        scale,
-    );
+    let rates =
+        smoke_limited(&[1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0, 7000.0, 8000.0], scale);
     delay_vs_rate(&[3, 4, 5], &rates, scale, "Fig. 6 — average delay vs stream rate (3–5 slaves)")
 }
 
@@ -187,14 +211,23 @@ fn idle_comm_table(tuning: bool, rates: &[f64], scale: Scale, title: &str) -> Ve
 /// Fig. 9: idle time and communication overhead vs rate, tuning OFF.
 pub fn fig9(scale: Scale) -> Vec<Table> {
     let rates = smoke_limited(&[1500.0, 2000.0, 2500.0, 3000.0, 3500.0, 4000.0], scale);
-    idle_comm_table(false, &rates, scale, "Fig. 9 — idle & comm overhead vs rate (no fine tuning, 4 slaves)")
+    idle_comm_table(
+        false,
+        &rates,
+        scale,
+        "Fig. 9 — idle & comm overhead vs rate (no fine tuning, 4 slaves)",
+    )
 }
 
 /// Fig. 10: idle time and communication overhead vs rate, tuning ON.
 pub fn fig10(scale: Scale) -> Vec<Table> {
-    let rates =
-        smoke_limited(&[1500.0, 2500.0, 3500.0, 4500.0, 5000.0, 5500.0, 6000.0], scale);
-    idle_comm_table(true, &rates, scale, "Fig. 10 — idle & comm overhead vs rate (fine tuning, 4 slaves)")
+    let rates = smoke_limited(&[1500.0, 2500.0, 3500.0, 4500.0, 5000.0, 5500.0, 6000.0], scale);
+    idle_comm_table(
+        true,
+        &rates,
+        scale,
+        "Fig. 10 — idle & comm overhead vs rate (fine tuning, 4 slaves)",
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -231,8 +264,7 @@ pub fn fig11(scale: Scale) -> Vec<Table> {
 /// Fig. 12: min/avg/max communication overhead across slaves vs rate
 /// (4 slaves) — the divergence caused by serial distribution.
 pub fn fig12(scale: Scale) -> Vec<Table> {
-    let rates =
-        smoke_limited(&[1500.0, 2500.0, 3500.0, 4500.0, 5000.0, 5500.0, 6000.0], scale);
+    let rates = smoke_limited(&[1500.0, 2500.0, 3500.0, 4500.0, 5000.0, 5500.0, 6000.0], scale);
     let mut t = Table::new(
         "Fig. 12 — comm overhead across slaves vs rate (4 slaves)",
         &["rate", "min_s", "avg_s", "max_s"],
@@ -346,7 +378,12 @@ pub fn x2_subgroup(scale: Scale) -> Vec<Table> {
         let report = run_at(&cfg, 1500.0);
         // Two streams: the bound applies per stream.
         let bound = 2.0
-            * master_buffer_bound_bytes(1500.0, cfg.params.dist_epoch_us, ng, cfg.params.tuple_bytes);
+            * master_buffer_bound_bytes(
+                1500.0,
+                cfg.params.dist_epoch_us,
+                ng,
+                cfg.params.tuple_bytes,
+            );
         t.push_values(&[
             ng as f64,
             report.master_peak_buffer_bytes as f64 / 1024.0,

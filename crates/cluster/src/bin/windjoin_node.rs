@@ -1,0 +1,297 @@
+//! `windjoin-node` — one rank of a multi-process windjoin cluster.
+//!
+//! Every rank of the topology (master = rank 0, slaves = ranks
+//! `1..=n`, collector = rank `n+1`) runs one instance of this binary
+//! with the **same** `--peers` list and workload flags; the processes
+//! handshake into a full TCP mesh and then execute the paper's
+//! master/slave/collector protocol over real sockets.
+//!
+//! ```text
+//! windjoin-node --rank <R> --peers <addr0,addr1,...> [workload flags]
+//!
+//! topology     --rank N            this process's rank
+//!              --peers A,B,...     listen address of every rank, by rank
+//! workload     --rate F            tuples/s per stream      [500]
+//!              --run-ms N          run length               [6000]
+//!              --warmup-ms N       stats warm-up            [2000]
+//!              --seed N            workload seed            [7]
+//!              --window-ms N       sliding window (both)    [5000]
+//!              --dist-epoch-ms N   distribution epoch       [200]
+//!              --reorg-epoch-ms N  reorganization epoch     [2000]
+//!              --npart N           hash partitions          [16]
+//!              --keys SPEC         uniform:D | bmodel:B:D | zipf:S:D
+//!                                  | constant:K             [bmodel:0.7:100000]
+//!              --adaptive-dod      enable §V-A adaptive declustering
+//! transport    --capacity N        inbox frames             [4096]
+//!              --handshake-ms N    mesh dial window         [30000]
+//! output       --emit-pairs       collector prints every join pair
+//! ```
+//!
+//! The collector prints machine-readable results to stdout
+//! (`outputs_total`, `checksum`, optionally one `pair` line per join
+//! result); all ranks log progress to stderr. See the README for a
+//! copy-pasteable 4-process launch.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+use windjoin_cluster::{run_node, NodeConfig, NodeOutcome, ProcessConfig};
+use windjoin_gen::KeyDist;
+
+struct Args {
+    rank: usize,
+    peers: Vec<SocketAddr>,
+    node: NodeConfig,
+    capacity: Option<usize>,
+    handshake: Option<Duration>,
+    emit_pairs: bool,
+}
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("windjoin-node: {msg}");
+    eprintln!("usage: windjoin-node --rank <R> --peers <addr0,addr1,...> [flags]");
+    eprintln!("run with the same --peers and workload flags on every rank;");
+    eprintln!("rank 0 is the master, ranks 1..=n slaves, rank n+1 the collector.");
+    std::process::exit(2);
+}
+
+fn parse_keys(spec: &str) -> Result<KeyDist, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bad = |what: &str| format!("bad --keys {spec:?}: {what}");
+    let num = |s: &str| s.parse::<u64>().map_err(|_| bad("integer expected"));
+    let real = |s: &str| s.parse::<f64>().map_err(|_| bad("number expected"));
+    match parts.as_slice() {
+        ["uniform", d] => Ok(KeyDist::Uniform { domain: num(d)? }),
+        ["bmodel", b, d] => Ok(KeyDist::BModel { bias: real(b)?, domain: num(d)? }),
+        ["zipf", s, d] => Ok(KeyDist::Zipf { s: real(s)?, domain: num(d)? }),
+        ["constant", k] => Ok(KeyDist::Constant { key: num(k)? }),
+        _ => Err(bad("expected uniform:D | bmodel:B:D | zipf:S:D | constant:K")),
+    }
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Flag values override the library defaults (`NodeConfig::demo`
+    // and `DEFAULT_INBOX_CAPACITY`) — never duplicated here, so
+    // default in-process and multi-process runs stay comparable.
+    let mut rank: Option<usize> = None;
+    let mut peers: Vec<SocketAddr> = Vec::new();
+    let mut rate: Option<f64> = None;
+    let mut run_ms: Option<u64> = None;
+    let mut warmup_ms: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut window_ms: Option<u64> = None;
+    let mut dist_epoch_ms: Option<u64> = None;
+    let mut reorg_epoch_ms: Option<u64> = None;
+    let mut npart: Option<u32> = None;
+    let mut keys: Option<KeyDist> = None;
+    let mut adaptive_dod = false;
+    let mut capacity: Option<usize> = None;
+    let mut handshake_ms: Option<u64> = None;
+    let mut emit_pairs = false;
+
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage_and_exit(&format!("{flag} needs a value")))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        match flag.as_str() {
+            "--rank" => {
+                rank = Some(
+                    value(&mut i, &flag).parse().unwrap_or_else(|_| usage_and_exit("bad --rank")),
+                )
+            }
+            "--peers" => {
+                peers = value(&mut i, &flag)
+                    .split(',')
+                    .map(|a| {
+                        a.parse()
+                            .unwrap_or_else(|_| usage_and_exit(&format!("bad peer address {a:?}")))
+                    })
+                    .collect()
+            }
+            "--rate" => {
+                rate = Some(
+                    value(&mut i, &flag).parse().unwrap_or_else(|_| usage_and_exit("bad --rate")),
+                )
+            }
+            "--run-ms" => {
+                run_ms = Some(
+                    value(&mut i, &flag).parse().unwrap_or_else(|_| usage_and_exit("bad --run-ms")),
+                )
+            }
+            "--warmup-ms" => {
+                warmup_ms = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --warmup-ms")),
+                )
+            }
+            "--seed" => {
+                seed = Some(
+                    value(&mut i, &flag).parse().unwrap_or_else(|_| usage_and_exit("bad --seed")),
+                )
+            }
+            "--window-ms" => {
+                window_ms = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --window-ms")),
+                )
+            }
+            "--dist-epoch-ms" => {
+                dist_epoch_ms = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --dist-epoch-ms")),
+                )
+            }
+            "--reorg-epoch-ms" => {
+                reorg_epoch_ms = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --reorg-epoch-ms")),
+                )
+            }
+            "--npart" => {
+                npart = Some(
+                    value(&mut i, &flag).parse().unwrap_or_else(|_| usage_and_exit("bad --npart")),
+                )
+            }
+            "--keys" => {
+                keys =
+                    Some(parse_keys(&value(&mut i, &flag)).unwrap_or_else(|e| usage_and_exit(&e)))
+            }
+            "--adaptive-dod" => adaptive_dod = true,
+            "--capacity" => {
+                capacity = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --capacity")),
+                )
+            }
+            "--handshake-ms" => {
+                handshake_ms = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --handshake-ms")),
+                )
+            }
+            "--emit-pairs" => emit_pairs = true,
+            other => usage_and_exit(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    let Some(rank) = rank else { usage_and_exit("--rank is required") };
+    if peers.len() < 3 {
+        usage_and_exit("--peers needs at least 3 addresses (master, ≥1 slave, collector)");
+    }
+    let slaves = peers.len() - 2;
+
+    // Start from the library defaults; flags override field by field.
+    let mut node = NodeConfig::demo(slaves);
+    if let Some(ms) = dist_epoch_ms {
+        node.params = node.params.with_dist_epoch_us(ms * 1_000);
+    }
+    if let Some(ms) = window_ms {
+        node.params.sem.w_left_us = ms * 1_000;
+        node.params.sem.w_right_us = ms * 1_000;
+    }
+    if let Some(ms) = reorg_epoch_ms {
+        node.params.reorg_epoch_us = ms * 1_000;
+    }
+    if let Some(n) = npart {
+        node.params.npart = n;
+    }
+    if let Some(r) = rate {
+        node.rate = r;
+    }
+    if let Some(k) = keys {
+        node.keys = k;
+    }
+    if let Some(s) = seed {
+        node.seed = s;
+    }
+    if let Some(ms) = run_ms {
+        node.run = Duration::from_millis(ms);
+    }
+    if let Some(ms) = warmup_ms {
+        node.warmup = Duration::from_millis(ms);
+    }
+    node.adaptive_dod = adaptive_dod;
+    node.capture_outputs = emit_pairs;
+
+    Args {
+        rank,
+        peers,
+        node,
+        capacity,
+        handshake: handshake_ms.map(Duration::from_millis),
+        emit_pairs,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = ProcessConfig::new(args.rank, args.peers, args.node);
+    if let Some(capacity) = args.capacity {
+        cfg.inbox_capacity = capacity;
+    }
+    if let Some(handshake) = args.handshake {
+        cfg.handshake_timeout = handshake;
+    }
+    if let Err(e) = cfg.validate() {
+        usage_and_exit(&e);
+    }
+
+    let role = cfg.node.role_of(cfg.rank);
+    eprintln!(
+        "windjoin-node rank {} ({role:?}): joining a {}-rank mesh at {}",
+        cfg.rank,
+        cfg.peers.len(),
+        cfg.peers[cfg.rank]
+    );
+    let outcome = match run_node(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("windjoin-node rank {}: {e}", cfg.rank);
+            std::process::exit(1);
+        }
+    };
+    match outcome {
+        NodeOutcome::Master(m) => {
+            eprintln!(
+                "master done: {} tuples ingested, {} partition moves, final degree {}",
+                m.tuples_in, m.moves, m.final_degree
+            );
+        }
+        NodeOutcome::Slave(s) => {
+            eprintln!(
+                "slave done: {} comparisons, cpu {:.1} ms, comm {:.1} ms",
+                s.work.comparisons,
+                s.cpu_us as f64 / 1e3,
+                s.comm_us as f64 / 1e3
+            );
+        }
+        NodeOutcome::Collector(c) => {
+            eprintln!(
+                "collector done: {} outputs, mean delay {:.1} ms",
+                c.outputs_total,
+                c.delay.mean_delay_s() * 1e3
+            );
+            // Machine-readable summary (consumed by tests and scripts).
+            println!("outputs_total {}", c.outputs_total);
+            println!("checksum {:016x}", c.checksum);
+            if args.emit_pairs {
+                for p in &c.captured {
+                    println!(
+                        "pair {} {} {} {} {}",
+                        p.key, p.left.0, p.left.1, p.right.0, p.right.1
+                    );
+                }
+            }
+        }
+    }
+}

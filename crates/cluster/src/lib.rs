@@ -13,6 +13,13 @@
 //!   byte frames over `windjoin-net`'s blocking transport, in real time,
 //!   with the physical `ExactEngine` BNLJ. Used by the examples and the
 //!   end-to-end tests.
+//! * [`procrt`] — a **multi-process runtime**: one OS process per node
+//!   over `windjoin-net`'s TCP mesh — the shared-nothing deployment the
+//!   paper actually ran. The `windjoin-node` binary wraps it.
+//!
+//! The master/slave/collector loops themselves live once, in
+//! [`nodes`], generic over `windjoin-net`'s `TransportEndpoint`, so
+//! every real-time backend runs the identical protocol code.
 //!
 //! [`RunConfig`] describes an experiment; [`RunReport`] carries every
 //! metric the paper plots (§VI-A): average production delay, per-node
@@ -21,12 +28,16 @@
 
 #![warn(missing_docs)]
 
+pub mod nodes;
+pub mod procrt;
 pub mod report;
 pub mod runcfg;
 pub mod simrt;
 pub mod threadrt;
 
+pub use nodes::{NodeConfig, Role};
+pub use procrt::{run_node, NodeOutcome, ProcessConfig};
 pub use report::RunReport;
 pub use runcfg::RunConfig;
 pub use simrt::run_sim;
-pub use threadrt::{run_threaded, ThreadedConfig};
+pub use threadrt::{run_on_transport, run_threaded, ThreadedConfig};

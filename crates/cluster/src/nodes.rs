@@ -1,0 +1,407 @@
+//! Transport-generic node loops: the master, slave and collector
+//! drivers, written once against `windjoin-net`'s
+//! [`TransportEndpoint`] trait so the identical protocol code runs
+//! over in-process channels (threaded runtime, one thread per node) or
+//! real TCP sockets (process runtime, one OS process per node).
+//!
+//! Rank layout (Fig. 1's topology): rank 0 is the master, ranks
+//! `1..=n` the slaves, rank `n+1` the collector.
+//!
+//! ## Determinism contract
+//!
+//! Wall-clock pacing makes *when* batches travel nondeterministic, but
+//! the **output set** of a run is a pure function of the seed and the
+//! run horizon: the master clamps ingestion to arrivals with
+//! `at_us <= run`, performs a final flush of every remaining arrival
+//! and buffered batch before shutdown, and withholds `Shutdown` until
+//! all in-flight partition moves have acked — so every ingested tuple
+//! reaches a slave and every derivable join pair reaches the
+//! collector. Batch boundaries never change join results (a property
+//! the core test suite proves), so a channel run, a TCP run and the
+//! `reference_join` oracle all agree pair-for-pair on the same seed.
+
+use std::time::{Duration, Instant};
+use windjoin_core::probe::ExactEngine;
+use windjoin_core::{MasterCore, OutPair, Params, Side, SlaveCore, Tuple, WorkStats};
+use windjoin_gen::{merge_streams, KeyDist, StreamSpec};
+use windjoin_metrics::{DelayTracker, TimeSeries};
+use windjoin_net::{Message, TransportEndpoint};
+
+/// Configuration shared by every execution backend of the real-time
+/// cluster (threaded and multi-process).
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Protocol parameters. Keep windows and epochs wall-clock friendly
+    /// (e.g. 5 s windows, 100 ms epochs) — Table I's 10-minute windows
+    /// are for the simulator.
+    pub params: Params,
+    /// Number of slave nodes.
+    pub slaves: usize,
+    /// Per-stream arrival rate, tuples/s.
+    pub rate: f64,
+    /// Join-attribute distribution.
+    pub keys: KeyDist,
+    /// Seed for the generators and the master.
+    pub seed: u64,
+    /// Total run length.
+    pub run: Duration,
+    /// Warm-up discarded from the statistics.
+    pub warmup: Duration,
+    /// Enable §V-A adaptive degree of declustering.
+    pub adaptive_dod: bool,
+    /// Keep every output pair in the report.
+    pub capture_outputs: bool,
+}
+
+impl NodeConfig {
+    /// A small, laptop-friendly default: `slaves` slaves, 500 t/s per
+    /// stream, 5 s windows, 200 ms distribution epochs, 2 s reorg epochs.
+    pub fn demo(slaves: usize) -> Self {
+        let mut params = Params::default_paper().with_window_secs(5).with_dist_epoch_us(200_000);
+        params.reorg_epoch_us = 2_000_000;
+        params.npart = 16;
+        NodeConfig {
+            params,
+            slaves,
+            rate: 500.0,
+            keys: KeyDist::BModel { bias: 0.7, domain: 100_000 },
+            seed: 7,
+            run: Duration::from_secs(6),
+            warmup: Duration::from_secs(2),
+            adaptive_dod: false,
+            capture_outputs: false,
+        }
+    }
+
+    /// The collector's rank in this topology.
+    pub fn collector_rank(&self) -> usize {
+        self.slaves + 1
+    }
+
+    /// Total ranks: master + slaves + collector.
+    pub fn ranks(&self) -> usize {
+        self.slaves + 2
+    }
+
+    /// The role a rank plays.
+    pub fn role_of(&self, rank: usize) -> Role {
+        if rank == 0 {
+            Role::Master
+        } else if rank <= self.slaves {
+            Role::Slave(rank - 1)
+        } else if rank == self.collector_rank() {
+            Role::Collector
+        } else {
+            panic!("rank {rank} out of range for {} slaves", self.slaves)
+        }
+    }
+}
+
+/// What a rank does in the Fig. 1 topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Rank 0: buffers arrivals, distributes batches, plans reorgs.
+    Master,
+    /// Ranks `1..=n`: run the join module over owned partition groups.
+    Slave(usize),
+    /// Rank `n+1`: gathers join outputs and production delays.
+    Collector,
+}
+
+/// What the master learned over a run.
+#[derive(Debug)]
+pub struct MasterOutcome {
+    /// Peak buffered bytes across the run.
+    pub peak_buffer_bytes: u64,
+    /// Final degree of declustering.
+    pub final_degree: usize,
+    /// Degree-of-declustering trace, one sample per reorg epoch.
+    pub dod_trace: TimeSeries,
+    /// Partition-group movements executed.
+    pub moves: u64,
+    /// Tuples ingested from both streams (deterministic per seed).
+    pub tuples_in: u64,
+}
+
+/// What one slave accumulated over a run.
+#[derive(Debug)]
+pub struct SlaveOutcome {
+    /// Counted join work.
+    pub work: WorkStats,
+    /// Wall-clock µs spent in the join module.
+    pub cpu_us: u64,
+    /// Wall-clock µs spent blocked on receives.
+    pub comm_us: u64,
+}
+
+/// What the collector gathered over a run.
+#[derive(Debug)]
+pub struct CollectorOutcome {
+    /// Production-delay statistics (post-warm-up).
+    pub delay: DelayTracker,
+    /// Captured output pairs (when `capture_outputs` was set).
+    pub captured: Vec<OutPair>,
+    /// XOR-fold equivalence checksum over all outputs.
+    pub checksum: u64,
+    /// Total outputs including warm-up.
+    pub outputs_total: u64,
+}
+
+fn duration_us(d: Duration) -> u64 {
+    d.as_micros() as u64
+}
+
+/// The initial round-robin partition assignment of slave `slave` among
+/// `slaves` nodes — must mirror `MasterCore`'s bootstrap map.
+pub fn initial_partitions(params: &Params, slaves: usize, slave: usize) -> Vec<u32> {
+    (0..params.npart).filter(|p| (*p as usize) % slaves == slave).collect()
+}
+
+/// Runs the master loop on `ep` (rank 0) until the configured horizon,
+/// then flushes deterministically and shuts the cluster down.
+pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutcome {
+    let run_us_total = duration_us(cfg.run);
+    let mut core = MasterCore::new(cfg.params.clone(), cfg.slaves, cfg.slaves, cfg.seed);
+    let s1 = StreamSpec {
+        rate: windjoin_gen::RateSchedule::constant(cfg.rate),
+        keys: cfg.keys,
+        seed: cfg.seed.wrapping_add(1),
+    }
+    .arrivals(0);
+    let s2 = StreamSpec {
+        rate: windjoin_gen::RateSchedule::constant(cfg.rate),
+        keys: cfg.keys,
+        seed: cfg.seed.wrapping_add(2),
+    }
+    .arrivals(1);
+    let mut gen = merge_streams(vec![s1, s2]);
+    let mut next = gen.next();
+
+    let start = Instant::now();
+    let td = cfg.params.dist_epoch_us;
+    let tr = cfg.params.reorg_epoch_us;
+    let ng = cfg.params.ng;
+    let mut occ_samples: Vec<Vec<f64>> = vec![Vec::new(); cfg.slaves];
+    let mut dod_trace = TimeSeries::new(tr);
+    let mut moves = 0u64;
+    let mut tuples_in = 0u64;
+    let mut next_reorg = tr;
+    let mut epoch = 0u64;
+
+    let handle =
+        |core: &mut MasterCore, occ_samples: &mut Vec<Vec<f64>>, frame: windjoin_net::Frame| {
+            match Message::decode(frame.payload).expect("master frame") {
+                Message::Occupancy(f) => occ_samples[frame.from - 1].push(f),
+                Message::MoveComplete { pid } => core.on_move_complete(pid),
+                other => panic!("master got unexpected message {other:?}"),
+            }
+        };
+
+    loop {
+        for slot in 0..ng {
+            let slot_at = epoch * td + windjoin_core::subgroup::slot_offset_us(slot, ng, td);
+            if slot_at >= run_us_total {
+                break;
+            }
+            // Service incoming frames until the slot time.
+            loop {
+                let now_us = start.elapsed().as_micros() as u64;
+                if now_us >= slot_at {
+                    break;
+                }
+                let budget = Duration::from_micros((slot_at - now_us).min(2_000));
+                if let Ok(Some(frame)) = ep.recv_timeout(budget) {
+                    handle(&mut core, &mut occ_samples, frame);
+                }
+            }
+            // Clamp to the horizon: the ingested arrival set must be a
+            // pure function of the seed, not of scheduling jitter.
+            let now_us = (start.elapsed().as_micros() as u64).min(run_us_total);
+            while let Some(a) = next {
+                if a.at_us > now_us {
+                    break;
+                }
+                let side = if a.stream == 0 { Side::Left } else { Side::Right };
+                core.on_arrival(Tuple::new(side, a.at_us, a.key, a.seq));
+                tuples_in += 1;
+                next = gen.next();
+            }
+            for (slave, batch) in core.drain_for_slot(slot) {
+                let _ = ep.send(1 + slave, Message::Batch(batch).encode());
+            }
+        }
+        epoch += 1;
+        let now_us = epoch * td;
+        // Reorganise, but not within the final stretch: in-flight
+        // state moves must complete before shutdown.
+        if now_us >= next_reorg && now_us + 2 * tr < run_us_total {
+            for s in core.active_slaves() {
+                let samples = std::mem::take(&mut occ_samples[s]);
+                let avg = if samples.is_empty() {
+                    0.0
+                } else {
+                    samples.iter().sum::<f64>() / samples.len() as f64
+                };
+                core.on_occupancy(s, avg);
+            }
+            let plan = core.plan_reorg(cfg.adaptive_dod);
+            moves += plan.moves.len() as u64;
+            dod_trace.record(now_us, core.degree() as f64);
+            for mv in plan.moves {
+                let msg = Message::MoveDirective { pid: mv.pid, to: mv.to as u32 }.encode();
+                let _ = ep.send(1 + mv.from, msg);
+            }
+            next_reorg += tr;
+        }
+        if now_us >= run_us_total {
+            break;
+        }
+    }
+
+    // ---- Deterministic final flush -----------------------------------
+    // (0) Let the wall clock reach the horizon first: the flush ingests
+    // arrivals stamped up to `run`, and emission must never precede a
+    // tuple's logical arrival time.
+    loop {
+        let now_us = start.elapsed().as_micros() as u64;
+        if now_us >= run_us_total {
+            break;
+        }
+        let budget = Duration::from_micros((run_us_total - now_us).min(2_000));
+        if let Ok(Some(frame)) = ep.recv_timeout(budget) {
+            handle(&mut core, &mut occ_samples, frame);
+        }
+    }
+    // (1) Ingest every remaining arrival inside the horizon.
+    while let Some(a) = next {
+        if a.at_us > run_us_total {
+            break;
+        }
+        let side = if a.stream == 0 { Side::Left } else { Side::Right };
+        core.on_arrival(Tuple::new(side, a.at_us, a.key, a.seq));
+        tuples_in += 1;
+        next = gen.next();
+    }
+    // (2) Wait for in-flight partition moves *before* the final drain:
+    // `drain_for_slot` withholds tuples of held (moving) partitions,
+    // so draining first would strand them in the buffer — and a
+    // Shutdown racing a State transfer would strand tuples on the wire.
+    let move_deadline = Instant::now() + Duration::from_secs(10);
+    while !core.pending_moves().is_empty() && Instant::now() < move_deadline {
+        if let Ok(Some(frame)) = ep.recv_timeout(Duration::from_millis(20)) {
+            handle(&mut core, &mut occ_samples, frame);
+        }
+    }
+    // (3) Drain every slot so no batch stays buffered. No reorg is
+    // planned after the main loop, so nothing re-holds a partition.
+    for slot in 0..ng {
+        for (slave, batch) in core.drain_for_slot(slot) {
+            let _ = ep.send(1 + slave, Message::Batch(batch).encode());
+        }
+        while let Some(frame) = ep.try_recv() {
+            handle(&mut core, &mut occ_samples, frame);
+        }
+    }
+    // (4) Now the cluster may wind down.
+    for s in 0..cfg.slaves {
+        let _ = ep.send(1 + s, Message::Shutdown.encode());
+    }
+    // Drain stragglers so slaves never block on a full master inbox.
+    while let Ok(Some(frame)) = ep.recv_timeout(Duration::from_millis(50)) {
+        if let Ok(Message::MoveComplete { pid }) = Message::decode(frame.payload) {
+            if core.pending_moves().iter().any(|m| m.pid == pid) {
+                core.on_move_complete(pid);
+            }
+        }
+    }
+
+    MasterOutcome {
+        peak_buffer_bytes: core.peak_buffer_bytes(),
+        final_degree: core.degree(),
+        dod_trace,
+        moves,
+        tuples_in,
+    }
+}
+
+/// Runs slave `index`'s loop on `ep` (rank `index + 1`) until the
+/// master's `Shutdown` arrives.
+pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) -> SlaveOutcome {
+    let collector_rank = cfg.collector_rank();
+    let mut core: SlaveCore<ExactEngine> = SlaveCore::new(index, cfg.params.clone());
+    // Initial round-robin ownership, mirroring the master's map.
+    for pid in initial_partitions(core.params(), cfg.slaves, index) {
+        core.create_group(pid);
+    }
+    let mut work = WorkStats::default();
+    let mut cpu_us = 0u64;
+    let mut comm_us = 0u64;
+    let mut out = Vec::new();
+    loop {
+        let recv_started = Instant::now();
+        let Ok(frame) = ep.recv() else { break };
+        comm_us += recv_started.elapsed().as_micros() as u64;
+        match Message::decode(frame.payload).expect("slave frame") {
+            Message::Batch(batch) => {
+                let t0 = Instant::now();
+                core.receive_batch(batch);
+                core.process_pending(&mut out, &mut work);
+                cpu_us += t0.elapsed().as_micros() as u64;
+                core.record_occupancy();
+                if !out.is_empty() {
+                    let msg = Message::Outputs(std::mem::take(&mut out)).encode();
+                    let _ = ep.send(collector_rank, msg);
+                }
+                let occ = core.take_avg_occupancy();
+                let _ = ep.send(0, Message::Occupancy(occ).encode());
+            }
+            Message::MoveDirective { pid, to } => {
+                let (state, pending) = core.extract_group(pid, &mut work);
+                let msg = Message::State { pid, state, pending }.encode();
+                let _ = ep.send(1 + to as usize, msg);
+            }
+            Message::State { pid, state, pending } => {
+                core.install_group(pid, state, pending, &mut work);
+                let _ = ep.send(0, Message::MoveComplete { pid }.encode());
+            }
+            Message::Shutdown => {
+                let _ = ep.send(collector_rank, Message::Shutdown.encode());
+                break;
+            }
+            other => panic!("slave {index} got unexpected message {other:?}"),
+        }
+    }
+    SlaveOutcome { work, cpu_us, comm_us }
+}
+
+/// Runs the collector loop on `ep` (rank `n + 1`) until every slave's
+/// `Shutdown` marker arrives.
+pub fn collector_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> CollectorOutcome {
+    let start = Instant::now();
+    let mut delay = DelayTracker::new(duration_us(cfg.warmup));
+    let mut captured: Vec<OutPair> = Vec::new();
+    let mut checksum = 0u64;
+    let mut outputs_total = 0u64;
+    let mut shutdowns = 0;
+    while shutdowns < cfg.slaves {
+        let Ok(frame) = ep.recv() else { break };
+        match Message::decode(frame.payload).expect("collector frame") {
+            Message::Outputs(pairs) => {
+                let emit = start.elapsed().as_micros() as u64;
+                for p in pairs {
+                    outputs_total += 1;
+                    checksum ^= windjoin_core::hash::mix64(
+                        p.left.1.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ p.right.1,
+                    );
+                    delay.record(emit, p.newest_t());
+                    if cfg.capture_outputs {
+                        captured.push(p);
+                    }
+                }
+            }
+            Message::Shutdown => shutdowns += 1,
+            other => panic!("collector got unexpected message {other:?}"),
+        }
+    }
+    CollectorOutcome { delay, captured, checksum, outputs_total }
+}

@@ -167,15 +167,14 @@ impl<E: ProbeEngine> Actor<Ev> for ClusterSim<E> {
             Ev::Slot { slot } => {
                 self.pull_arrivals(now);
                 for (slave, batch) in self.master.drain_for_slot(slot) {
-                    let bytes = BATCH_HEADER_BYTES
-                        + (batch.len() * self.cfg.params.tuple_bytes) as u64;
+                    let bytes =
+                        BATCH_HEADER_BYTES + (batch.len() * self.cfg.params.tuple_bytes) as u64;
                     let tr = self.nic.send(now, bytes);
-                    ctx.send_at(tr.delivered_us, ctx.self_id(), Ev::Deliver {
-                        slave,
-                        batch,
-                        bytes,
-                        slot_start: now,
-                    });
+                    ctx.send_at(
+                        tr.delivered_us,
+                        ctx.self_id(),
+                        Ev::Deliver { slave, batch, bytes, slot_start: now },
+                    );
                 }
                 ctx.send_self(self.td_us, Ev::Slot { slot });
             }
@@ -225,7 +224,8 @@ impl<E: ProbeEngine> Actor<Ev> for ClusterSim<E> {
                 }
                 let mut shared = self.shared.borrow_mut();
                 if now >= self.cfg.warmup_us {
-                    let peak = self.slaves.iter().map(|s| s.core.window_blocks()).max().unwrap_or(0);
+                    let peak =
+                        self.slaves.iter().map(|s| s.core.window_blocks()).max().unwrap_or(0);
                     shared.max_window_blocks = shared.max_window_blocks.max(peak);
                 }
                 shared.master_peak_buffer =
@@ -247,8 +247,8 @@ impl<E: ProbeEngine> Actor<Ev> for ClusterSim<E> {
                     shared.moves += plan.moves.len() as u64;
                     // §VIII future work: dynamic distribution epoch.
                     if let Some(tuning) = &self.cfg.adaptive_epoch {
-                        let wall = self.master.degree() as f64
-                            * self.cfg.params.reorg_epoch_us as f64;
+                        let wall =
+                            self.master.degree() as f64 * self.cfg.params.reorg_epoch_us as f64;
                         let comm_frac = shared.comm_window_us as f64 / wall;
                         let busy = shared.comm_window_us + shared.cpu_window_us;
                         let idle_frac = 1.0 - (busy as f64 / wall).min(1.0);
@@ -271,8 +271,7 @@ impl<E: ProbeEngine> Actor<Ev> for ClusterSim<E> {
             Ev::Directive { mv } => {
                 // Supplier extracts the partition-group (state mover).
                 let mut work = WorkStats::default();
-                let (state, pending) =
-                    self.slaves[mv.from].core.extract_group(mv.pid, &mut work);
+                let (state, pending) = self.slaves[mv.from].core.extract_group(mv.pid, &mut work);
                 let (_, end) = self.charge_cpu(mv.from, now, &work);
                 // Direct supplier→consumer transfer (not via the master
                 // NIC): occupancy priced by the distribution link spec.
@@ -291,13 +290,17 @@ impl<E: ProbeEngine> Actor<Ev> for ClusterSim<E> {
                 self.slaves[mv.to].core.install_group(mv.pid, state, pending, &mut work);
                 let (_, end) = self.charge_cpu(mv.to, now, &work);
                 // Completion ack back to the master.
-                ctx.send_at(end + self.cfg.dist_link.latency_us, ctx.self_id(), Ev::MoveDone {
-                    pid: mv.pid,
-                });
+                ctx.send_at(
+                    end + self.cfg.dist_link.latency_us,
+                    ctx.self_id(),
+                    Ev::MoveDone { pid: mv.pid },
+                );
                 // Whatever moved in may be processable immediately.
-                ctx.send_at(end.max(self.slaves[mv.to].cpu.busy_until()), ctx.self_id(), Ev::TryProcess {
-                    slave: mv.to,
-                });
+                ctx.send_at(
+                    end.max(self.slaves[mv.to].cpu.busy_until()),
+                    ctx.self_id(),
+                    Ev::TryProcess { slave: mv.to },
+                );
             }
 
             Ev::MoveDone { pid } => {

@@ -2,324 +2,122 @@
 //!
 //! Rank 0 is the master, ranks `1..=n` the slaves, rank `n+1` the
 //! collector (Fig. 1's topology). Nodes exchange **encoded byte frames**
-//! (`windjoin-net`) over blocking bounded channels, so the whole §IV-B
+//! (`windjoin-net`) over a pluggable [`Transport`], so the whole §IV-B
 //! path — machine-independent tuple format, merged batches, stream
 //! tagging — is exercised end to end. Slaves run the physical
-//! [`ExactEngine`] BNLJ in real time.
+//! `ExactEngine` BNLJ in real time.
+//!
+//! The node loops themselves live in [`crate::nodes`] and are generic
+//! over the transport: [`run_threaded`] drives them over the bounded
+//! channel backend, [`run_on_transport`] over any backend (the tests
+//! run the identical cluster over a loopback TCP mesh), and
+//! [`crate::procrt`] runs one node per OS process.
 //!
 //! This runtime exists for the examples and end-to-end tests; the
 //! paper-scale experiments use [`crate::simrt`] (20 simulated minutes do
 //! not fit in a test suite's wall clock).
 
+use crate::nodes::{self, NodeConfig};
 use crate::report::RunReport;
 use std::thread;
-use std::time::{Duration, Instant};
-use windjoin_core::probe::ExactEngine;
-use windjoin_core::{MasterCore, OutPair, Params, Side, SlaveCore, Tuple, WorkStats};
-use windjoin_gen::{merge_streams, KeyDist, StreamSpec};
-use windjoin_metrics::{DelayTracker, TimeSeries, UsageSet};
-use windjoin_net::{Message, Network};
+use windjoin_core::WorkStats;
+use windjoin_metrics::{TimeSeries, UsageSet};
+use windjoin_net::{ChannelNetwork, Transport};
 
 /// Configuration for a threaded run (wall-clock durations).
-#[derive(Debug, Clone)]
-pub struct ThreadedConfig {
-    /// Protocol parameters. Keep windows and epochs wall-clock friendly
-    /// (e.g. 5 s windows, 100 ms epochs) — Table I's 10-minute windows
-    /// are for the simulator.
-    pub params: Params,
-    /// Number of slave nodes.
-    pub slaves: usize,
-    /// Per-stream arrival rate, tuples/s.
-    pub rate: f64,
-    /// Join-attribute distribution.
-    pub keys: KeyDist,
-    /// Seed for the generators and the master.
-    pub seed: u64,
-    /// Total run length.
-    pub run: Duration,
-    /// Warm-up discarded from the statistics.
-    pub warmup: Duration,
-    /// Enable §V-A adaptive degree of declustering.
-    pub adaptive_dod: bool,
-    /// Keep every output pair in the report.
-    pub capture_outputs: bool,
-}
+///
+/// Alias of the backend-independent [`NodeConfig`]; the historical name
+/// survives because the threaded runtime was the first real-time
+/// driver.
+pub type ThreadedConfig = NodeConfig;
 
-impl ThreadedConfig {
-    /// A small, laptop-friendly default: `slaves` slaves, 500 t/s per
-    /// stream, 5 s windows, 200 ms distribution epochs, 2 s reorg epochs.
-    pub fn demo(slaves: usize) -> Self {
-        let mut params = Params::default_paper().with_window_secs(5).with_dist_epoch_us(200_000);
-        params.reorg_epoch_us = 2_000_000;
-        params.npart = 16;
-        ThreadedConfig {
-            params,
-            slaves,
-            rate: 500.0,
-            keys: KeyDist::BModel { bias: 0.7, domain: 100_000 },
-            seed: 7,
-            run: Duration::from_secs(6),
-            warmup: Duration::from_secs(2),
-            adaptive_dod: false,
-            capture_outputs: false,
-        }
-    }
-}
+/// Per-inbox frame capacity for the channel backend (also the default
+/// the multi-process runtime uses).
+pub const DEFAULT_INBOX_CAPACITY: usize = 4096;
 
-fn us(d: Duration) -> u64 {
-    d.as_micros() as u64
-}
-
-/// Runs the cluster on real threads; blocks until completion.
+/// Runs the cluster on real threads over bounded channels; blocks until
+/// completion.
 pub fn run_threaded(cfg: &ThreadedConfig) -> RunReport {
+    let net = ChannelNetwork::new(cfg.ranks(), DEFAULT_INBOX_CAPACITY);
+    run_on_transport(cfg, net)
+}
+
+/// Runs the cluster on real threads over any [`Transport`] backend —
+/// one thread per rank, each driving its generic node loop.
+pub fn run_on_transport<T>(cfg: &ThreadedConfig, mut net: T) -> RunReport
+where
+    T: Transport,
+    T::Endpoint: 'static,
+{
     cfg.params.validate().expect("invalid parameters");
     assert!(cfg.slaves >= 1);
+    assert_eq!(net.len(), cfg.ranks(), "transport sized for the wrong topology");
     let n = cfg.slaves;
-    let collector_rank = n + 1;
-    let mut net = Network::new(n + 2, 4096);
 
     let master_ep = net.take(0);
-    let collector_ep = net.take(collector_rank);
+    let collector_ep = net.take(cfg.collector_rank());
     let slave_eps: Vec<_> = (1..=n).map(|r| net.take(r)).collect();
 
-    let run_us_total = us(cfg.run);
-    let warmup_us = us(cfg.warmup);
+    let run_us_total = cfg.run.as_micros() as u64;
+    let warmup_us = cfg.warmup.as_micros() as u64;
 
-    // ---- Collector ----------------------------------------------------
-    let capture = cfg.capture_outputs;
-    let slaves_expected = n;
-    let collector = thread::spawn(move || {
-        let start = Instant::now();
-        let mut delay = DelayTracker::new(warmup_us);
-        let mut captured: Vec<OutPair> = Vec::new();
-        let mut checksum = 0u64;
-        let mut total = 0u64;
-        let mut shutdowns = 0;
-        while shutdowns < slaves_expected {
-            let Ok(frame) = collector_ep.recv() else { break };
-            match Message::decode(frame.payload).expect("collector frame") {
-                Message::Outputs(pairs) => {
-                    let emit = start.elapsed().as_micros() as u64;
-                    for p in pairs {
-                        total += 1;
-                        checksum ^= windjoin_core::hash::mix64(
-                            p.left.1.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ p.right.1,
-                        );
-                        delay.record(emit, p.newest_t());
-                        if capture {
-                            captured.push(p);
-                        }
-                    }
-                }
-                Message::Shutdown => shutdowns += 1,
-                other => panic!("collector got unexpected message {other:?}"),
-            }
-        }
-        (delay, captured, checksum, total)
-    });
+    let collector = {
+        let cfg = cfg.clone();
+        thread::spawn(move || nodes::collector_node(&collector_ep, &cfg))
+    };
+    let slaves: Vec<_> = slave_eps
+        .into_iter()
+        .enumerate()
+        .map(|(i, ep)| {
+            let cfg = cfg.clone();
+            thread::spawn(move || nodes::slave_node(&ep, i, &cfg))
+        })
+        .collect();
+    let master = {
+        let cfg = cfg.clone();
+        thread::spawn(move || nodes::master_node(&master_ep, &cfg))
+    };
 
-    // ---- Slaves --------------------------------------------------------
-    let mut slave_handles = Vec::new();
-    for (i, ep) in slave_eps.into_iter().enumerate() {
-        let params = cfg.params.clone();
-        let nslaves = n;
-        slave_handles.push(thread::spawn(move || {
-            let mut core: SlaveCore<ExactEngine> = SlaveCore::new(i, params);
-            // Initial round-robin ownership, mirroring the master's map.
-            for pid in initial_partitions(core.params(), nslaves, i) {
-                core.create_group(pid);
-            }
-            let mut work = WorkStats::default();
-            let mut cpu_us_total = 0u64;
-            let mut comm_us_total = 0u64;
-            let mut out = Vec::new();
-            loop {
-                let recv_started = Instant::now();
-                let Ok(frame) = ep.recv() else { break };
-                comm_us_total += recv_started.elapsed().as_micros() as u64;
-                match Message::decode(frame.payload).expect("slave frame") {
-                    Message::Batch(batch) => {
-                        let t0 = Instant::now();
-                        core.receive_batch(batch);
-                        core.process_pending(&mut out, &mut work);
-                        cpu_us_total += t0.elapsed().as_micros() as u64;
-                        core.record_occupancy();
-                        if !out.is_empty() {
-                            let msg = Message::Outputs(std::mem::take(&mut out)).encode();
-                            let _ = ep.send(collector_rank, msg);
-                        }
-                        let occ = core.take_avg_occupancy();
-                        let _ = ep.send(0, Message::Occupancy(occ).encode());
-                    }
-                    Message::MoveDirective { pid, to } => {
-                        let (state, pending) = core.extract_group(pid, &mut work);
-                        let msg = Message::State { pid, state, pending }.encode();
-                        let _ = ep.send(1 + to as usize, msg);
-                    }
-                    Message::State { pid, state, pending } => {
-                        core.install_group(pid, state, pending, &mut work);
-                        let _ = ep.send(0, Message::MoveComplete { pid }.encode());
-                    }
-                    Message::Shutdown => {
-                        let _ = ep.send(collector_rank, Message::Shutdown.encode());
-                        break;
-                    }
-                    other => panic!("slave {i} got unexpected message {other:?}"),
-                }
-            }
-            (work, cpu_us_total, comm_us_total)
-        }));
-    }
-
-    // ---- Master (this thread's spawned worker) --------------------------
-    let cfgm = cfg.clone();
-    let master = thread::spawn(move || {
-        let mut core = MasterCore::new(cfgm.params.clone(), cfgm.slaves, cfgm.slaves, cfgm.seed);
-        let s1 = StreamSpec {
-            rate: windjoin_gen::RateSchedule::constant(cfgm.rate),
-            keys: cfgm.keys,
-            seed: cfgm.seed.wrapping_add(1),
-        }
-        .arrivals(0);
-        let s2 = StreamSpec {
-            rate: windjoin_gen::RateSchedule::constant(cfgm.rate),
-            keys: cfgm.keys,
-            seed: cfgm.seed.wrapping_add(2),
-        }
-        .arrivals(1);
-        let mut gen = merge_streams(vec![s1, s2]);
-        let mut next = gen.next();
-
-        let start = Instant::now();
-        let td = cfgm.params.dist_epoch_us;
-        let tr = cfgm.params.reorg_epoch_us;
-        let ng = cfgm.params.ng;
-        let mut occ_samples: Vec<Vec<f64>> = vec![Vec::new(); cfgm.slaves];
-        let mut dod_trace = TimeSeries::new(tr);
-        let mut moves = 0u64;
-        let mut tuples_in = 0u64;
-        let mut next_reorg = tr;
-        let mut epoch = 0u64;
-        loop {
-            for slot in 0..ng {
-                let slot_at = epoch * td + windjoin_core::subgroup::slot_offset_us(slot, ng, td);
-                if slot_at >= run_us_total {
-                    break;
-                }
-                // Service incoming frames until the slot time.
-                loop {
-                    let now_us = start.elapsed().as_micros() as u64;
-                    if now_us >= slot_at {
-                        break;
-                    }
-                    let budget = Duration::from_micros((slot_at - now_us).min(2_000));
-                    if let Ok(Some(frame)) = master_ep.recv_timeout(budget) {
-                        match Message::decode(frame.payload).expect("master frame") {
-                            Message::Occupancy(f) => occ_samples[frame.from - 1].push(f),
-                            Message::MoveComplete { pid } => core.on_move_complete(pid),
-                            other => panic!("master got unexpected message {other:?}"),
-                        }
-                    }
-                }
-                let now_us = start.elapsed().as_micros() as u64;
-                while let Some(a) = next {
-                    if a.at_us > now_us {
-                        break;
-                    }
-                    let side = if a.stream == 0 { Side::Left } else { Side::Right };
-                    core.on_arrival(Tuple::new(side, a.at_us, a.key, a.seq));
-                    tuples_in += 1;
-                    next = gen.next();
-                }
-                for (slave, batch) in core.drain_for_slot(slot) {
-                    let _ = master_ep.send(1 + slave, Message::Batch(batch).encode());
-                }
-            }
-            epoch += 1;
-            let now_us = epoch * td;
-            // Reorganise, but not within the final stretch: in-flight
-            // state moves must complete before shutdown.
-            if now_us >= next_reorg && now_us + 2 * tr < run_us_total {
-                for s in core.active_slaves() {
-                    let samples = std::mem::take(&mut occ_samples[s]);
-                    let avg = if samples.is_empty() {
-                        0.0
-                    } else {
-                        samples.iter().sum::<f64>() / samples.len() as f64
-                    };
-                    core.on_occupancy(s, avg);
-                }
-                let plan = core.plan_reorg(cfgm.adaptive_dod);
-                moves += plan.moves.len() as u64;
-                dod_trace.record(now_us, core.degree() as f64);
-                for mv in plan.moves {
-                    let msg = Message::MoveDirective { pid: mv.pid, to: mv.to as u32 }.encode();
-                    let _ = master_ep.send(1 + mv.from, msg);
-                }
-                next_reorg += tr;
-            }
-            if now_us >= run_us_total {
-                break;
-            }
-        }
-        for s in 0..cfgm.slaves {
-            let _ = master_ep.send(1 + s, Message::Shutdown.encode());
-        }
-        // Drain remaining acks so slaves never block on a full inbox.
-        while let Ok(Some(frame)) = master_ep.recv_timeout(Duration::from_millis(50)) {
-            if let Ok(Message::MoveComplete { pid }) = Message::decode(frame.payload) {
-                if core.pending_moves().iter().any(|m| m.pid == pid) {
-                    core.on_move_complete(pid);
-                }
-            }
-        }
-        (core.peak_buffer_bytes(), core.degree(), dod_trace, moves, tuples_in)
-    });
-
-    // ---- Gather ----------------------------------------------------------
-    let (master_peak, final_degree, dod_trace, moves, tuples_in) = master.join().expect("master");
+    let m = master.join().expect("master");
     let mut usage = UsageSet::new(n, warmup_us);
     let mut work = WorkStats::default();
-    for (i, h) in slave_handles.into_iter().enumerate() {
-        let (w, cpu_us, comm_us) = h.join().expect("slave");
-        work.add(&w);
+    for (i, h) in slaves.into_iter().enumerate() {
+        let s = h.join().expect("slave");
+        work.add(&s.work);
         // Threaded timings are wall-clock totals (not warm-up gated).
-        usage.node_mut(i).add_cpu(warmup_us, warmup_us + cpu_us);
-        usage.node_mut(i).add_comm(warmup_us, warmup_us + comm_us);
-        let idle = (run_us_total - warmup_us).saturating_sub(cpu_us + comm_us);
+        usage.node_mut(i).add_cpu(warmup_us, warmup_us + s.cpu_us);
+        usage.node_mut(i).add_comm(warmup_us, warmup_us + s.comm_us);
+        let idle = (run_us_total - warmup_us).saturating_sub(s.cpu_us + s.comm_us);
         usage.node_mut(i).add_idle(warmup_us, warmup_us + idle);
     }
-    let (delay, captured, checksum, outputs_total) = collector.join().expect("collector");
+    let c = collector.join().expect("collector");
 
     RunReport {
-        outputs: delay.count(),
-        delay,
+        outputs: c.delay.count(),
+        delay: c.delay,
         usage,
-        outputs_total,
-        output_checksum: checksum,
-        captured,
+        outputs_total: c.outputs_total,
+        output_checksum: c.checksum,
+        captured: c.captured,
         work,
-        tuples_in,
+        tuples_in: m.tuples_in,
         max_window_blocks: 0, // not sampled in the threaded runtime
-        master_peak_buffer_bytes: master_peak,
-        dod_trace,
+        master_peak_buffer_bytes: m.peak_buffer_bytes,
+        dod_trace: m.dod_trace,
         epoch_trace: TimeSeries::new(cfg.params.reorg_epoch_us),
-        final_degree,
-        moves,
+        final_degree: m.final_degree,
+        moves: m.moves,
         run_us: run_us_total,
         warmup_us,
     }
 }
 
-/// The initial round-robin partition assignment of slave `slave` among
-/// `slaves` nodes — must mirror `MasterCore`'s bootstrap map.
-pub fn initial_partitions(params: &Params, slaves: usize, slave: usize) -> Vec<u32> {
-    (0..params.npart).filter(|p| (*p as usize) % slaves == slave).collect()
-}
+pub use crate::nodes::initial_partitions;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use windjoin_core::Params;
 
     #[test]
     fn initial_partitions_cover_everything_once() {

@@ -25,10 +25,7 @@ fn controller_shrinks_epoch_when_comfortable() {
     c.adaptive_epoch = Some(EpochTuning::default());
     let report = run_sim(&c);
     let settled = report.epoch_trace.iter_means().last().unwrap().1;
-    assert!(
-        settled < 8.0,
-        "epoch never shrank from 8 s (settled at {settled})"
-    );
+    assert!(settled < 8.0, "epoch never shrank from 8 s (settled at {settled})");
     // Delay follows the epoch down (Fig. 13's law).
     assert!(report.avg_delay_s() < 8.0);
 }
@@ -43,10 +40,7 @@ fn controller_grows_epoch_when_communication_bound() {
     c.adaptive_epoch = Some(EpochTuning::default());
     let report = run_sim(&c);
     let settled = report.epoch_trace.iter_means().last().unwrap().1;
-    assert!(
-        settled > 0.25,
-        "epoch never grew from 250 ms (settled at {settled})"
-    );
+    assert!(settled > 0.25, "epoch never grew from 250 ms (settled at {settled})");
 }
 
 #[test]
@@ -56,10 +50,10 @@ fn adaptive_epoch_preserves_exactness() {
     c.adaptive_epoch = Some(EpochTuning::default());
     let report = run_sim(&c);
 
-    let s1 = StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(1) }
-        .arrivals(0);
-    let s2 = StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(2) }
-        .arrivals(1);
+    let s1 =
+        StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(1) }.arrivals(0);
+    let s2 =
+        StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(2) }.arrivals(1);
     let arrivals: Vec<Tuple> = merge_streams(vec![s1, s2])
         .take_while(|a| a.at_us <= c.run_us)
         .map(|a| {

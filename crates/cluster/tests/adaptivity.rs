@@ -71,7 +71,8 @@ fn full_scale_out_and_in_cycle_is_exact() {
         }
     }
     assert_eq!(
-        missing, 0,
+        missing,
+        0,
         "{missing} settled pairs lost (of {} oracle pairs; {} produced)",
         oracle.len(),
         report.captured.len()

@@ -1,0 +1,144 @@
+//! The shared-nothing acceptance test: a full cluster of **separate OS
+//! processes** (1 master + 2 slaves + 1 collector, each a spawned
+//! `windjoin-node` binary talking TCP over 127.0.0.1) must emit join
+//! results identical to the in-process threaded runtime on the same
+//! seeded workload — and therefore to the `reference_join` oracle.
+
+use std::net::TcpListener;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+use windjoin_cluster::{run_threaded, ThreadedConfig};
+use windjoin_gen::KeyDist;
+
+const SLAVES: usize = 2;
+const SEED: u64 = 42;
+const RATE: f64 = 300.0;
+const RUN_MS: u64 = 3_000;
+const WARMUP_MS: u64 = 500;
+const WINDOW_MS: u64 = 2_000;
+
+/// The in-process config equivalent to the flags passed to
+/// `windjoin-node` below (must mirror the binary's parameter mapping).
+fn equivalent_config() -> ThreadedConfig {
+    let mut params = windjoin_core::Params::default_paper().with_dist_epoch_us(200_000);
+    params.sem.w_left_us = WINDOW_MS * 1_000;
+    params.sem.w_right_us = WINDOW_MS * 1_000;
+    params.reorg_epoch_us = 2_000_000;
+    params.npart = 16;
+    ThreadedConfig {
+        params,
+        slaves: SLAVES,
+        rate: RATE,
+        keys: KeyDist::Uniform { domain: 500 },
+        seed: SEED,
+        run: Duration::from_millis(RUN_MS),
+        warmup: Duration::from_millis(WARMUP_MS),
+        adaptive_dod: false,
+        capture_outputs: true,
+    }
+}
+
+/// Reserves `n` distinct loopback ports (bind to 0, read, release).
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind")).collect();
+    listeners.iter().map(|l| l.local_addr().unwrap().port()).collect()
+}
+
+/// One cluster launch over freshly reserved ports. `Err` carries the
+/// combined stderr when any rank failed (e.g. a port was stolen in
+/// the bind-then-release window), so the caller can retry.
+fn launch_cluster(bin: &str) -> Result<String, String> {
+    let ports = free_ports(SLAVES + 2);
+    let peers: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+    let peer_list = peers.join(",");
+
+    let spawn = |rank: usize, emit_pairs: bool| {
+        let mut cmd = Command::new(bin);
+        cmd.args(["--rank", &rank.to_string()])
+            .args(["--peers", &peer_list])
+            .args(["--rate", &RATE.to_string()])
+            .args(["--run-ms", &RUN_MS.to_string()])
+            .args(["--warmup-ms", &WARMUP_MS.to_string()])
+            .args(["--seed", &SEED.to_string()])
+            .args(["--window-ms", &WINDOW_MS.to_string()])
+            .args(["--keys", "uniform:500"])
+            .args(["--handshake-ms", "10000"])
+            .stdout(if emit_pairs { Stdio::piped() } else { Stdio::null() })
+            .stderr(Stdio::piped());
+        if emit_pairs {
+            cmd.arg("--emit-pairs");
+        }
+        cmd.spawn().expect("spawn windjoin-node")
+    };
+
+    // Master, slaves, then the collector whose stdout we keep.
+    let others: Vec<_> = (0..=SLAVES).map(|rank| spawn(rank, false)).collect();
+    let collector = spawn(SLAVES + 1, true);
+
+    let collector_out = collector.wait_with_output().expect("collector run");
+    let mut errors = String::new();
+    for child in others {
+        let out = child.wait_with_output().expect("node run");
+        if !out.status.success() {
+            errors.push_str(&String::from_utf8_lossy(&out.stderr));
+        }
+    }
+    if !collector_out.status.success() {
+        errors.push_str(&String::from_utf8_lossy(&collector_out.stderr));
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    Ok(String::from_utf8(collector_out.stdout).expect("utf8 stdout"))
+}
+
+#[test]
+fn multiprocess_cluster_matches_threaded_runtime_and_oracle() {
+    let bin = env!("CARGO_BIN_EXE_windjoin-node");
+    // The port reservation is bind-then-release, so another process can
+    // steal an address before the ranks re-bind; retry on fresh ports.
+    let mut attempt = 0;
+    let stdout = loop {
+        attempt += 1;
+        match launch_cluster(bin) {
+            Ok(stdout) => break stdout,
+            Err(errors) if attempt < 3 => {
+                eprintln!("cluster launch attempt {attempt} failed, retrying:\n{errors}")
+            }
+            Err(errors) => panic!("cluster failed on {attempt} attempts:\n{errors}"),
+        }
+    };
+    let mut outputs_total: Option<u64> = None;
+    let mut checksum: Option<u64> = None;
+    let mut pairs: Vec<(u64, u64, u64, u64, u64)> = Vec::new();
+    for line in stdout.lines() {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("outputs_total") => outputs_total = Some(it.next().unwrap().parse().unwrap()),
+            Some("checksum") => {
+                checksum = Some(u64::from_str_radix(it.next().unwrap(), 16).unwrap())
+            }
+            Some("pair") => {
+                let mut next = || it.next().unwrap().parse::<u64>().unwrap();
+                pairs.push((next(), next(), next(), next(), next()));
+            }
+            _ => {}
+        }
+    }
+    let outputs_total = outputs_total.expect("collector printed outputs_total");
+    let checksum = checksum.expect("collector printed checksum");
+    assert!(outputs_total > 0, "multi-process cluster produced nothing");
+    assert_eq!(pairs.len() as u64, outputs_total);
+
+    // The same seeded workload inside one process over channels.
+    let report = run_threaded(&equivalent_config());
+    let mut expected: Vec<(u64, u64, u64, u64, u64)> =
+        report.captured.iter().map(|p| (p.key, p.left.0, p.left.1, p.right.0, p.right.1)).collect();
+    expected.sort_unstable();
+    pairs.sort_unstable();
+
+    assert_eq!(outputs_total, report.outputs_total, "output counts diverge");
+    assert_eq!(checksum, report.output_checksum, "checksums diverge");
+    assert_eq!(pairs, expected, "multi-process outputs != threaded outputs");
+}

@@ -134,11 +134,7 @@ fn adaptive_dod_grows_under_overload() {
     cfg.keys = windjoin_gen::KeyDist::Uniform { domain: 5_000 };
     cfg.run_us = 40_000_000;
     let report = run_sim(&cfg);
-    assert!(
-        report.final_degree > 1,
-        "degree stayed at {} despite overload",
-        report.final_degree
-    );
+    assert!(report.final_degree > 1, "degree stayed at {} despite overload", report.final_degree);
 }
 
 #[test]
@@ -151,11 +147,7 @@ fn adaptive_dod_shrinks_when_idle() {
     cfg.rate = windjoin_gen::RateSchedule::constant(20.0);
     cfg.run_us = 60_000_000;
     let report = run_sim(&cfg);
-    assert!(
-        report.final_degree < 4,
-        "degree stayed at {} despite idleness",
-        report.final_degree
-    );
+    assert!(report.final_degree < 4, "degree stayed at {} despite idleness", report.final_degree);
 }
 
 #[test]

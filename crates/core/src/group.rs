@@ -67,7 +67,11 @@ impl<E: ProbeEngine> PartitionGroup<E> {
             Some(t) => (t.max_depth, Some(t.theta_blocks)),
             None => (0, None),
         };
-        PartitionGroup { dir: Directory::new(max_depth, MiniGroup::new(mg_cfg)), mg_cfg, theta_blocks: theta }
+        PartitionGroup {
+            dir: Directory::new(max_depth, MiniGroup::new(mg_cfg)),
+            mg_cfg,
+            theta_blocks: theta,
+        }
     }
 
     /// Inserts one tuple into its mini-group, splitting overflowing
@@ -127,7 +131,12 @@ impl<E: ProbeEngine> PartitionGroup<E> {
     ///
     /// Call after [`PartitionGroup::flush_all`]; merging requires sealed
     /// windows.
-    pub fn expire_and_tune(&mut self, watermark: u64, out: &mut Vec<OutPair>, work: &mut WorkStats) {
+    pub fn expire_and_tune(
+        &mut self,
+        watermark: u64,
+        out: &mut Vec<OutPair>,
+        work: &mut WorkStats,
+    ) {
         for (_, _, mg) in self.dir.iter_mut() {
             mg.expire_to(watermark, out, work);
         }
@@ -142,7 +151,9 @@ impl<E: ProbeEngine> PartitionGroup<E> {
             let mut merged_any = false;
             for pattern in candidates {
                 // The bucket may already have been merged away this round.
-                if self.dir.pattern(pattern) != pattern || self.dir.get(pattern).total_blocks() >= theta {
+                if self.dir.pattern(pattern) != pattern
+                    || self.dir.get(pattern).total_blocks() >= theta
+                {
                     continue;
                 }
                 let outcome = self.dir.try_merge(
@@ -215,7 +226,8 @@ impl<E: ProbeEngine> PartitionGroup<E> {
         }
         for b in state.buckets {
             debug_assert_eq!(group.dir.local_depth(b.pattern), b.depth);
-            *group.dir.get_mut(b.pattern) = MiniGroup::from_parts(group.mg_cfg, b.left, b.right, work);
+            *group.dir.get_mut(b.pattern) =
+                MiniGroup::from_parts(group.mg_cfg, b.left, b.right, work);
         }
         group
     }
@@ -341,7 +353,8 @@ mod tests {
         g.flush_all(&mut out, &mut work);
 
         let state = g.extract_state(&mut work);
-        let mut g2: PartitionGroup<CountedEngine> = PartitionGroup::from_state(&p, state, &mut work);
+        let mut g2: PartitionGroup<CountedEngine> =
+            PartitionGroup::from_state(&p, state, &mut work);
         let baseline_out_len = out.len();
         g2.insert(Tuple::new(Side::Right, 150, 3, 0), &mut out, &mut work);
         g2.flush_all(&mut out, &mut work);

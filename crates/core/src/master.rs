@@ -71,7 +71,8 @@ impl MasterCore {
         assert!(initial_active >= 1 && initial_active <= total_slaves);
         params.validate().expect("invalid parameters");
         let map: Vec<usize> = (0..params.npart).map(|p| (p as usize) % initial_active).collect();
-        let buf = PartitionedBuffer::new(params.npart, params.tuple_bytes, params.slave_buffer_bytes);
+        let buf =
+            PartitionedBuffer::new(params.npart, params.tuple_bytes, params.slave_buffer_bytes);
         MasterCore {
             active: (0..total_slaves).map(|s| s < initial_active).collect(),
             map,
@@ -216,14 +217,11 @@ impl MasterCore {
                         .copied()
                         .filter(|&s| !self.pending_moves.iter().any(|m| m.to == s))
                         .collect();
-                    let Some(&victim) = eligible
-                        .iter()
-                        .min_by(|&&a, &&b| {
-                            let fa = self.occupancy[a].unwrap_or(0.0);
-                            let fb = self.occupancy[b].unwrap_or(0.0);
-                            fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
-                        })
-                    else {
+                    let Some(&victim) = eligible.iter().min_by(|&&a, &&b| {
+                        let fa = self.occupancy[a].unwrap_or(0.0);
+                        let fb = self.occupancy[b].unwrap_or(0.0);
+                        fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+                    }) else {
                         return plan; // every consumer has an inbound move
                     };
                     self.active[victim] = false;

@@ -5,8 +5,7 @@
 
 use crate::probe::scan_run;
 use crate::{
-    hash::tuning_hash, JoinSemantics, OutPair, ProbeEngine, Side, Tuple, WindowPartition,
-    WorkStats,
+    hash::tuning_hash, JoinSemantics, OutPair, ProbeEngine, Side, Tuple, WindowPartition, WorkStats,
 };
 use windjoin_exthash::SplitBit;
 
@@ -43,7 +42,12 @@ impl<E: ProbeEngine> MiniGroup<E> {
 
     /// Rebuilds a mini-group from sealed, time-ordered per-side tuples
     /// (state installation / split / merge). Charges `tuples_moved`.
-    pub fn from_parts(cfg: MiniGroupCfg, left: Vec<Tuple>, right: Vec<Tuple>, work: &mut WorkStats) -> Self {
+    pub fn from_parts(
+        cfg: MiniGroupCfg,
+        left: Vec<Tuple>,
+        right: Vec<Tuple>,
+        work: &mut WorkStats,
+    ) -> Self {
         work.tuples_moved += (left.len() + right.len()) as u64;
         let mut engine = E::default();
         let lw = WindowPartition::from_tuples(Side::Left, cfg.block_tuples, left);
@@ -178,18 +182,28 @@ impl<E: ProbeEngine> MiniGroup<E> {
     pub fn split_by(&mut self, bit: SplitBit, work: &mut WorkStats) -> MiniGroup<E> {
         assert_eq!(self.fresh_count(), 0, "flush before splitting");
         let cfg = self.cfg;
-        let left = std::mem::replace(&mut self.left, WindowPartition::new(Side::Left, cfg.block_tuples));
-        let right = std::mem::replace(&mut self.right, WindowPartition::new(Side::Right, cfg.block_tuples));
+        let left =
+            std::mem::replace(&mut self.left, WindowPartition::new(Side::Left, cfg.block_tuples));
+        let right =
+            std::mem::replace(&mut self.right, WindowPartition::new(Side::Right, cfg.block_tuples));
 
         let mut stay = (Vec::new(), Vec::new());
         let mut go = (Vec::new(), Vec::new());
         for t in left.into_tuples() {
             work.hash_ops += 1;
-            if bit.goes_to_sibling(tuning_hash(t.key)) { go.0.push(t) } else { stay.0.push(t) }
+            if bit.goes_to_sibling(tuning_hash(t.key)) {
+                go.0.push(t)
+            } else {
+                stay.0.push(t)
+            }
         }
         for t in right.into_tuples() {
             work.hash_ops += 1;
-            if bit.goes_to_sibling(tuning_hash(t.key)) { go.1.push(t) } else { stay.1.push(t) }
+            if bit.goes_to_sibling(tuning_hash(t.key)) {
+                go.1.push(t)
+            } else {
+                stay.1.push(t)
+            }
         }
         *self = MiniGroup::from_parts(cfg, stay.0, stay.1, work);
         MiniGroup::from_parts(cfg, go.0, go.1, work)
@@ -200,8 +214,10 @@ impl<E: ProbeEngine> MiniGroup<E> {
         assert_eq!(self.fresh_count(), 0, "flush before merging");
         assert_eq!(other.fresh_count(), 0, "flush buddy before merging");
         let cfg = self.cfg;
-        let left = std::mem::replace(&mut self.left, WindowPartition::new(Side::Left, cfg.block_tuples));
-        let right = std::mem::replace(&mut self.right, WindowPartition::new(Side::Right, cfg.block_tuples));
+        let left =
+            std::mem::replace(&mut self.left, WindowPartition::new(Side::Left, cfg.block_tuples));
+        let right =
+            std::mem::replace(&mut self.right, WindowPartition::new(Side::Right, cfg.block_tuples));
         let merged_left = merge_ordered(left.into_tuples(), other.left.into_tuples());
         let merged_right = merge_ordered(right.into_tuples(), other.right.into_tuples());
         *self = MiniGroup::from_parts(cfg, merged_left, merged_right, work);
@@ -328,8 +344,8 @@ mod tests {
             tl(0, 7, 0),
             tl(1, 7, 1),
             tl(2, 7, 2),
-            tl(3, 7, 3), // head full -> flush/seal
-            tr(900, 7, 0), // fresh (block not full, batch continues)
+            tl(3, 7, 3),     // head full -> flush/seal
+            tr(900, 7, 0),   // fresh (block not full, batch continues)
             tl(5_000, 8, 4), // advances watermark; left block expires
         ];
         let out = run::<ExactEngine>(&tuples);

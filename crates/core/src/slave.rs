@@ -22,8 +22,16 @@ pub struct SlaveCore<E: ProbeEngine> {
 impl<E: ProbeEngine> SlaveCore<E> {
     /// An empty slave owning no partitions yet.
     pub fn new(id: usize, params: Params) -> Self {
-        let buffer = PartitionedBuffer::new(params.npart, params.tuple_bytes, params.slave_buffer_bytes);
-        SlaveCore { id, params, groups: BTreeMap::new(), buffer, watermark: 0, occupancy_samples: Vec::new() }
+        let buffer =
+            PartitionedBuffer::new(params.npart, params.tuple_bytes, params.slave_buffer_bytes);
+        SlaveCore {
+            id,
+            params,
+            groups: BTreeMap::new(),
+            buffer,
+            watermark: 0,
+            occupancy_samples: Vec::new(),
+        }
     }
 
     /// This slave's identifier (as known to the master).
@@ -127,12 +135,14 @@ impl<E: ProbeEngine> SlaveCore<E> {
 
     /// Installs a transferred partition (§IV-C). Pending tuples carried
     /// with the state are re-buffered for the next processing pass.
-    pub fn install_group(&mut self, pid: u32, state: GroupState, pending: Vec<Tuple>, work: &mut WorkStats) {
-        assert!(
-            !self.groups.contains_key(&pid),
-            "slave {} already owns partition {pid}",
-            self.id
-        );
+    pub fn install_group(
+        &mut self,
+        pid: u32,
+        state: GroupState,
+        pending: Vec<Tuple>,
+        work: &mut WorkStats,
+    ) {
+        assert!(!self.groups.contains_key(&pid), "slave {} already owns partition {pid}", self.id);
         work.tuples_moved += pending.len() as u64;
         let group = PartitionGroup::from_state(&self.params, state, work);
         self.groups.insert(pid, group);
@@ -303,9 +313,7 @@ mod tests {
         // partition lagging behind the global clock, e.g. held during a
         // state move, must keep its blocks), so touch every partition.
         s.receive_batch(
-            (0..400u64)
-                .map(|i| Tuple::new(Side::Right, 100_000_000 + i, i, i))
-                .collect(),
+            (0..400u64).map(|i| Tuple::new(Side::Right, 100_000_000 + i, i, i)).collect(),
         );
         s.process_pending(&mut out, &mut work);
         assert!(

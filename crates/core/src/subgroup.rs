@@ -29,7 +29,12 @@ pub fn slot_offset_us(slot: u32, ng: u32, dist_epoch_us: u64) -> u64 {
 /// returned here in **bytes** for `rate` tuples/s, epoch `t_d` (µs) and
 /// `tuple_bytes`-sized tuples. Experiment X2 validates the bound against
 /// measured peaks.
-pub fn master_buffer_bound_bytes(rate: f64, dist_epoch_us: u64, ng: u32, tuple_bytes: usize) -> f64 {
+pub fn master_buffer_bound_bytes(
+    rate: f64,
+    dist_epoch_us: u64,
+    ng: u32,
+    tuple_bytes: usize,
+) -> f64 {
     assert!(ng > 0);
     let td_s = dist_epoch_us as f64 / 1e6;
     rate * td_s / 2.0 * (1.0 + 1.0 / ng as f64) * tuple_bytes as f64

@@ -153,6 +153,9 @@ mod tests {
             td2 = tuning.next_epoch(td2, comm, 0.5);
         }
         let ratio = td as f64 / td2 as f64;
-        assert!((0.3..3.4).contains(&ratio), "both directions settle near one point ({td} vs {td2})");
+        assert!(
+            (0.3..3.4).contains(&ratio),
+            "both directions settle near one point ({td} vs {td2})"
+        );
     }
 }

@@ -31,7 +31,13 @@ impl WindowPartition {
     /// An empty window for `side` with `block_tuples` tuples per block.
     pub fn new(side: Side, block_tuples: usize) -> Self {
         assert!(block_tuples > 0, "blocks must hold at least one tuple");
-        WindowPartition { side, block_tuples, blocks: VecDeque::new(), fresh_start: 0, tuple_count: 0 }
+        WindowPartition {
+            side,
+            block_tuples,
+            blocks: VecDeque::new(),
+            fresh_start: 0,
+            tuple_count: 0,
+        }
     }
 
     /// Rebuilds a window from already-sealed, time-ordered tuples (state
@@ -144,7 +150,12 @@ impl WindowPartition {
     /// Drops and returns the oldest block if it is fully expired at
     /// `watermark`: `newest_t + window_us + lag_us < watermark`. A block
     /// holding fresh tuples never expires.
-    pub fn pop_expired_front(&mut self, watermark: u64, window_us: u64, lag_us: u64) -> Option<Block> {
+    pub fn pop_expired_front(
+        &mut self,
+        watermark: u64,
+        window_us: u64,
+        lag_us: u64,
+    ) -> Option<Block> {
         let front = self.blocks.front()?;
         let is_head = self.blocks.len() == 1;
         if is_head && self.fresh_count() > 0 {

@@ -14,29 +14,26 @@
 use proptest::prelude::*;
 use windjoin_core::{
     probe::{CountedEngine, ExactEngine},
-    reference_join, OutPair, Params, ProbeEngine, Side, SlaveCore, Tuple, TuningParams,
-    WorkStats,
+    reference_join, OutPair, Params, ProbeEngine, Side, SlaveCore, TuningParams, Tuple, WorkStats,
 };
 
 /// A compact generated workload: arrival gaps, keys from a small domain
 /// (to force matches), sides.
 fn workload(max_len: usize, key_domain: u64) -> impl Strategy<Value = Vec<Tuple>> {
-    proptest::collection::vec(
-        (0u64..50, 0..key_domain, any::<bool>()),
-        1..max_len,
+    proptest::collection::vec((0u64..50, 0..key_domain, any::<bool>()), 1..max_len).prop_map(
+        |items| {
+            let mut t = 0u64;
+            let mut seqs = [0u64; 2];
+            let mut out = Vec::with_capacity(items.len());
+            for (gap, key, is_left) in items {
+                t += gap;
+                let side = if is_left { Side::Left } else { Side::Right };
+                out.push(Tuple::new(side, t, key, seqs[side.index()]));
+                seqs[side.index()] += 1;
+            }
+            out
+        },
     )
-    .prop_map(|items| {
-        let mut t = 0u64;
-        let mut seqs = [0u64; 2];
-        let mut out = Vec::with_capacity(items.len());
-        for (gap, key, is_left) in items {
-            t += gap;
-            let side = if is_left { Side::Left } else { Side::Right };
-            out.push(Tuple::new(side, t, key, seqs[side.index()]));
-            seqs[side.index()] += 1;
-        }
-        out
-    })
 }
 
 fn params(block_bytes: usize, window_us: u64, tuning: Option<TuningParams>) -> Params {
@@ -51,7 +48,11 @@ fn params(block_bytes: usize, window_us: u64, tuning: Option<TuningParams>) -> P
 }
 
 /// Runs a whole workload through one slave in `chunk`-sized batches.
-fn run_slave<E: ProbeEngine>(p: &Params, tuples: &[Tuple], chunk: usize) -> (Vec<OutPair>, WorkStats) {
+fn run_slave<E: ProbeEngine>(
+    p: &Params,
+    tuples: &[Tuple],
+    chunk: usize,
+) -> (Vec<OutPair>, WorkStats) {
     let mut s: SlaveCore<E> = SlaveCore::new(0, p.clone());
     for pid in 0..p.npart {
         s.create_group(pid);

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use windjoin_core::probe::ExactEngine;
 use windjoin_core::{
-    Params, PartitionGroup, Side, Tuple, TuningParams, WindowPartition, WorkStats,
+    Params, PartitionGroup, Side, TuningParams, Tuple, WindowPartition, WorkStats,
 };
 
 #[derive(Debug, Clone)]

@@ -205,9 +205,7 @@ impl<B> Directory<B> {
 
     /// Consumes the directory, yielding every distinct bucket payload.
     pub fn into_buckets(self) -> impl Iterator<Item = (u64, u8, B)> {
-        self.slots
-            .into_iter()
-            .filter_map(|s| s.map(|s| (s.pattern, s.local_depth, s.payload)))
+        self.slots.into_iter().filter_map(|s| s.map(|s| (s.pattern, s.local_depth, s.payload)))
     }
 
     fn alloc_slot(&mut self, slot: Slot<B>) -> u32 {
@@ -321,11 +319,8 @@ impl<B> Directory<B> {
             }
         }
         // Keep the bucket whose pattern has the buddy bit clear.
-        let (keep_idx, drop_idx) = if pattern & buddy_bit == 0 {
-            (slot_idx, buddy_idx)
-        } else {
-            (buddy_idx, slot_idx)
-        };
+        let (keep_idx, drop_idx) =
+            if pattern & buddy_bit == 0 { (slot_idx, buddy_idx) } else { (buddy_idx, slot_idx) };
         let dropped = self.slots[drop_idx as usize].take().expect("live slot");
         self.free.push(drop_idx);
         self.bucket_count -= 1;
@@ -460,10 +455,7 @@ mod tests {
         assert_eq!(dir.global_depth(), 2);
         assert_eq!(dir.bucket_count(), 4);
         dir.check_invariants();
-        assert_eq!(
-            collect_patterns(&dir),
-            vec![(0b00, 2), (0b01, 2), (0b10, 2), (0b11, 2)]
-        );
+        assert_eq!(collect_patterns(&dir), vec![(0b00, 2), (0b01, 2), (0b10, 2), (0b11, 2)]);
         for h in 0..8u64 {
             assert!(dir.get(h).contains(&h), "hash {h} routed correctly");
         }
@@ -497,9 +489,9 @@ mod tests {
         let mut dir: Directory<Vec<u64>> = Directory::new(4, (0..16u64).collect());
         dir.split(0, vec_split).unwrap(); // depth 1 / depth 1
         dir.split(0, vec_split).unwrap(); // bucket 00 depth 2, bucket 1 depth 1
-        // Buddy of bucket(0b00) at depth 2 is bucket(0b10), also depth 2 — ok.
-        // But buddy of bucket(0b01) (depth 1) ... has depth 1; buddy is
-        // pattern 0b00 which has depth 2 -> mismatch.
+                                          // Buddy of bucket(0b00) at depth 2 is bucket(0b10), also depth 2 — ok.
+                                          // But buddy of bucket(0b01) (depth 1) ... has depth 1; buddy is
+                                          // pattern 0b00 which has depth 2 -> mismatch.
         let out = dir.try_merge(1, |_, _| true, |k, g| k.extend(g));
         assert_eq!(out, MergeOutcome::DepthMismatch);
         dir.check_invariants();
@@ -518,10 +510,7 @@ mod tests {
     #[test]
     fn merge_depth_zero_has_no_buddy() {
         let mut dir: Directory<Vec<u64>> = Directory::new(4, vec![1u64]);
-        assert_eq!(
-            dir.try_merge(0, |_, _| true, |_, _| {}),
-            MergeOutcome::NoBuddy
-        );
+        assert_eq!(dir.try_merge(0, |_, _| true, |_, _| {}), MergeOutcome::NoBuddy);
     }
 
     #[test]

@@ -76,11 +76,8 @@ impl PoissonArrivals {
         if rate <= 0.0 {
             // A zero-rate segment: jump to the next step with a positive
             // rate, or end the stream if none exists.
-            let next = self
-                .schedule
-                .steps
-                .iter()
-                .find(|(from, r)| *from > self.now_us && *r > 0.0)?;
+            let next =
+                self.schedule.steps.iter().find(|(from, r)| *from > self.now_us && *r > 0.0)?;
             return Some(next.0 - self.now_us);
         }
         // Inverse-transform sampling; 1 - U avoids ln(0).
@@ -134,17 +131,17 @@ mod tests {
         // 1500 t/s over 20 simulated seconds -> ~30000 arrivals.
         let p = PoissonArrivals::new(RateSchedule::constant(1500.0), 7);
         let n = p.take_while(|&t| t <= 20_000_000).count();
-        assert!(
-            (27_000..33_000).contains(&n),
-            "got {n} arrivals, expected ~30000"
-        );
+        assert!((27_000..33_000).contains(&n), "got {n} arrivals, expected ~30000");
     }
 
     #[test]
     fn poisson_is_deterministic_per_seed() {
-        let a: Vec<u64> = PoissonArrivals::new(RateSchedule::constant(100.0), 9).take(100).collect();
-        let b: Vec<u64> = PoissonArrivals::new(RateSchedule::constant(100.0), 9).take(100).collect();
-        let c: Vec<u64> = PoissonArrivals::new(RateSchedule::constant(100.0), 10).take(100).collect();
+        let a: Vec<u64> =
+            PoissonArrivals::new(RateSchedule::constant(100.0), 9).take(100).collect();
+        let b: Vec<u64> =
+            PoissonArrivals::new(RateSchedule::constant(100.0), 9).take(100).collect();
+        let c: Vec<u64> =
+            PoissonArrivals::new(RateSchedule::constant(100.0), 10).take(100).collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -175,9 +172,7 @@ mod tests {
     #[test]
     fn step_up_doubles_arrival_density() {
         let s = RateSchedule::steps(vec![(0, 500.0), (10_000_000, 1000.0)]);
-        let arr: Vec<u64> = PoissonArrivals::new(s, 21)
-            .take_while(|&t| t <= 20_000_000)
-            .collect();
+        let arr: Vec<u64> = PoissonArrivals::new(s, 21).take_while(|&t| t <= 20_000_000).collect();
         let lo = arr.iter().filter(|&&t| t <= 10_000_000).count();
         let hi = arr.len() - lo;
         assert!(hi > lo * 3 / 2, "second half ({hi}) should be ~2x first half ({lo})");

@@ -136,10 +136,7 @@ mod tests {
             *counts.entry(s).or_insert(0u64) += 1;
         }
         // Empirical sum p_k^2.
-        let q_emp: f64 = counts
-            .values()
-            .map(|&c| (c as f64 / n as f64).powi(2))
-            .sum();
+        let q_emp: f64 = counts.values().map(|&c| (c as f64 / n as f64).powi(2)).sum();
         let q_model = m.collision_probability();
         assert!(
             q_emp > q_model * 0.5 && q_emp < q_model * 2.0,

@@ -35,11 +35,7 @@ impl StreamSpec {
     /// The paper's Table I default for one stream: Poisson λ=1500,
     /// b-model(0.7) keys over `[0, 10^7)`.
     pub fn paper_default(seed: u64) -> Self {
-        StreamSpec {
-            rate: RateSchedule::constant(1500.0),
-            keys: KeyDist::paper_default(),
-            seed,
-        }
+        StreamSpec { rate: RateSchedule::constant(1500.0), keys: KeyDist::paper_default(), seed }
     }
 
     /// Instantiates the infinite arrival iterator for stream id `stream`.

@@ -119,10 +119,7 @@ mod tests {
         let counts = freq(1000, s, 400_000, 3);
         let ratio = counts[0] as f64 / counts[1] as f64;
         let expect = 2f64.powf(s);
-        assert!(
-            (ratio / expect - 1.0).abs() < 0.15,
-            "ratio {ratio:.2} vs expected {expect:.2}"
-        );
+        assert!((ratio / expect - 1.0).abs() < 0.15, "ratio {ratio:.2} vs expected {expect:.2}");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property tests for the workload generators.
 
 use proptest::prelude::*;
-use windjoin_gen::{merge_streams, BModel, KeyDist, PoissonArrivals, RateSchedule, StreamSpec, Zipf};
+use windjoin_gen::{
+    merge_streams, BModel, KeyDist, PoissonArrivals, RateSchedule, StreamSpec, Zipf,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

@@ -80,11 +80,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "# {}", self.title);
         for (i, row) in cells.iter().enumerate() {
-            let line: Vec<String> = row
-                .iter()
-                .zip(&widths)
-                .map(|(s, w)| format!("{s:>w$}", w = w))
-                .collect();
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(s, w)| format!("{s:>w$}", w = w)).collect();
             let _ = writeln!(out, "{}", line.join("  "));
             if i == 0 {
                 let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
@@ -100,10 +97,8 @@ impl Table {
         let _ = writeln!(out, "# {}", self.title);
         let _ = writeln!(out, "{}", self.headers.join(","));
         for r in &self.rows {
-            let line: Vec<String> = r
-                .iter()
-                .map(|&v| v.map(|v| format!("{v}")).unwrap_or_default())
-                .collect();
+            let line: Vec<String> =
+                r.iter().map(|&v| v.map(|v| format!("{v}")).unwrap_or_default()).collect();
             let _ = writeln!(out, "{}", line.join(","));
         }
         out

@@ -74,9 +74,9 @@ impl TimeSeries {
 
     /// Largest bin mean (`None` when empty).
     pub fn peak(&self) -> Option<f64> {
-        (0..self.len()).filter_map(|i| self.bin_mean(i)).fold(None, |acc, m| {
-            Some(acc.map_or(m, |a: f64| a.max(m)))
-        })
+        (0..self.len())
+            .filter_map(|i| self.bin_mean(i))
+            .fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.max(m))))
     }
 }
 

@@ -11,17 +11,28 @@
 //! * [`message`] — the protocol messages exchanged between master,
 //!   slaves and collector (tuple batches, occupancy reports, move
 //!   directives, partition state, acks, results), with a binary codec.
-//! * [`transport`] — rank-addressed blocking channels (crossbeam) with
-//!   bounded capacity, used by the threaded runtime. Receiving blocks
-//!   until the sender's message arrives, mirroring the blocking
-//!   communication the paper's §III is designed around.
+//! * [`transport`] — the pluggable [`Transport`]/[`TransportEndpoint`]
+//!   trait pair plus the in-process backend: rank-addressed blocking
+//!   channels with bounded capacity. Receiving blocks until the
+//!   sender's message arrives, mirroring the blocking communication
+//!   the paper's §III is designed around.
+//! * [`tcp`] — the socket backend: length-prefixed frames over
+//!   `TcpStream`, a rank-handshake mesh bootstrap, and per-peer reader
+//!   threads feeding a bounded inbox (backpressure through TCP flow
+//!   control). One rank per OS process — the shared-nothing deployment
+//!   the paper actually ran.
 
 #![warn(missing_docs)]
 
 pub mod message;
+pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use message::Message;
-pub use transport::{Endpoint, Frame, Network};
+pub use tcp::{FrameDecoder, TcpEndpoint, TcpNetwork};
+pub use transport::{
+    ChannelEndpoint, ChannelNetwork, Disconnected, Endpoint, Frame, Network, Transport,
+    TransportEndpoint,
+};
 pub use wire::{decode_batch, encode_batch, Tagging, TUPLE_WIRE_BYTES};

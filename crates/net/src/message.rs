@@ -163,7 +163,9 @@ impl Message {
                 }
                 let pid = buf.get_u32_le();
                 let nbuckets = buf.get_u32_le() as usize;
-                let mut buckets = Vec::with_capacity(nbuckets);
+                // Untrusted count: cap the pre-allocation by the bytes
+                // actually present (each bucket needs ≥ 9 bytes).
+                let mut buckets = Vec::with_capacity(nbuckets.min(buf.remaining() / 9));
                 for _ in 0..nbuckets {
                     if buf.remaining() < 9 {
                         return Err(WireError::Truncated);
@@ -190,7 +192,8 @@ impl Message {
                     return Err(WireError::Truncated);
                 }
                 let n = buf.get_u32_le() as usize;
-                let mut pairs = Vec::with_capacity(n);
+                // Untrusted count: each pair occupies 40 bytes.
+                let mut pairs = Vec::with_capacity(n.min(buf.remaining() / 40));
                 for _ in 0..n {
                     pairs.push(get_pair(&mut buf)?);
                 }

@@ -1,0 +1,658 @@
+//! Real socket-based cluster transport: length-prefixed frames over
+//! TCP, one OS process (or thread) per rank.
+//!
+//! The paper runs its master/slave/collector nodes over mpiJava on a
+//! real shared-nothing cluster; this module supplies the equivalent
+//! substrate for the Rust reproduction:
+//!
+//! * **Framing** — every payload travels as `[len: u32 LE][bytes]`
+//!   ([`encode_frame`] / [`FrameDecoder`]). The decoder is incremental
+//!   and handles arbitrarily torn reads (a length prefix split across
+//!   TCP segments, frames spanning reads, several frames per read).
+//! * **Bootstrap** — a rank-handshake mesh: every rank listens on its
+//!   address from the shared peer list; for each pair the higher rank
+//!   dials the lower and announces itself with a `HELLO` (magic,
+//!   protocol version, rank). Once a rank holds all `n-1` connections
+//!   it runs a barrier through rank 0 (`READY`/`GO`), so the full mesh
+//!   exists before any protocol traffic flows.
+//! * **Semantics** — [`TcpEndpoint`] preserves the paper's §III
+//!   blocking regime: `recv` parks on a bounded inbox fed by per-peer
+//!   reader threads; when the inbox is full the readers stop pulling
+//!   off their sockets, so TCP flow control propagates backpressure to
+//!   the sender exactly like the bounded channel backend does.
+//!
+//! [`TcpNetwork::establish`] is the multi-process entry point (used by
+//! the `windjoin-node` binary); [`TcpNetwork::loopback`] builds an
+//! in-process mesh over `127.0.0.1` for tests and demos.
+
+use crate::transport::{Disconnected, Frame, Transport, TransportEndpoint};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Bytes of the `[len: u32 LE]` prefix in front of every frame.
+pub const FRAME_HEADER_BYTES: usize = 4;
+
+/// Upper bound on a single frame's payload. Frames are epoch batches
+/// (thousands of 64-byte tuples) or partition states; 256 MiB is far
+/// above anything legitimate and stops a corrupt or hostile length
+/// prefix from driving an unbounded allocation.
+pub const MAX_FRAME_BYTES: usize = 256 * 1024 * 1024;
+
+const HELLO_MAGIC: u32 = 0x574A_4E31; // "WJN1"
+const PROTO_VERSION: u8 = 1;
+const CTRL_READY: u8 = 0xA1;
+const CTRL_GO: u8 = 0xA2;
+
+/// Frame-codec failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix announces a frame above [`MAX_FRAME_BYTES`].
+    TooLarge(u32),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_BYTES} byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one payload as a length-prefixed wire frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME_BYTES, "frame exceeds MAX_FRAME_BYTES");
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental decoder for length-prefixed frames.
+///
+/// Feed it whatever the socket yields — bytes arrive in arbitrary
+/// chunks — and pop complete frames as they materialize:
+///
+/// ```
+/// use windjoin_net::tcp::{encode_frame, FrameDecoder};
+///
+/// let wire = [encode_frame(b"one"), encode_frame(b"two")].concat();
+/// let mut dec = FrameDecoder::new();
+/// // Torn delivery: split mid-prefix and mid-payload.
+/// dec.feed(&wire[..3]);
+/// assert!(dec.next_frame().unwrap().is_none());
+/// dec.feed(&wire[3..9]);
+/// assert_eq!(&dec.next_frame().unwrap().unwrap()[..], b"one");
+/// dec.feed(&wire[9..]);
+/// assert_eq!(&dec.next_frame().unwrap().unwrap()[..], b"two");
+/// assert!(dec.next_frame().unwrap().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read position within `buf`; consumed bytes are compacted lazily.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by one
+        // maximal frame plus one read.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pops the next complete frame, if one is buffered.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER_BYTES {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..FRAME_HEADER_BYTES].try_into().unwrap());
+        if len as usize > MAX_FRAME_BYTES {
+            return Err(FrameError::TooLarge(len));
+        }
+        let total = FRAME_HEADER_BYTES + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = Bytes::from(avail[FRAME_HEADER_BYTES..total].to_vec());
+        self.pos += total;
+        Ok(Some(payload))
+    }
+}
+
+/// Time left until `deadline`, floored at 1 ms (`set_read_timeout`
+/// rejects a zero duration).
+fn remaining(deadline: Instant) -> Duration {
+    deadline.saturating_duration_since(Instant::now()).max(Duration::from_millis(1))
+}
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+fn read_exact_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut hdr = [0u8; FRAME_HEADER_BYTES];
+    stream.read_exact(&mut hdr)?;
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            FrameError::TooLarge(len as u32),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Builder for socket-backed cluster meshes.
+///
+/// This type is a namespace for the two bootstrap paths; the network
+/// itself lives in the resulting [`TcpEndpoint`]s (one per process or
+/// thread), not in a central object — it is a shared-nothing mesh.
+#[derive(Debug)]
+pub struct TcpNetwork {
+    endpoints: Vec<Option<TcpEndpoint>>,
+}
+
+impl TcpNetwork {
+    /// Establishes this rank's corner of the full mesh, blocking until
+    /// every pairwise connection exists and the rank-0 barrier has
+    /// released the run.
+    ///
+    /// `peers[r]` is the address rank `r` listens on; `peers.len()` is
+    /// the cluster size. Dial retries cover slow-starting peers up to
+    /// `timeout`.
+    pub fn establish(
+        rank: usize,
+        peers: &[SocketAddr],
+        capacity: usize,
+        timeout: Duration,
+    ) -> std::io::Result<TcpEndpoint> {
+        let listener = TcpListener::bind(peers[rank])?;
+        Self::establish_with_listener(rank, peers, listener, capacity, timeout)
+    }
+
+    /// [`establish`](Self::establish) with a pre-bound listener —
+    /// lets a caller bind port 0 first and share the resolved
+    /// addresses (the loopback path).
+    pub fn establish_with_listener(
+        rank: usize,
+        peers: &[SocketAddr],
+        listener: TcpListener,
+        capacity: usize,
+        timeout: Duration,
+    ) -> std::io::Result<TcpEndpoint> {
+        let n = peers.len();
+        assert!(rank < n, "rank out of range");
+        assert!(capacity > 0, "capacity must be positive");
+        let deadline = Instant::now() + timeout;
+
+        // Accept side: ranks above ours dial us and announce themselves.
+        // The deadline applies here too — a rank that never starts must
+        // fail the whole bootstrap, not hang the ranks waiting on it.
+        let expected_inbound = n - 1 - rank;
+        let acceptor = std::thread::spawn(move || -> std::io::Result<Vec<(usize, TcpStream)>> {
+            listener.set_nonblocking(true)?;
+            let mut inbound = Vec::with_capacity(expected_inbound);
+            while inbound.len() < expected_inbound {
+                let (mut stream, _) = match listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if Instant::now() >= deadline {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                format!(
+                                    "waited for {} inbound rank(s) that never dialed",
+                                    expected_inbound - inbound.len()
+                                ),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                // Bound the hello read: a dialer that connects but
+                // never announces must not stall the mesh.
+                stream.set_read_timeout(Some(remaining(deadline)))?;
+                let hello = read_exact_frame(&mut stream)?;
+                stream.set_read_timeout(None)?;
+                let peer = parse_hello(&hello)?;
+                inbound.push((peer, stream));
+            }
+            Ok(inbound)
+        });
+
+        // Dial side: we dial every rank below ours, retrying while the
+        // peer's listener comes up.
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        for (lower, addr) in peers.iter().enumerate().take(rank) {
+            let mut stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                format!("dialing rank {lower} at {addr}: {e}"),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            };
+            stream.set_nodelay(true)?;
+            let mut hello = Vec::with_capacity(9);
+            hello.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
+            hello.push(PROTO_VERSION);
+            hello.extend_from_slice(&(rank as u32).to_le_bytes());
+            write_frame(&mut stream, &hello)?;
+            streams[lower] = Some(stream);
+        }
+
+        for (peer, stream) in acceptor.join().expect("acceptor thread panicked")? {
+            if peer <= rank || peer >= n || streams[peer].is_some() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected hello from rank {peer}"),
+                ));
+            }
+            streams[peer] = Some(stream);
+        }
+
+        // Barrier through rank 0: nobody proceeds until everyone holds
+        // the full mesh ("full mesh established before the run starts").
+        // Barrier reads share the bootstrap deadline; the timeouts are
+        // cleared before the streams go live.
+        if n > 1 {
+            if rank == 0 {
+                for s in streams.iter_mut().flatten() {
+                    s.set_read_timeout(Some(remaining(deadline)))?;
+                    let ctrl = read_exact_frame(s)?;
+                    check_ctrl(&ctrl, CTRL_READY)?;
+                    s.set_read_timeout(None)?;
+                }
+                for s in streams.iter_mut().flatten() {
+                    write_frame(s, &[CTRL_GO])?;
+                }
+            } else {
+                let zero = streams[0].as_mut().expect("stream to rank 0");
+                write_frame(zero, &[CTRL_READY])?;
+                zero.set_read_timeout(Some(remaining(deadline)))?;
+                let ctrl = read_exact_frame(zero)?;
+                check_ctrl(&ctrl, CTRL_GO)?;
+                zero.set_read_timeout(None)?;
+            }
+        }
+
+        Ok(TcpEndpoint::start(rank, streams, capacity))
+    }
+
+    /// Builds a full `n`-rank mesh over `127.0.0.1` inside one process
+    /// (ephemeral ports, no address coordination), for tests and demos.
+    pub fn loopback(n: usize, capacity: usize) -> std::io::Result<TcpNetwork> {
+        assert!(n > 0 && capacity > 0);
+        let mut listeners = Vec::with_capacity(n);
+        let mut peers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+            peers.push(l.local_addr()?);
+            listeners.push(l);
+        }
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let peers = peers.clone();
+                std::thread::spawn(move || {
+                    Self::establish_with_listener(
+                        rank,
+                        &peers,
+                        listener,
+                        capacity,
+                        Duration::from_secs(10),
+                    )
+                })
+            })
+            .collect();
+        let mut endpoints = Vec::with_capacity(n);
+        for h in handles {
+            endpoints.push(Some(h.join().expect("bootstrap thread panicked")?));
+        }
+        Ok(TcpNetwork { endpoints })
+    }
+
+    /// Number of ranks (loopback meshes only).
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True when the mesh has no ranks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Takes rank `r`'s endpoint (each rank is taken once).
+    pub fn take(&mut self, rank: usize) -> TcpEndpoint {
+        self.endpoints[rank].take().expect("endpoint already taken")
+    }
+}
+
+impl Transport for TcpNetwork {
+    type Endpoint = TcpEndpoint;
+
+    fn len(&self) -> usize {
+        TcpNetwork::len(self)
+    }
+
+    fn take(&mut self, rank: usize) -> TcpEndpoint {
+        TcpNetwork::take(self, rank)
+    }
+}
+
+fn parse_hello(frame: &[u8]) -> std::io::Result<usize> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    if frame.len() != 9 {
+        return Err(bad(format!("hello frame of {} bytes", frame.len())));
+    }
+    let magic = u32::from_le_bytes(frame[..4].try_into().unwrap());
+    if magic != HELLO_MAGIC {
+        return Err(bad(format!("bad hello magic {magic:#X}")));
+    }
+    if frame[4] != PROTO_VERSION {
+        return Err(bad(format!("protocol version {} != {PROTO_VERSION}", frame[4])));
+    }
+    Ok(u32::from_le_bytes(frame[5..9].try_into().unwrap()) as usize)
+}
+
+fn check_ctrl(frame: &[u8], expected: u8) -> std::io::Result<()> {
+    if frame != [expected] {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("expected control byte {expected:#X}, got {frame:?}"),
+        ));
+    }
+    Ok(())
+}
+
+/// One rank's handle on a TCP mesh.
+///
+/// Sends write length-prefixed frames straight onto the peer's socket
+/// (kernel buffers provide the blocking backpressure); receives drain a
+/// bounded inbox fed by one reader thread per peer — when the inbox is
+/// full the readers stop reading, so the peer's sends eventually block.
+/// Self-sends short-circuit through the inbox.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    rank: usize,
+    /// Write halves, `None` at our own rank. `Mutex` keeps concurrent
+    /// sends to the same peer from interleaving partial frames.
+    writers: Arc<Vec<Option<Mutex<TcpStream>>>>,
+    inbox_tx: Sender<Frame>,
+    inbox_rx: Receiver<Frame>,
+}
+
+impl TcpEndpoint {
+    fn start(rank: usize, streams: Vec<Option<TcpStream>>, capacity: usize) -> Self {
+        let n = streams.len();
+        let (inbox_tx, inbox_rx) = bounded(capacity);
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(n);
+        for (peer, stream) in streams.into_iter().enumerate() {
+            let Some(stream) = stream else {
+                writers.push(None);
+                continue;
+            };
+            let reader = stream.try_clone().expect("clone stream for reader");
+            writers.push(Some(Mutex::new(stream)));
+            let tx = inbox_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("wj-net-r{rank}-p{peer}"))
+                .spawn(move || reader_loop(peer, reader, tx))
+                .expect("spawn reader thread");
+        }
+        TcpEndpoint { rank, writers: Arc::new(writers), inbox_tx, inbox_rx }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the mesh.
+    pub fn network_len(&self) -> usize {
+        self.writers.len()
+    }
+
+    /// Blocking send of `payload` to rank `to`.
+    ///
+    /// Panics on a payload above [`MAX_FRAME_BYTES`]: the receiver
+    /// would drop the connection on the oversized length prefix, so
+    /// failing loudly at the source beats silently killing the link.
+    pub fn send(&self, to: usize, payload: Bytes) -> Result<(), Disconnected> {
+        assert!(
+            payload.len() <= MAX_FRAME_BYTES,
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES} byte cap",
+            payload.len()
+        );
+        if to == self.rank {
+            return self
+                .inbox_tx
+                .send(Frame { from: self.rank, payload })
+                .map_err(|_| Disconnected);
+        }
+        let writer = self.writers[to].as_ref().expect("send to unconnected rank");
+        let mut stream = writer.lock().unwrap();
+        write_frame(&mut stream, &payload).map_err(|_| Disconnected)
+    }
+
+    /// Blocking receive of the next frame addressed to this rank.
+    pub fn recv(&self) -> Result<Frame, Disconnected> {
+        self.inbox_rx.recv().map_err(|_| Disconnected)
+    }
+
+    /// Receive with a timeout; `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected> {
+        match self.inbox_rx.recv_timeout(d) {
+            Ok(f) => Ok(Some(f)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(Disconnected),
+        }
+    }
+
+    /// Non-blocking receive; `None` when the inbox is empty.
+    pub fn try_recv(&self) -> Option<Frame> {
+        self.inbox_rx.try_recv().ok()
+    }
+}
+
+impl TransportEndpoint for TcpEndpoint {
+    fn rank(&self) -> usize {
+        TcpEndpoint::rank(self)
+    }
+
+    fn network_len(&self) -> usize {
+        TcpEndpoint::network_len(self)
+    }
+
+    fn send(&self, to: usize, payload: Bytes) -> Result<(), Disconnected> {
+        TcpEndpoint::send(self, to, payload)
+    }
+
+    fn recv(&self) -> Result<Frame, Disconnected> {
+        TcpEndpoint::recv(self)
+    }
+
+    fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected> {
+        TcpEndpoint::recv_timeout(self, d)
+    }
+
+    fn try_recv(&self) -> Option<Frame> {
+        TcpEndpoint::try_recv(self)
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        // Unblock our reader threads (and tell peers we are gone):
+        // `try_clone`d fds keep the connection alive, so an explicit
+        // shutdown is required, not just dropping the write halves.
+        for writer in self.writers.iter().flatten() {
+            if let Ok(stream) = writer.lock() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+fn reader_loop(peer: usize, mut stream: TcpStream, tx: Sender<Frame>) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let nread = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return, // peer closed (or we shut down)
+            Ok(n) => n,
+        };
+        dec.feed(&buf[..nread]);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(payload)) => {
+                    // A full inbox blocks here, which stops this read
+                    // loop, which fills the kernel buffers, which
+                    // blocks the sender: end-to-end backpressure.
+                    if tx.send(Frame { from: peer, payload }).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return, // corrupt stream: drop the connection
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_codec_roundtrips_through_torn_reads() {
+        let frames: Vec<Vec<u8>> = vec![b"".to_vec(), b"a".to_vec(), vec![7u8; 100_000]];
+        let wire: Vec<u8> = frames.iter().flat_map(|f| encode_frame(f)).collect();
+        // Feed in pathological 1..7-byte slivers.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut i = 0;
+        let mut step = 1;
+        while i < wire.len() {
+            let end = (i + step).min(wire.len());
+            dec.feed(&wire[i..end]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f.to_vec());
+            }
+            i = end;
+            step = step % 7 + 1;
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_not_allocated() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&u32::MAX.to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(FrameError::TooLarge(u32::MAX)));
+    }
+
+    #[test]
+    fn loopback_mesh_delivers_across_real_sockets() {
+        let mut net = TcpNetwork::loopback(3, 64).unwrap();
+        let a = net.take(0);
+        let b = net.take(1);
+        let c = net.take(2);
+        a.send(1, Bytes::from_static(b"to-b")).unwrap();
+        c.send(1, Bytes::from_static(b"from-c")).unwrap();
+        b.send(1, Bytes::from_static(b"self")).unwrap();
+        let mut got: Vec<(usize, Vec<u8>)> = (0..3)
+            .map(|_| {
+                let f = b.recv().unwrap();
+                (f.from, f.payload.to_vec())
+            })
+            .collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![(0, b"to-b".to_vec()), (1, b"self".to_vec()), (2, b"from-c".to_vec())]
+        );
+    }
+
+    #[test]
+    fn per_sender_fifo_over_sockets() {
+        let mut net = TcpNetwork::loopback(2, 1024).unwrap();
+        let a = net.take(0);
+        let b = net.take(1);
+        for i in 0..500u32 {
+            a.send(1, Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+        }
+        for i in 0..500u32 {
+            let f = b.recv().unwrap();
+            assert_eq!(f.from, 0);
+            assert_eq!(u32::from_le_bytes(f.payload[..].try_into().unwrap()), i);
+        }
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_disconnect_or_eof() {
+        let mut net = TcpNetwork::loopback(2, 8).unwrap();
+        let a = net.take(0);
+        let b = net.take(1);
+        drop(b);
+        // The write may succeed into kernel buffers a few times before
+        // the RST lands; eventually it must fail.
+        let mut failed = false;
+        for _ in 0..1_000 {
+            if a.send(1, Bytes::from(vec![0u8; 4096])).is_err() {
+                failed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(failed, "send to a dead peer never failed");
+    }
+
+    #[test]
+    fn dial_timeout_reported() {
+        // Nobody listens on the rank-1 address; rank 1 establishing
+        // with an unreachable rank 0 must time out, not hang.
+        let peers = vec!["127.0.0.1:1".parse().unwrap(), "127.0.0.1:2".parse().unwrap()];
+        let err = TcpNetwork::establish(1, &peers, 8, Duration::from_millis(200));
+        assert!(err.is_err());
+    }
+}

@@ -1,11 +1,22 @@
-//! Rank-addressed blocking transport over crossbeam channels.
+//! Pluggable rank-addressed blocking transports.
 //!
 //! Models the communication regime the paper assumes (§III): reliable,
 //! connection-oriented, **blocking** — a receive blocks until the sender
 //! is scheduled to send, and a send blocks when the peer's inbox is full
 //! (bounded capacity models the no-unbounded-async-buffering constraint).
-//! The threaded runtime in `windjoin-cluster` runs one node per thread on
-//! top of this.
+//!
+//! Two backends implement the [`Transport`]/[`TransportEndpoint`] trait
+//! pair:
+//!
+//! * [`ChannelNetwork`] (this module) — in-process bounded channels;
+//!   one node per thread. Used by the threaded runtime and tests.
+//! * [`TcpNetwork`](crate::tcp::TcpNetwork) — real sockets with
+//!   length-prefixed framing; one node per OS process. The first true
+//!   shared-nothing deployment (the paper runs mpiJava/LAM-MPI here).
+//!
+//! The master/slave/collector node loops in `windjoin-cluster` are
+//! generic over [`TransportEndpoint`], so the same protocol code drives
+//! either backend unchanged.
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -20,21 +31,92 @@ pub struct Frame {
     pub payload: Bytes,
 }
 
-/// A fully-connected network of `n` ranks.
-#[derive(Debug)]
-pub struct Network {
-    endpoints: Vec<Option<Endpoint>>,
+/// Send-side failure: the peer is gone (channel closed / socket reset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer disconnected")
+    }
 }
 
-/// One rank's handle: send to any rank, receive from your own inbox.
+impl std::error::Error for Disconnected {}
+
+/// One rank's handle onto a cluster transport: send a frame to any
+/// rank, receive from this rank's own inbox.
+///
+/// Contract (what the protocol state machines rely on):
+///
+/// * **FIFO per sender pair** — frames from rank *a* to rank *b* are
+///   delivered in send order.
+/// * **Blocking receive** — [`recv`](TransportEndpoint::recv) parks
+///   until a frame arrives (§III's blocking communication).
+/// * **Bounded send** — [`send`](TransportEndpoint::send) may block
+///   while the peer's inbox is full; it never buffers unboundedly.
+/// * **Self-send** — a rank may send to itself; the frame is delivered
+///   through its own inbox like any other.
+pub trait TransportEndpoint: Send {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the network.
+    fn network_len(&self) -> usize;
+
+    /// Blocking send of `payload` to rank `to`.
+    fn send(&self, to: usize, payload: Bytes) -> Result<(), Disconnected>;
+
+    /// Blocking receive of the next frame addressed to this rank.
+    fn recv(&self) -> Result<Frame, Disconnected>;
+
+    /// Receive with a timeout; `Ok(None)` on timeout.
+    fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected>;
+
+    /// Non-blocking receive; `None` when the inbox is empty.
+    fn try_recv(&self) -> Option<Frame>;
+}
+
+/// A materialized network of `n` ranks whose endpoints are handed out
+/// once each (typically one per thread).
+pub trait Transport {
+    /// The endpoint type this transport hands out.
+    type Endpoint: TransportEndpoint;
+
+    /// Number of ranks.
+    fn len(&self) -> usize;
+
+    /// True when the network has no ranks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes rank `r`'s endpoint. Panics if taken twice.
+    fn take(&mut self, rank: usize) -> Self::Endpoint;
+}
+
+/// A fully-connected in-process network of `n` ranks over bounded
+/// blocking channels.
+#[derive(Debug)]
+pub struct ChannelNetwork {
+    endpoints: Vec<Option<ChannelEndpoint>>,
+}
+
+/// Backwards-compatible name for [`ChannelNetwork`] from before the
+/// transport layer grew a second (TCP) backend.
+pub type Network = ChannelNetwork;
+
+/// One rank's handle on a [`ChannelNetwork`].
 #[derive(Debug, Clone)]
-pub struct Endpoint {
+pub struct ChannelEndpoint {
     rank: usize,
     senders: Vec<Sender<Frame>>,
     receiver: Receiver<Frame>,
 }
 
-impl Network {
+/// Backwards-compatible name for [`ChannelEndpoint`].
+pub type Endpoint = ChannelEndpoint;
+
+impl ChannelNetwork {
     /// Builds a network of `n` ranks with per-inbox `capacity` frames.
     pub fn new(n: usize, capacity: usize) -> Self {
         assert!(n > 0 && capacity > 0);
@@ -48,9 +130,11 @@ impl Network {
         let endpoints = receivers
             .into_iter()
             .enumerate()
-            .map(|(rank, receiver)| Some(Endpoint { rank, senders: senders.clone(), receiver }))
+            .map(|(rank, receiver)| {
+                Some(ChannelEndpoint { rank, senders: senders.clone(), receiver })
+            })
             .collect();
-        Network { endpoints }
+        ChannelNetwork { endpoints }
     }
 
     /// Number of ranks.
@@ -65,24 +149,24 @@ impl Network {
 
     /// Takes rank `r`'s endpoint (each rank is taken once, typically by
     /// its thread).
-    pub fn take(&mut self, rank: usize) -> Endpoint {
+    pub fn take(&mut self, rank: usize) -> ChannelEndpoint {
         self.endpoints[rank].take().expect("endpoint already taken")
     }
 }
 
-/// Send-side failure: the peer's inbox channel is closed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Disconnected;
+impl Transport for ChannelNetwork {
+    type Endpoint = ChannelEndpoint;
 
-impl std::fmt::Display for Disconnected {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "peer disconnected")
+    fn len(&self) -> usize {
+        ChannelNetwork::len(self)
+    }
+
+    fn take(&mut self, rank: usize) -> ChannelEndpoint {
+        ChannelNetwork::take(self, rank)
     }
 }
 
-impl std::error::Error for Disconnected {}
-
-impl Endpoint {
+impl ChannelEndpoint {
     /// This endpoint's rank.
     pub fn rank(&self) -> usize {
         self.rank
@@ -96,9 +180,7 @@ impl Endpoint {
     /// Blocking send of `payload` to rank `to` (blocks while the peer's
     /// inbox is full).
     pub fn send(&self, to: usize, payload: Bytes) -> Result<(), Disconnected> {
-        self.senders[to]
-            .send(Frame { from: self.rank, payload })
-            .map_err(|_| Disconnected)
+        self.senders[to].send(Frame { from: self.rank, payload }).map_err(|_| Disconnected)
     }
 
     /// Blocking receive of the next frame addressed to this rank.
@@ -121,13 +203,39 @@ impl Endpoint {
     }
 }
 
+impl TransportEndpoint for ChannelEndpoint {
+    fn rank(&self) -> usize {
+        ChannelEndpoint::rank(self)
+    }
+
+    fn network_len(&self) -> usize {
+        ChannelEndpoint::network_len(self)
+    }
+
+    fn send(&self, to: usize, payload: Bytes) -> Result<(), Disconnected> {
+        ChannelEndpoint::send(self, to, payload)
+    }
+
+    fn recv(&self) -> Result<Frame, Disconnected> {
+        ChannelEndpoint::recv(self)
+    }
+
+    fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected> {
+        ChannelEndpoint::recv_timeout(self, d)
+    }
+
+    fn try_recv(&self) -> Option<Frame> {
+        ChannelEndpoint::try_recv(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn frames_are_delivered_in_order_with_sender_rank() {
-        let mut net = Network::new(3, 16);
+        let mut net = ChannelNetwork::new(3, 16);
         let a = net.take(0);
         let b = net.take(1);
         a.send(1, Bytes::from_static(b"x")).unwrap();
@@ -140,7 +248,7 @@ mod tests {
 
     #[test]
     fn self_send_works() {
-        let mut net = Network::new(1, 4);
+        let mut net = ChannelNetwork::new(1, 4);
         let a = net.take(0);
         a.send(0, Bytes::from_static(b"loop")).unwrap();
         assert_eq!(&a.recv().unwrap().payload[..], b"loop");
@@ -148,7 +256,7 @@ mod tests {
 
     #[test]
     fn bounded_send_blocks_until_drained() {
-        let mut net = Network::new(2, 1);
+        let mut net = ChannelNetwork::new(2, 1);
         let a = net.take(0);
         let b = net.take(1);
         a.send(1, Bytes::from_static(b"1")).unwrap();
@@ -165,14 +273,14 @@ mod tests {
 
     #[test]
     fn recv_timeout_times_out() {
-        let mut net = Network::new(2, 4);
+        let mut net = ChannelNetwork::new(2, 4);
         let b = net.take(1);
         assert_eq!(b.recv_timeout(Duration::from_millis(10)).unwrap(), None);
     }
 
     #[test]
     fn disconnect_is_reported() {
-        let mut net = Network::new(2, 4);
+        let mut net = ChannelNetwork::new(2, 4);
         let a = net.take(0);
         let b = net.take(1);
         drop(net); // drops nothing live
@@ -183,8 +291,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "endpoint already taken")]
     fn endpoints_are_taken_once() {
-        let mut net = Network::new(1, 1);
+        let mut net = ChannelNetwork::new(1, 1);
         let _a = net.take(0);
         let _b = net.take(0);
+    }
+
+    #[test]
+    fn trait_object_usability_via_generics() {
+        fn ping<E: TransportEndpoint>(a: &E, b: &E) {
+            a.send(b.rank(), Bytes::from_static(b"ping")).unwrap();
+            assert_eq!(&b.recv().unwrap().payload[..], b"ping");
+        }
+        let mut net = ChannelNetwork::new(2, 4);
+        let (a, b) = (net.take(0), net.take(1));
+        ping(&a, &b);
     }
 }

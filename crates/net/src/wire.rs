@@ -151,7 +151,9 @@ pub fn decode_batch(mut buf: Bytes) -> Result<Vec<Tuple>, WireError> {
     }
     let tagging = Tagging::from_byte(buf.get_u8())?;
     let count = buf.get_u32_le() as usize;
-    let mut out = Vec::with_capacity(count);
+    // The count is untrusted (it may arrive off a socket): never let it
+    // drive the allocation beyond what the buffer could actually hold.
+    let mut out = Vec::with_capacity(count.min(buf.remaining() / TUPLE_WIRE_BYTES));
     match tagging {
         Tagging::StreamTag => {
             for _ in 0..count {

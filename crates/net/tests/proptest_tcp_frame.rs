@@ -1,0 +1,96 @@
+//! Property tests for the TCP frame codec: any frame sequence
+//! round-trips through the incremental decoder no matter how the byte
+//! stream is torn apart, and corrupt prefixes error without panicking
+//! or allocating unboundedly.
+
+use proptest::prelude::*;
+use windjoin_net::tcp::{encode_frame, FrameDecoder, FRAME_HEADER_BYTES};
+
+fn arb_payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 0..12)
+}
+
+/// Splits `wire` at pseudo-random points derived from `cuts` and feeds
+/// the pieces one by one, draining complete frames after every feed.
+fn decode_in_pieces(wire: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+    let mut dec = FrameDecoder::new();
+    let mut got = Vec::new();
+    let mut i = 0;
+    let mut c = 0;
+    while i < wire.len() {
+        let step = cuts[c % cuts.len()].max(1);
+        c += 1;
+        let end = (i + step).min(wire.len());
+        dec.feed(&wire[i..end]);
+        while let Some(f) = dec.next_frame().expect("well-formed stream") {
+            got.push(f.to_vec());
+        }
+        i = end;
+    }
+    assert_eq!(dec.pending_bytes(), 0, "bytes left over after a whole stream");
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_under_arbitrary_tearing(
+        payloads in arb_payloads(),
+        cuts in proptest::collection::vec(1usize..64, 1..40),
+    ) {
+        let wire: Vec<u8> = payloads.iter().flat_map(|p| encode_frame(p)).collect();
+        let got = decode_in_pieces(&wire, &cuts);
+        prop_assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_all_at_once(payloads in arb_payloads()) {
+        let wire: Vec<u8> = payloads.iter().flat_map(|p| encode_frame(p)).collect();
+        let trickled = decode_in_pieces(&wire, &[1]);
+        let gulped = decode_in_pieces(&wire, &[usize::MAX / 2]);
+        prop_assert_eq!(&trickled, &payloads);
+        prop_assert_eq!(&gulped, &payloads);
+    }
+
+    #[test]
+    fn incomplete_streams_never_yield_frames_early(
+        payloads in arb_payloads(),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let wire: Vec<u8> = payloads.iter().flat_map(|p| encode_frame(p)).collect();
+        if wire.is_empty() {
+            return;
+        }
+        // Feed a strict prefix: every decoded frame must be one of the
+        // originals, in order, and the torn tail must stay pending.
+        let n = cut.index(wire.len());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..n]);
+        let mut got = Vec::new();
+        while let Some(f) = dec.next_frame().expect("prefix of valid stream") {
+            got.push(f.to_vec());
+        }
+        prop_assert!(got.len() <= payloads.len());
+        prop_assert_eq!(&got[..], &payloads[..got.len()], "prefix decoded differently");
+        // Whatever was decoded plus what remains buffered is exactly
+        // the prefix.
+        let consumed: usize =
+            got.iter().map(|f| FRAME_HEADER_BYTES + f.len()).sum();
+        prop_assert_eq!(consumed + dec.pending_bytes(), n);
+    }
+
+    #[test]
+    fn garbage_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&noise);
+        // Either frames come out, or a TooLarge error, or it waits for
+        // more bytes — but never a panic or a giant allocation.
+        for _ in 0..10 {
+            match dec.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! One conformance suite, every transport backend.
+//!
+//! The protocol state machines in `windjoin-cluster` rely on a precise
+//! contract from [`TransportEndpoint`] (per-sender FIFO, blocking
+//! receive, bounded buffering, self-send, correct sender attribution).
+//! Each property here is written once against the trait and executed
+//! over both backends: the in-process [`ChannelNetwork`] and the
+//! socket-backed [`TcpNetwork`] on `127.0.0.1` — the suite that keeps
+//! the two interchangeable underneath the cluster runtimes.
+
+use bytes::Bytes;
+use std::time::Duration;
+use windjoin_net::{ChannelNetwork, TcpNetwork, Transport, TransportEndpoint};
+
+/// Takes all endpoints out of a transport.
+fn endpoints<T: Transport>(net: &mut T) -> Vec<T::Endpoint> {
+    (0..net.len()).map(|r| net.take(r)).collect()
+}
+
+fn check_identity<E: TransportEndpoint>(eps: &[E]) {
+    for (r, ep) in eps.iter().enumerate() {
+        assert_eq!(ep.rank(), r);
+        assert_eq!(ep.network_len(), eps.len());
+    }
+}
+
+fn check_per_sender_fifo<E: TransportEndpoint + Sync>(eps: &[E]) {
+    const N: u32 = 400;
+    // Concurrent sender: N frames exceed the inbox bound, so the send
+    // side must block (never drop) while this thread drains.
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..N {
+                eps[0].send(2, Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+            }
+        });
+        for i in 0..N {
+            let f = eps[2].recv().unwrap();
+            assert_eq!(f.from, 0);
+            assert_eq!(u32::from_le_bytes(f.payload[..].try_into().unwrap()), i, "FIFO violated");
+        }
+    });
+}
+
+fn check_self_send<E: TransportEndpoint>(eps: &[E]) {
+    eps[1].send(1, Bytes::from_static(b"me")).unwrap();
+    let f = eps[1].recv().unwrap();
+    assert_eq!((f.from, &f.payload[..]), (1, &b"me"[..]));
+}
+
+fn check_fan_in_attribution<E: TransportEndpoint + Sync>(eps: &[E]) {
+    // Every other rank sends its own rank number to rank 0, concurrently.
+    const PER_SENDER: usize = 50;
+    std::thread::scope(|s| {
+        for ep in &eps[1..] {
+            s.spawn(move || {
+                for _ in 0..PER_SENDER {
+                    ep.send(0, Bytes::from(vec![ep.rank() as u8])).unwrap();
+                }
+            });
+        }
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..(PER_SENDER * (eps.len() - 1)) {
+            let f = eps[0].recv().unwrap();
+            assert_eq!(f.payload[0] as usize, f.from, "sender misattributed");
+            *counts.entry(f.from).or_insert(0usize) += 1;
+        }
+        for r in 1..eps.len() {
+            assert_eq!(counts[&r], PER_SENDER, "rank {r} frames lost or duplicated");
+        }
+    });
+}
+
+fn check_timeout_and_try_recv<E: TransportEndpoint>(eps: &[E]) {
+    assert_eq!(eps[2].try_recv(), None);
+    assert_eq!(eps[2].recv_timeout(Duration::from_millis(20)).unwrap(), None);
+    eps[0].send(2, Bytes::from_static(b"late")).unwrap();
+    let f = eps[2]
+        .recv_timeout(Duration::from_secs(5))
+        .unwrap()
+        .expect("frame must arrive within the timeout");
+    assert_eq!(&f.payload[..], b"late");
+}
+
+fn check_large_frames<E: TransportEndpoint>(eps: &[E]) {
+    // A 1 MiB payload (a big epoch batch) survives intact.
+    let big: Vec<u8> = (0..1_048_576u32).map(|i| (i.wrapping_mul(2_654_435_761)) as u8).collect();
+    eps[1].send(0, Bytes::from(big.clone())).unwrap();
+    let f = eps[0].recv().unwrap();
+    assert_eq!(f.from, 1);
+    assert_eq!(&f.payload[..], &big[..], "large frame corrupted");
+}
+
+fn check_bulk_backpressure<E: TransportEndpoint + Sync>(eps: &[E]) {
+    // 16 MiB of frames into a 16-frame inbox with a late reader: the
+    // sender must block (not drop, not error, not buffer unboundedly)
+    // and every frame must arrive in order once draining starts.
+    const FRAMES: u32 = 2_000;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..FRAMES {
+                let mut payload = vec![0u8; 8 * 1024];
+                payload[..4].copy_from_slice(&i.to_le_bytes());
+                eps[1].send(0, Bytes::from(payload)).unwrap();
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50)); // let buffers fill
+        for i in 0..FRAMES {
+            let f = eps[0].recv().unwrap();
+            assert_eq!(u32::from_le_bytes(f.payload[..4].try_into().unwrap()), i);
+        }
+    });
+}
+
+fn conformance<T: Transport>(mut net: T)
+where
+    T::Endpoint: Sync,
+{
+    let eps = endpoints(&mut net);
+    check_identity(&eps);
+    check_per_sender_fifo(&eps);
+    check_self_send(&eps);
+    check_timeout_and_try_recv(&eps);
+    check_large_frames(&eps);
+    check_fan_in_attribution(&eps);
+    check_bulk_backpressure(&eps);
+}
+
+#[test]
+fn channel_backend_conforms() {
+    conformance(ChannelNetwork::new(4, 16));
+}
+
+#[test]
+fn tcp_backend_conforms() {
+    conformance(TcpNetwork::loopback(4, 16).unwrap());
+}

@@ -147,8 +147,22 @@ mod tests {
 
     #[test]
     fn add_accumulates_componentwise() {
-        let mut a = CpuWork { comparisons: 1, emitted: 2, inserts: 3, hash_ops: 4, blocks_touched: 5, tuples_moved: 6 };
-        let b = CpuWork { comparisons: 10, emitted: 20, inserts: 30, hash_ops: 40, blocks_touched: 50, tuples_moved: 60 };
+        let mut a = CpuWork {
+            comparisons: 1,
+            emitted: 2,
+            inserts: 3,
+            hash_ops: 4,
+            blocks_touched: 5,
+            tuples_moved: 6,
+        };
+        let b = CpuWork {
+            comparisons: 10,
+            emitted: 20,
+            inserts: 30,
+            hash_ops: 40,
+            blocks_touched: 50,
+            tuples_moved: 60,
+        };
         a.add(&b);
         assert_eq!(a.comparisons, 11);
         assert_eq!(a.tuples_moved, 66);

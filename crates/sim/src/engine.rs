@@ -99,7 +99,14 @@ impl<M> Default for Sim<M> {
 impl<M> Sim<M> {
     /// An empty world at time 0.
     pub fn new() -> Self {
-        Sim { now: 0, seq: 0, heap: BinaryHeap::new(), actors: Vec::new(), started: false, delivered: 0 }
+        Sim {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            actors: Vec::new(),
+            started: false,
+            delivered: 0,
+        }
     }
 
     /// Adds an actor, returning its id. Must be called before [`Sim::run_until`].

@@ -88,7 +88,11 @@ impl Link {
         let departs = now_us.max(self.busy_until);
         let freed = departs + self.occupancy_us(bytes);
         self.busy_until = freed;
-        Transfer { departs_us: departs, freed_us: freed, delivered_us: freed + self.spec.latency_us }
+        Transfer {
+            departs_us: departs,
+            freed_us: freed,
+            delivered_us: freed + self.spec.latency_us,
+        }
     }
 }
 

@@ -26,7 +26,7 @@ fn main() {
     let cfg = ThreadedConfig {
         params,
         slaves: 3,
-        rate: 800.0, // flow records per second per tap
+        rate: 800.0,                                    // flow records per second per tap
         keys: KeyDist::Zipf { s: 1.1, domain: 50_000 }, // elephant flows
         seed: 2024,
         run: Duration::from_secs(6),
@@ -42,10 +42,7 @@ fn main() {
     println!();
     println!("flow records processed  : {}", report.tuples_in);
     println!("cross-tap correlations  : {}", report.outputs_total);
-    println!(
-        "correlation rate        : {:.0} matches/s",
-        report.outputs as f64 / secs
-    );
+    println!("correlation rate        : {:.0} matches/s", report.outputs as f64 / secs);
     println!("avg detection latency   : {:.1} ms", report.avg_delay_s() * 1e3);
     println!(
         "p99 detection latency   : {:.1} ms",

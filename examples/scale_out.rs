@@ -17,11 +17,7 @@ fn main() {
     cfg.keys = KeyDist::Uniform { domain: 100_000 };
     cfg.params.reorg_epoch_us = 5_000_000;
     // Load profile: quiet → burst → quiet.
-    cfg.rate = RateSchedule::steps(vec![
-        (0, 500.0),
-        (40_000_000, 8_000.0),
-        (120_000_000, 500.0),
-    ]);
+    cfg.rate = RateSchedule::steps(vec![(0, 500.0), (40_000_000, 8_000.0), (120_000_000, 500.0)]);
 
     println!("rate profile: 500 t/s -> 8000 t/s (t=40s) -> 500 t/s (t=120s)");
     println!("provisioned slaves: 6, initially active: 1, adaptive declustering ON\n");
@@ -38,10 +34,7 @@ fn main() {
     println!("outputs             : {}", report.outputs_total);
     println!("avg delay           : {:.2} s", report.avg_delay_s());
 
-    let peak = report
-        .dod_trace
-        .peak()
-        .expect("dod trace recorded");
+    let peak = report.dod_trace.peak().expect("dod trace recorded");
     assert!(peak > 1.0, "the burst should trigger scale-out");
     println!("\nok: the cluster scaled out for the burst and back in afterwards.");
 }

@@ -25,10 +25,7 @@ fn main() {
     println!("tuples ingested          : {}", report.tuples_in);
     println!("trade-quote matches      : {}", report.outputs_total);
     println!("avg production delay     : {:.2} s", report.avg_delay_s());
-    println!(
-        "p99 production delay     : {:.2} s",
-        report.delay.quantile_s(0.99).unwrap_or(0.0)
-    );
+    println!("p99 production delay     : {:.2} s", report.delay.quantile_s(0.99).unwrap_or(0.0));
     let cpu = report.cpu();
     let idle = report.idle();
     println!(

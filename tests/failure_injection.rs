@@ -39,11 +39,19 @@ fn one_silent_stream_produces_no_output() {
     // no cross-stream matches.
     c.keys = KeyDist::Uniform { domain: 1 };
     // Rebuild arrivals manually to verify the premise with the oracle.
-    let s1 = StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(1) }.arrivals(0);
-    let s2 = StreamSpec { rate: RateSchedule::constant(0.0), keys: c.keys, seed: c.seed.wrapping_add(2) }.arrivals(1);
+    let s1 =
+        StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(1) }.arrivals(0);
+    let s2 = StreamSpec {
+        rate: RateSchedule::constant(0.0),
+        keys: c.keys,
+        seed: c.seed.wrapping_add(2),
+    }
+    .arrivals(1);
     let arrivals: Vec<Tuple> = merge_streams(vec![s1, s2])
         .take_while(|a| a.at_us < 20_000_000)
-        .map(|a| Tuple::new(if a.stream == 0 { Side::Left } else { Side::Right }, a.at_us, a.key, a.seq))
+        .map(|a| {
+            Tuple::new(if a.stream == 0 { Side::Left } else { Side::Right }, a.at_us, a.key, a.seq)
+        })
         .collect();
     assert!(arrivals.iter().all(|t| t.side == Side::Left), "stream 2 must be silent");
     assert!(reference_join(&arrivals, &c.params.sem).is_empty());
@@ -61,11 +69,15 @@ fn asymmetric_windows_respected_end_to_end() {
     c.keys = KeyDist::Uniform { domain: 100 };
     let report = run_sim(&c);
     // Verify with the oracle on the same arrivals.
-    let s1 = StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(1) }.arrivals(0);
-    let s2 = StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(2) }.arrivals(1);
+    let s1 =
+        StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(1) }.arrivals(0);
+    let s2 =
+        StreamSpec { rate: c.rate.clone(), keys: c.keys, seed: c.seed.wrapping_add(2) }.arrivals(1);
     let arrivals: Vec<Tuple> = merge_streams(vec![s1, s2])
         .take_while(|a| a.at_us <= c.run_us)
-        .map(|a| Tuple::new(if a.stream == 0 { Side::Left } else { Side::Right }, a.at_us, a.key, a.seq))
+        .map(|a| {
+            Tuple::new(if a.stream == 0 { Side::Left } else { Side::Right }, a.at_us, a.key, a.seq)
+        })
         .collect();
     let oracle: std::collections::HashSet<(u64, u64)> =
         reference_join(&arrivals, &c.params.sem).iter().map(|p| p.id()).collect();
@@ -98,12 +110,8 @@ fn subgroup_communication_preserves_results() {
     // compare the settled prefix of the output sets.
     let settled = c1.run_us - 6 * c1.params.dist_epoch_us;
     let prefix = |r: &windjoin::cluster::RunReport| {
-        let mut v: Vec<(u64, u64)> = r
-            .captured
-            .iter()
-            .filter(|p| p.newest_t() <= settled)
-            .map(|p| p.id())
-            .collect();
+        let mut v: Vec<(u64, u64)> =
+            r.captured.iter().filter(|p| p.newest_t() <= settled).map(|p| p.id()).collect();
         v.sort_unstable();
         v
     };
@@ -119,10 +127,7 @@ fn burst_then_silence_drains_cleanly() {
     assert!(report.outputs_total > 0);
     // After the burst drains, window state shrinks back near empty:
     // expired blocks must have been reclaimed.
-    assert!(
-        report.max_window_blocks > 0,
-        "burst must have built window state"
-    );
+    assert!(report.max_window_blocks > 0, "burst must have built window state");
 }
 
 #[test]

@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` crate: enough API for the
+//! `windjoin-bench` benchmarks to compile and run, with a simple
+//! best-of-N wall-clock timer instead of criterion's statistics.
+//!
+//! Each benchmark does one warm-up call, then `sample_size` timed
+//! samples of an adaptively chosen iteration count, and reports the
+//! fastest sample in ns/iter (the low-noise point estimate).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's name plus a parameter, rendered as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: format!("{name}/{param}") }
+    }
+}
+
+/// Drives the iteration loop of one benchmark.
+pub struct Bencher {
+    /// Timed samples collected so far (iters, elapsed).
+    samples: Vec<(u64, Duration)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, choosing an iteration count so one sample takes at
+    /// least ~1 ms (or a single call when calls are slow).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up + calibration call.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = Duration::from_millis(1);
+        let iters = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push((iters, t.elapsed()));
+        }
+    }
+
+    fn best_ns_per_iter(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|(iters, d)| d.as_nanos() as f64 / *iters as f64)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        let ns = b.best_ns_per_iter();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 * 1e9 / ns),
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.1} MiB/s", n as f64 * 1e9 / ns / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("{}/{id:<32} {ns:>14.1} ns/iter{rate}", self.name);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, sample_size: 20, _criterion: self }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| b.iter(|| x * 3));
+        g.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        smoke();
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for `crossbeam`: the bounded MPMC channel subset
+//! that `windjoin-net` uses, built on `Mutex` + `Condvar`.
+//!
+//! Semantics match crossbeam-channel where `windjoin` relies on them:
+//! FIFO per channel, `send` blocks while the queue is full, `recv`
+//! blocks while it is empty, and both ends are cloneable. Disconnection
+//! is reported once every peer handle on the other side is dropped
+//! (receivers can still drain buffered messages first).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        capacity: usize,
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving side disconnected; the unsent message is returned.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The sending side disconnected and the queue is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a receive with a deadline.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived before the deadline.
+        Timeout,
+        /// All senders are gone and the queue is empty.
+        Disconnected,
+    }
+
+    /// Outcome of a non-blocking receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty.
+        Empty,
+        /// All senders are gone and the queue is empty.
+        Disconnected,
+    }
+
+    /// Creates a bounded FIFO channel with room for `capacity` messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "capacity must be positive");
+        let inner = Arc::new(Inner {
+            capacity,
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; waits while the queue is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.inner.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if st.queue.len() < self.inner.capacity {
+                    st.queue.push_back(msg);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.inner.not_full.wait(st).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().senders += 1;
+            Sender { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; waits while the queue is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.inner.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Receive with a relative deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self.inner.not_empty.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+                if res.timed_out() && st.queue.is_empty() {
+                    if st.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.inner.state.lock().unwrap();
+            if let Some(msg) = st.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().receivers += 1;
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake blocked senders so they observe the disconnect.
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_and_blocking_send() {
+        let (s, r) = bounded(1);
+        s.send(1).unwrap();
+        let t = std::thread::spawn(move || s.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!t.is_finished());
+        assert_eq!(r.recv(), Ok(1));
+        t.join().unwrap();
+        assert_eq!(r.recv(), Ok(2));
+    }
+
+    #[test]
+    fn disconnects_reported_both_ways() {
+        let (s, r) = bounded::<u32>(2);
+        s.send(9).unwrap();
+        drop(s);
+        assert_eq!(r.recv(), Ok(9)); // drains the buffer first
+        assert_eq!(r.recv(), Err(RecvError));
+
+        let (s, r) = bounded::<u32>(2);
+        drop(r);
+        assert_eq!(s.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn timeout_and_try_recv() {
+        let (s, r) = bounded::<u32>(2);
+        assert_eq!(r.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        assert_eq!(r.try_recv(), Err(TryRecvError::Empty));
+        s.send(3).unwrap();
+        assert_eq!(r.try_recv(), Ok(3));
+    }
+}
