@@ -6,12 +6,12 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use windjoin_core::probe::{CountedEngine, ExactEngine};
+use windjoin_core::probe::{CountedEngine, ExactEngine, ScalarEngine};
 use windjoin_core::{
     MasterCore, OutPair, Params, PartitionGroup, ProbeEngine, Side, TuningParams, Tuple, WorkStats,
 };
 use windjoin_gen::{BModel, KeyDist, PoissonArrivals, RateSchedule, Zipf};
-use windjoin_net::{decode_batch, encode_batch, Tagging};
+use windjoin_net::{decode_batch, decode_batch_into, encode_batch, encode_batch_into, Tagging};
 
 /// Builds a partition-group preloaded with `n` left-side tuples.
 fn loaded_group<E: ProbeEngine>(n: u64, tuned: bool) -> PartitionGroup<E> {
@@ -62,6 +62,60 @@ fn bench_probe(c: &mut Criterion) {
     group.finish();
 }
 
+/// Before/after of the probe tentpole on the same 65 536-tuple window:
+/// `scalar_reference` is the retained pre-change tuple-at-a-time kernel,
+/// `columnar` the batched SoA kernel that replaced it.
+fn bench_probe_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_kernel_65536");
+    group.throughput(Throughput::Elements(1));
+    fn one_tuple_loop<E: ProbeEngine>(b: &mut criterion::Bencher) {
+        let mut g: PartitionGroup<E> = loaded_group(65_536, false);
+        let mut out: Vec<OutPair> = Vec::new();
+        let mut work = WorkStats::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            out.clear();
+            let t = Tuple::new(Side::Right, 65_536 + i, i % 1_000_000, i);
+            g.insert(black_box(t), &mut out, &mut work);
+            g.flush_all(&mut out, &mut work);
+            i += 1;
+            black_box(out.len())
+        });
+    }
+    group.bench_function("scalar_reference", one_tuple_loop::<ScalarEngine>);
+    group.bench_function("columnar", one_tuple_loop::<ExactEngine>);
+    group.finish();
+}
+
+/// The batched kernel on whole-block probes: one iteration inserts a
+/// full 64-tuple block (auto-flushing on the head fill), i.e. the
+/// `probe_batch` path versus `probe_one_tuple` above.
+fn bench_probe_batch(c: &mut Criterion) {
+    const BATCH: u64 = 64;
+    let mut group = c.benchmark_group("probe_batch_64");
+    group.throughput(Throughput::Elements(BATCH));
+    for tuned in [false, true] {
+        let label = if tuned { "tuned" } else { "flat" };
+        group.bench_function(label, |b| {
+            let mut g: PartitionGroup<ExactEngine> = loaded_group(65_536, tuned);
+            let mut out: Vec<OutPair> = Vec::new();
+            let mut work = WorkStats::default();
+            let mut i = 0u64;
+            b.iter(|| {
+                out.clear();
+                for _ in 0..BATCH {
+                    let t = Tuple::new(Side::Right, 65_536 + i, i % 1_000_000, i);
+                    g.insert(black_box(t), &mut out, &mut work);
+                    i += 1;
+                }
+                g.flush_all(&mut out, &mut work);
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_counted_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("counted_engine_insert");
     group.throughput(Throughput::Elements(1));
@@ -95,6 +149,24 @@ fn bench_wire(c: &mut Criterion) {
         let encoded = encode_batch(&tuples, tagging);
         group.bench_function(format!("decode_{tagging:?}"), |b| {
             b.iter(|| black_box(decode_batch(black_box(encoded.clone())).unwrap()));
+        });
+        // The reused-scratch hot path: encode into a persistent buffer,
+        // decode into a persistent tuple vector (no per-batch allocs).
+        group.bench_function(format!("encode_into_{tagging:?}"), |b| {
+            let mut scratch: Vec<u8> = Vec::new();
+            b.iter(|| {
+                scratch.clear();
+                encode_batch_into(black_box(&tuples), tagging, &mut scratch);
+                black_box(scratch.len())
+            });
+        });
+        group.bench_function(format!("decode_into_{tagging:?}"), |b| {
+            let mut decoded: Vec<Tuple> = Vec::new();
+            b.iter(|| {
+                decoded.clear();
+                decode_batch_into(black_box(encoded.clone()), &mut decoded).unwrap();
+                black_box(decoded.len())
+            });
         });
     }
     group.finish();
@@ -143,6 +215,8 @@ fn bench_master_drain(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_probe,
+    bench_probe_kernels,
+    bench_probe_batch,
     bench_counted_engine,
     bench_wire,
     bench_generators,

@@ -1,0 +1,250 @@
+//! `perfjson` — machine-readable microbench snapshot for the perf
+//! trajectory: runs the probe/wire/drain hot-path scenarios in quick
+//! mode and writes `BENCH_probe.json` (elements/sec per scenario).
+//!
+//! ```text
+//! cargo run --release -p windjoin-bench --bin perfjson [-- --out PATH] [--full]
+//! ```
+//!
+//! The `probe_one_tuple_scalar/flat/65536` scenario runs the retained
+//! pre-change scalar kernel ([`windjoin_core::ScalarEngine`]) on the
+//! identical workload as `probe_one_tuple/flat/65536`, so every
+//! snapshot carries its own before/after ratio (`speedup_vs_scalar`).
+
+use std::time::Instant;
+use windjoin_core::probe::{ExactEngine, ScalarEngine};
+use windjoin_core::{
+    OutPair, Params, PartitionGroup, ProbeEngine, Side, SlaveCore, TuningParams, Tuple, WorkStats,
+};
+use windjoin_gen::KeyDist;
+use windjoin_net::{decode_batch_into, encode_batch_into, Tagging};
+
+/// One measured scenario.
+struct Scenario {
+    name: &'static str,
+    /// Elements of work per iteration (for the elements/sec rate).
+    elems_per_iter: u64,
+    ns_per_iter: f64,
+}
+
+impl Scenario {
+    fn elements_per_sec(&self) -> f64 {
+        self.elems_per_iter as f64 * 1e9 / self.ns_per_iter
+    }
+}
+
+/// Best-of-N wall-clock timer (same shape as the criterion shim): one
+/// calibration call, then `samples` timed batches of an iteration count
+/// targeting ~2 ms each; reports the fastest ns/iter.
+fn time_best(samples: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let one_ns = t0.elapsed().as_nanos().max(1);
+    let iters = (2_000_000 / one_ns).clamp(1, 1_000_000) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// A partition-group preloaded with `n` left tuples (uniform keys over
+/// 1 M), mirroring the `probe_one_tuple` microbench setup.
+fn loaded_group<E: ProbeEngine>(n: u64, tuned: bool) -> PartitionGroup<E> {
+    let mut p = Params::default_paper();
+    p.sem.w_left_us = u64::MAX / 4;
+    p.sem.w_right_us = u64::MAX / 4;
+    p.tuning = tuned.then_some(TuningParams { theta_blocks: 16, max_depth: 10 });
+    let mut g = PartitionGroup::new(&p);
+    let mut out = Vec::new();
+    let mut work = WorkStats::default();
+    let mut keys = KeyDist::Uniform { domain: 1_000_000 }.sampler(7);
+    for i in 0..n {
+        g.insert(Tuple::new(Side::Left, i, keys.next_key(), i), &mut out, &mut work);
+    }
+    g.flush_all(&mut out, &mut work);
+    g
+}
+
+fn probe_one_tuple<E: ProbeEngine>(
+    name: &'static str,
+    window: u64,
+    tuned: bool,
+    samples: usize,
+) -> Scenario {
+    let mut g: PartitionGroup<E> = loaded_group(window, tuned);
+    let mut out: Vec<OutPair> = Vec::new();
+    let mut work = WorkStats::default();
+    let mut i = 0u64;
+    let ns = time_best(samples, || {
+        out.clear();
+        let t = Tuple::new(Side::Right, window + i, i % 1_000_000, i);
+        g.insert(std::hint::black_box(t), &mut out, &mut work);
+        g.flush_all(&mut out, &mut work);
+        i += 1;
+        std::hint::black_box(out.len());
+    });
+    Scenario { name, elems_per_iter: 1, ns_per_iter: ns }
+}
+
+fn probe_batch(name: &'static str, window: u64, samples: usize) -> Scenario {
+    const BATCH: u64 = 64;
+    let mut g: PartitionGroup<ExactEngine> = loaded_group(window, false);
+    let mut out: Vec<OutPair> = Vec::new();
+    let mut work = WorkStats::default();
+    let mut i = 0u64;
+    let ns = time_best(samples, || {
+        out.clear();
+        for _ in 0..BATCH {
+            g.insert(Tuple::new(Side::Right, window + i, i % 1_000_000, i), &mut out, &mut work);
+            i += 1;
+        }
+        g.flush_all(&mut out, &mut work);
+        std::hint::black_box(out.len());
+    });
+    Scenario { name, elems_per_iter: BATCH, ns_per_iter: ns }
+}
+
+fn wire_roundtrip(samples: usize) -> (Scenario, Scenario) {
+    let tuples: Vec<Tuple> = (0..4096)
+        .map(|i| Tuple::new(if i % 2 == 0 { Side::Left } else { Side::Right }, i, i * 31, i))
+        .collect();
+    let mut scratch: Vec<u8> = Vec::new();
+    let enc_ns = time_best(samples, || {
+        scratch.clear();
+        encode_batch_into(std::hint::black_box(&tuples), Tagging::StreamTag, &mut scratch);
+        std::hint::black_box(scratch.len());
+    });
+    let encoded = windjoin_net::encode_batch(&tuples, Tagging::StreamTag);
+    let mut decoded: Vec<Tuple> = Vec::new();
+    let dec_ns = time_best(samples, || {
+        decoded.clear();
+        decode_batch_into(std::hint::black_box(encoded.clone()), &mut decoded).unwrap();
+        std::hint::black_box(decoded.len());
+    });
+    (
+        Scenario { name: "wire_encode_into/4096", elems_per_iter: 4096, ns_per_iter: enc_ns },
+        Scenario { name: "wire_decode_into/4096", elems_per_iter: 4096, ns_per_iter: dec_ns },
+    )
+}
+
+/// One slave draining a 16-partition batch with a worker pool of the
+/// given width; elements are processed tuples.
+fn slave_drain(name: &'static str, probe_threads: usize, samples: usize) -> Scenario {
+    const BATCH: usize = 2048;
+    let mut p = Params::default_paper();
+    p.npart = 16;
+    p.sem.w_left_us = u64::MAX / 4;
+    p.sem.w_right_us = u64::MAX / 4;
+    p.probe_threads = probe_threads;
+    let mut s: SlaveCore<ExactEngine> = SlaveCore::new(0, p.clone());
+    for pid in 0..p.npart {
+        s.create_group(pid);
+    }
+    // Warm the windows so drains probe against real state.
+    let mut keys = KeyDist::Uniform { domain: 100_000 }.sampler(11);
+    let warm: Vec<Tuple> =
+        (0..65_536u64).map(|i| Tuple::new(Side::Left, i, keys.next_key(), i)).collect();
+    s.receive_batch(warm);
+    let mut out = Vec::new();
+    let mut work = WorkStats::default();
+    s.process_pending(&mut out, &mut work);
+    let mut seq = 1_000_000u64;
+    let ns = time_best(samples, || {
+        out.clear();
+        let batch: Vec<Tuple> = (0..BATCH as u64)
+            .map(|i| {
+                seq += 1;
+                Tuple::new(Side::Right, seq, keys.next_key(), seq + i)
+            })
+            .collect();
+        s.receive_batch(batch);
+        s.process_pending(&mut out, &mut work);
+        std::hint::black_box(out.len());
+    });
+    Scenario { name, elems_per_iter: BATCH as u64, ns_per_iter: ns }
+}
+
+fn json_escape_free(name: &str) -> &str {
+    assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || "/_-=.".contains(c)));
+    name
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_probe.json".to_string();
+    let mut samples = 5; // quick mode: ~seconds of wall clock
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => samples = 25,
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            other => {
+                eprintln!("perfjson: unknown flag {other:?}");
+                eprintln!("usage: perfjson [--out PATH] [--full]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("perfjson: timing probe kernels ({samples} samples per scenario)...");
+    let mut scenarios = vec![
+        probe_one_tuple::<ExactEngine>("probe_one_tuple/flat/65536", 65_536, false, samples),
+        probe_one_tuple::<ExactEngine>("probe_one_tuple/tuned/65536", 65_536, true, samples),
+        probe_one_tuple::<ScalarEngine>(
+            "probe_one_tuple_scalar/flat/65536",
+            65_536,
+            false,
+            samples,
+        ),
+        probe_batch("probe_batch64/flat/65536", 65_536, samples),
+    ];
+    eprintln!("perfjson: timing wire codecs...");
+    let (enc, dec) = wire_roundtrip(samples);
+    scenarios.push(enc);
+    scenarios.push(dec);
+    eprintln!("perfjson: timing slave drain...");
+    scenarios.push(slave_drain("slave_drain/threads=1", 1, samples));
+    scenarios.push(slave_drain("slave_drain/threads=4", 4, samples));
+
+    let columnar = scenarios.iter().find(|s| s.name == "probe_one_tuple/flat/65536").unwrap();
+    let scalar = scenarios.iter().find(|s| s.name == "probe_one_tuple_scalar/flat/65536").unwrap();
+    let speedup = columnar.elements_per_sec() / scalar.elements_per_sec();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"windjoin-perfjson/1\",\n");
+    json.push_str("  \"command\": \"cargo run --release -p windjoin-bench --bin perfjson\",\n");
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str(&format!("  \"speedup_vs_scalar\": {speedup:.3},\n"));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"elements_per_sec\": {:.1}, \"ns_per_iter\": {:.1}}}{}\n",
+            json_escape_free(s.name),
+            s.elements_per_sec(),
+            s.ns_per_iter,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_probe.json");
+    for s in &scenarios {
+        eprintln!(
+            "  {:<36} {:>14.0} elem/s  ({:>12.1} ns/iter)",
+            s.name,
+            s.elements_per_sec(),
+            s.ns_per_iter
+        );
+    }
+    eprintln!("perfjson: columnar/scalar speedup {speedup:.2}x; wrote {out_path}");
+}

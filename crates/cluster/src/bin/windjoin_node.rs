@@ -21,6 +21,7 @@
 //!              --npart N           hash partitions          [16]
 //!              --keys SPEC         uniform:D | bmodel:B:D | zipf:S:D
 //!                                  | constant:K             [bmodel:0.7:100000]
+//!              --probe-threads N   slave probe worker pool  [1]
 //!              --adaptive-dod      enable §V-A adaptive declustering
 //! transport    --capacity N        inbox frames             [4096]
 //!              --handshake-ms N    mesh dial window         [30000]
@@ -84,6 +85,7 @@ fn parse_args() -> Args {
     let mut reorg_epoch_ms: Option<u64> = None;
     let mut npart: Option<u32> = None;
     let mut keys: Option<KeyDist> = None;
+    let mut probe_threads: Option<usize> = None;
     let mut adaptive_dod = false;
     let mut capacity: Option<usize> = None;
     let mut handshake_ms: Option<u64> = None;
@@ -163,6 +165,13 @@ fn parse_args() -> Args {
                 keys =
                     Some(parse_keys(&value(&mut i, &flag)).unwrap_or_else(|e| usage_and_exit(&e)))
             }
+            "--probe-threads" => {
+                probe_threads = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --probe-threads")),
+                )
+            }
             "--adaptive-dod" => adaptive_dod = true,
             "--capacity" => {
                 capacity = Some(
@@ -204,6 +213,9 @@ fn parse_args() -> Args {
     }
     if let Some(n) = npart {
         node.params.npart = n;
+    }
+    if let Some(n) = probe_threads {
+        node.params.probe_threads = n;
     }
     if let Some(r) = rate {
         node.rate = r;

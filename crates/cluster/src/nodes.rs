@@ -20,6 +20,7 @@
 //! the core test suite proves), so a channel run, a TCP run and the
 //! `reference_join` oracle all agree pair-for-pair on the same seed.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use windjoin_core::probe::ExactEngine;
 use windjoin_core::{MasterCore, OutPair, Params, Side, SlaveCore, Tuple, WorkStats};
@@ -161,7 +162,10 @@ pub fn initial_partitions(params: &Params, slaves: usize, slave: usize) -> Vec<u
 /// then flushes deterministically and shuts the cluster down.
 pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutcome {
     let run_us_total = duration_us(cfg.run);
-    let mut core = MasterCore::new(cfg.params.clone(), cfg.slaves, cfg.slaves, cfg.seed);
+    // One shared `Params` for the whole node; the core holds the `Arc`,
+    // no per-component deep clone.
+    let params: Arc<Params> = Arc::new(cfg.params.clone());
+    let mut core = MasterCore::new(Arc::clone(&params), cfg.slaves, cfg.slaves, cfg.seed);
     let s1 = StreamSpec {
         rate: windjoin_gen::RateSchedule::constant(cfg.rate),
         keys: cfg.keys,
@@ -178,9 +182,12 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     let mut next = gen.next();
 
     let start = Instant::now();
-    let td = cfg.params.dist_epoch_us;
-    let tr = cfg.params.reorg_epoch_us;
-    let ng = cfg.params.ng;
+    let td = params.dist_epoch_us;
+    let tr = params.reorg_epoch_us;
+    let ng = params.ng;
+    // Reused frame-encode scratch: batch sends are allocation-free over
+    // TCP (`send_slice` writes straight from this buffer).
+    let mut enc_scratch: Vec<u8> = Vec::new();
     let mut occ_samples: Vec<Vec<f64>> = vec![Vec::new(); cfg.slaves];
     let mut dod_trace = TimeSeries::new(tr);
     let mut moves = 0u64;
@@ -227,7 +234,8 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
                 next = gen.next();
             }
             for (slave, batch) in core.drain_for_slot(slot) {
-                let _ = ep.send(1 + slave, Message::Batch(batch).encode());
+                Message::encode_batch_into(&batch, &mut enc_scratch);
+                let _ = ep.send_slice(1 + slave, &enc_scratch);
             }
         }
         epoch += 1;
@@ -296,7 +304,8 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     // planned after the main loop, so nothing re-holds a partition.
     for slot in 0..ng {
         for (slave, batch) in core.drain_for_slot(slot) {
-            let _ = ep.send(1 + slave, Message::Batch(batch).encode());
+            Message::encode_batch_into(&batch, &mut enc_scratch);
+            let _ = ep.send_slice(1 + slave, &enc_scratch);
         }
         while let Some(frame) = ep.try_recv() {
             handle(&mut core, &mut occ_samples, frame);
@@ -328,33 +337,43 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
 /// master's `Shutdown` arrives.
 pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) -> SlaveOutcome {
     let collector_rank = cfg.collector_rank();
-    let mut core: SlaveCore<ExactEngine> = SlaveCore::new(index, cfg.params.clone());
+    let params: Arc<Params> = Arc::new(cfg.params.clone());
+    let mut core: SlaveCore<ExactEngine> = SlaveCore::new(index, Arc::clone(&params));
     // Initial round-robin ownership, mirroring the master's map.
-    for pid in initial_partitions(core.params(), cfg.slaves, index) {
+    for pid in initial_partitions(&params, cfg.slaves, index) {
         core.create_group(pid);
     }
     let mut work = WorkStats::default();
     let mut cpu_us = 0u64;
     let mut comm_us = 0u64;
-    let mut out = Vec::new();
+    // Reused per-batch scratch: decoded tuples, join outputs and the
+    // frame-encode buffer all keep their capacity across batches.
+    let mut out: Vec<OutPair> = Vec::new();
+    let mut batch: Vec<Tuple> = Vec::new();
+    let mut enc_scratch: Vec<u8> = Vec::new();
     loop {
         let recv_started = Instant::now();
         let Ok(frame) = ep.recv() else { break };
         comm_us += recv_started.elapsed().as_micros() as u64;
-        match Message::decode(frame.payload).expect("slave frame") {
-            Message::Batch(batch) => {
-                let t0 = Instant::now();
-                core.receive_batch(batch);
-                core.process_pending(&mut out, &mut work);
-                cpu_us += t0.elapsed().as_micros() as u64;
-                core.record_occupancy();
-                if !out.is_empty() {
-                    let msg = Message::Outputs(std::mem::take(&mut out)).encode();
-                    let _ = ep.send(collector_rank, msg);
-                }
-                let occ = core.take_avg_occupancy();
-                let _ = ep.send(0, Message::Occupancy(occ).encode());
+        // Fast path: batches (the per-epoch hot frame) decode into the
+        // reused tuple buffer without constructing a `Message`.
+        if Message::decode_batch_into(frame.payload.clone(), &mut batch).expect("slave frame") {
+            let t0 = Instant::now();
+            core.receive_batch_slice(&batch);
+            core.process_pending(&mut out, &mut work);
+            cpu_us += t0.elapsed().as_micros() as u64;
+            core.record_occupancy();
+            if !out.is_empty() {
+                Message::encode_outputs_into(&out, &mut enc_scratch);
+                let _ = ep.send_slice(collector_rank, &enc_scratch);
+                out.clear();
             }
+            let occ = core.take_avg_occupancy();
+            Message::Occupancy(occ).encode_into(&mut enc_scratch);
+            let _ = ep.send_slice(0, &enc_scratch);
+            continue;
+        }
+        match Message::decode(frame.payload).expect("slave frame") {
             Message::MoveDirective { pid, to } => {
                 let (state, pending) = core.extract_group(pid, &mut work);
                 let msg = Message::State { pid, state, pending }.encode();

@@ -311,14 +311,19 @@ impl<E: ProbeEngine> Actor<Ev> for ClusterSim<E> {
 }
 
 fn run_engine<E: ProbeEngine + 'static>(cfg: &RunConfig) -> RunReport {
+    // One shared `Params` for the master and every simulated slave.
+    let params = std::sync::Arc::new(cfg.params.clone());
     let master = MasterCore::new(
-        cfg.params.clone(),
+        std::sync::Arc::clone(&params),
         cfg.total_slaves,
         cfg.initial_slaves,
         cfg.seed ^ 0x00AD_57E2_0000_0001,
     );
     let mut slaves: Vec<SlaveSim<E>> = (0..cfg.total_slaves)
-        .map(|i| SlaveSim { core: SlaveCore::new(i, cfg.params.clone()), cpu: CpuTimeline::new() })
+        .map(|i| SlaveSim {
+            core: SlaveCore::new(i, std::sync::Arc::clone(&params)),
+            cpu: CpuTimeline::new(),
+        })
         .collect();
     for (slave, pids) in master.initial_assignment() {
         for pid in pids {

@@ -61,20 +61,23 @@ where
     let run_us_total = cfg.run.as_micros() as u64;
     let warmup_us = cfg.warmup.as_micros() as u64;
 
+    // One shared config for every node thread — no per-thread deep
+    // clone of `Params` and the workload spec.
+    let shared = std::sync::Arc::new(cfg.clone());
     let collector = {
-        let cfg = cfg.clone();
+        let cfg = std::sync::Arc::clone(&shared);
         thread::spawn(move || nodes::collector_node(&collector_ep, &cfg))
     };
     let slaves: Vec<_> = slave_eps
         .into_iter()
         .enumerate()
         .map(|(i, ep)| {
-            let cfg = cfg.clone();
+            let cfg = std::sync::Arc::clone(&shared);
             thread::spawn(move || nodes::slave_node(&ep, i, &cfg))
         })
         .collect();
     let master = {
-        let cfg = cfg.clone();
+        let cfg = std::sync::Arc::clone(&shared);
         thread::spawn(move || nodes::master_node(&master_ep, &cfg))
     };
 

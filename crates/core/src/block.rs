@@ -1,8 +1,16 @@
-//! Fixed-capacity tuple blocks (§IV-D; Table I: 4 KB).
+//! Fixed-capacity tuple blocks (§IV-D; Table I: 4 KB), stored in a
+//! hybrid columnar (SoA) layout.
 //!
 //! Window partitions store tuples in blocks so that (a) expiry happens at
 //! block granularity, (b) the BNLJ scans block-by-block, and (c) buffer
 //! and window sizes are counted in blocks for the θ tuning rule.
+//!
+//! The probe kernel is memory-bound on the join-key scan, so each block
+//! mirrors its keys and timestamps into contiguous `Vec<u64>` columns
+//! next to the row-form tuples: a key-column scan touches 8 bytes per
+//! stored tuple instead of a whole 32-byte `Tuple`, and the maintained
+//! min/max key bounds let the probe skip blocks whose key range cannot
+//! intersect the probing batch at all (see [`crate::probe`]).
 
 use crate::Tuple;
 
@@ -11,19 +19,72 @@ use crate::Tuple;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     tuples: Vec<Tuple>,
+    /// Column of `tuples[i].key`, contiguous for the probe kernel.
+    keys: Vec<u64>,
+    /// Column of `tuples[i].t`, contiguous for the window predicate.
+    ts: Vec<u64>,
+    /// Smallest stored key (`u64::MAX` when empty).
+    min_key: u64,
+    /// Largest stored key (`0` when empty).
+    max_key: u64,
+}
+
+/// A borrowed view of one sealed run of a block: the row tuples plus
+/// the columnar keys/timestamps and the block's key range — everything
+/// the batched probe kernel reads.
+///
+/// `min_key`/`max_key` bound the *whole* block, so for a sealed prefix
+/// of a head block they may be wider than the slice itself; the probe
+/// prefilter only relies on them being an over-approximation.
+#[derive(Debug, Clone, Copy)]
+pub struct RunView<'a> {
+    /// Row-form tuples of the run (for seq/side on a key hit).
+    pub tuples: &'a [Tuple],
+    /// Join keys of the run, contiguous.
+    pub keys: &'a [u64],
+    /// Arrival timestamps of the run, contiguous.
+    pub ts: &'a [u64],
+    /// Lower bound on every key in the run.
+    pub min_key: u64,
+    /// Upper bound on every key in the run.
+    pub max_key: u64,
+}
+
+impl RunView<'_> {
+    /// Tuples in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the run holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
 }
 
 impl Block {
     /// An empty block with room for `capacity` tuples.
     pub fn with_capacity(capacity: usize) -> Self {
-        Block { tuples: Vec::with_capacity(capacity) }
+        Block {
+            tuples: Vec::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
+            ts: Vec::with_capacity(capacity),
+            min_key: u64::MAX,
+            max_key: 0,
+        }
     }
 
     /// Builds a block directly from tuples (used by state movement and
     /// splits). The tuples must already be time-ordered.
     pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
         debug_assert!(tuples.windows(2).all(|w| (w[0].t, w[0].seq) <= (w[1].t, w[1].seq)));
-        Block { tuples }
+        let mut b = Block::with_capacity(tuples.len());
+        for t in tuples {
+            b.push(t);
+        }
+        b
     }
 
     /// Appends a tuple; caller enforces capacity.
@@ -33,6 +94,10 @@ impl Block {
             self.tuples.last().is_none_or(|last| (last.t, last.seq) <= (t.t, t.seq)),
             "blocks are time-ordered"
         );
+        self.keys.push(t.key);
+        self.ts.push(t.t);
+        self.min_key = self.min_key.min(t.key);
+        self.max_key = self.max_key.max(t.key);
         self.tuples.push(t);
     }
 
@@ -54,17 +119,52 @@ impl Block {
         &self.tuples
     }
 
+    /// The join-key column, index-aligned with [`Block::tuples`].
+    #[inline]
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// The timestamp column, index-aligned with [`Block::tuples`].
+    #[inline]
+    pub fn ts(&self) -> &[u64] {
+        &self.ts
+    }
+
+    /// `(min, max)` key bounds of the stored tuples; `None` when empty.
+    #[inline]
+    pub fn key_range(&self) -> Option<(u64, u64)> {
+        if self.tuples.is_empty() {
+            None
+        } else {
+            Some((self.min_key, self.max_key))
+        }
+    }
+
+    /// A columnar view of the first `len` tuples (the sealed prefix; the
+    /// key bounds still cover the whole block — see [`RunView`]).
+    #[inline]
+    pub fn run_view(&self, len: usize) -> RunView<'_> {
+        RunView {
+            tuples: &self.tuples[..len],
+            keys: &self.keys[..len],
+            ts: &self.ts[..len],
+            min_key: self.min_key,
+            max_key: self.max_key,
+        }
+    }
+
     /// Timestamp of the newest tuple (`None` when empty). Because blocks
     /// are time-ordered, this is the last tuple.
     #[inline]
     pub fn newest_t(&self) -> Option<u64> {
-        self.tuples.last().map(|t| t.t)
+        self.ts.last().copied()
     }
 
     /// Timestamp of the oldest tuple (`None` when empty).
     #[inline]
     pub fn oldest_t(&self) -> Option<u64> {
-        self.tuples.first().map(|t| t.t)
+        self.ts.first().copied()
     }
 
     /// Sequence number of the newest tuple (`None` when empty).
@@ -116,5 +216,28 @@ mod tests {
         let b = Block::from_tuples(src.clone());
         assert_eq!(b.tuples(), &src[..]);
         assert_eq!(b.into_tuples(), src);
+    }
+
+    #[test]
+    fn columns_mirror_rows() {
+        let mut b = Block::with_capacity(4);
+        b.push(Tuple::new(Side::Left, 10, 7, 0));
+        b.push(Tuple::new(Side::Left, 20, 3, 1));
+        b.push(Tuple::new(Side::Left, 30, 9, 2));
+        assert_eq!(b.keys(), &[7, 3, 9]);
+        assert_eq!(b.ts(), &[10, 20, 30]);
+        assert_eq!(b.key_range(), Some((3, 9)));
+        let v = b.run_view(2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.keys, &[7, 3]);
+        assert_eq!(v.ts, &[10, 20]);
+        assert_eq!((v.min_key, v.max_key), (3, 9), "bounds cover the whole block");
+    }
+
+    #[test]
+    fn empty_block_has_no_key_range() {
+        let b = Block::with_capacity(1);
+        assert_eq!(b.key_range(), None);
+        assert!(b.run_view(0).is_empty());
     }
 }

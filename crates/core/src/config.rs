@@ -89,6 +89,12 @@ pub struct Params {
     /// filters); this only affects *when* state is reclaimed. Default:
     /// `2 × dist_epoch_us`.
     pub expiry_lag_us: u64,
+    /// Worker threads a slave uses to drain independent partition-groups
+    /// of one batch in parallel. Results are merged in ascending
+    /// partition order, so the output sequence is identical for every
+    /// thread count (a pure function of the seed). 1 = serial (the
+    /// paper's single-threaded slave).
+    pub probe_threads: usize,
 }
 
 impl Params {
@@ -113,6 +119,7 @@ impl Params {
             beta: 0.5,
             ng: 1,
             expiry_lag_us: 2 * dist_epoch_us,
+            probe_threads: 1,
         }
     }
 
@@ -142,6 +149,12 @@ impl Params {
         self
     }
 
+    /// Sets the slave-side probe worker-pool width (1 = serial).
+    pub fn with_probe_threads(mut self, threads: usize) -> Self {
+        self.probe_threads = threads;
+        self
+    }
+
     /// Validates internal consistency; call after manual field edits.
     pub fn validate(&self) -> Result<(), String> {
         if self.npart == 0 {
@@ -164,6 +177,9 @@ impl Params {
         }
         if self.ng == 0 {
             return Err("ng must be positive".into());
+        }
+        if self.probe_threads == 0 {
+            return Err("probe_threads must be at least 1".into());
         }
         if let Some(t) = &self.tuning {
             if t.theta_blocks == 0 {

@@ -74,7 +74,7 @@ pub use config::{JoinSemantics, Params, TuningParams};
 pub use group::{GroupState, PartitionGroup};
 pub use master::{MasterCore, MasterEvent, MovePlan, ReorgPlan};
 pub use minigroup::MiniGroup;
-pub use probe::{CountedEngine, ExactEngine, ProbeEngine};
+pub use probe::{CountedEngine, ExactEngine, ProbeEngine, ScalarEngine};
 pub use reference::reference_join;
 pub use reorg::{classify, decide_dod, pair_moves, NodeClass};
 pub use slave::SlaveCore;

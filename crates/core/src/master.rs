@@ -48,7 +48,7 @@ pub type MasterEvent = ();
 /// The master's protocol state.
 #[derive(Debug)]
 pub struct MasterCore {
-    params: Params,
+    params: std::sync::Arc<Params>,
     active: Vec<bool>,
     /// Partition → owning slave. Remapped eagerly when a move is
     /// planned; the partition is *held* until the move completes.
@@ -66,8 +66,16 @@ pub struct MasterCore {
 impl MasterCore {
     /// A master over `total_slaves` provisioned slaves, the first
     /// `initial_active` of which start active, with partitions assigned
-    /// round-robin among them.
-    pub fn new(params: Params, total_slaves: usize, initial_active: usize, seed: u64) -> Self {
+    /// round-robin among them. The parameters are shared, not copied —
+    /// pass an `Arc<Params>` to avoid a deep clone per node (a plain
+    /// `Params` converts implicitly).
+    pub fn new(
+        params: impl Into<std::sync::Arc<Params>>,
+        total_slaves: usize,
+        initial_active: usize,
+        seed: u64,
+    ) -> Self {
+        let params = params.into();
         assert!(initial_active >= 1 && initial_active <= total_slaves);
         params.validate().expect("invalid parameters");
         let map: Vec<usize> = (0..params.npart).map(|p| (p as usize) % initial_active).collect();

@@ -1,12 +1,19 @@
 //! Probe engines: how fresh tuples find their matches in the opposite
 //! window.
 //!
-//! Two interchangeable engines implement [`ProbeEngine`]:
+//! Three interchangeable engines implement [`ProbeEngine`]:
 //!
 //! * [`ExactEngine`] — the paper's Block Nested-Loop Join (§IV-D,
-//!   §VI-A): physically scans every sealed block of the opposite window.
-//!   Used by unit tests, the threaded runtime, examples and the
-//!   microbenches.
+//!   §VI-A) as a **batched columnar kernel**: scans the opposite
+//!   window's contiguous key columns (see [`crate::block`]), skips
+//!   blocks whose min/max key range cannot intersect the probing
+//!   batch, and only touches row-form tuples on a key hit. Outputs,
+//!   emission order and charged work are bit-identical to the scalar
+//!   scan. Used by the threaded/process runtimes and the microbenches.
+//! * [`ScalarEngine`] — the retained scalar reference kernel: the
+//!   tuple-at-a-time BNLJ via [`scan_run`], exactly as the paper
+//!   describes it. Slow on purpose; it anchors the equivalence
+//!   property tests that keep the columnar kernel honest.
 //! * [`CountedEngine`] — maintains a per-key index of sealed tuples and
 //!   discovers matches through it, while charging **exactly the work the
 //!   BNLJ would have done** (`fresh × sealed` comparisons, one touch per
@@ -14,15 +21,27 @@
 //!   `ExactEngine` — enforced by the equivalence property tests — which
 //!   makes cluster-scale simulated experiments tractable (DESIGN.md §3).
 //!
-//! Both engines rely on the window's freshness protocol for duplicate
+//! All engines rely on the window's freshness protocol for duplicate
 //! elimination: probes only see **sealed** opposite tuples; the skipped
 //! fresh tuples probe later and find this side's (by then sealed) tuples.
+//!
+//! ## Why the prefilter cannot change charged work
+//!
+//! The BNLJ cost the paper measures is `fresh × sealed` comparisons plus
+//! one touch per opposite block; both are charged **before** any
+//! physical scanning decision. The min/max prefilter only elides the
+//! *discovery* scan of blocks that provably contain no equal key — the
+//! output set and the `WorkStats` tallies are unchanged by construction.
 
+use crate::block::RunView;
 use crate::{Block, JoinSemantics, OutPair, Side, Tuple, WindowPartition, WorkStats};
 use std::collections::{HashMap, VecDeque};
 
 /// Match-finding strategy for a mini-partition-group.
-pub trait ProbeEngine: Default {
+///
+/// `Send` is required so a slave can drain independent partition-groups
+/// on a worker pool (see `SlaveCore::process_pending`).
+pub trait ProbeEngine: Default + Send {
     /// A tuple has been sealed (it finished probing; it is now visible
     /// to opposite-side probes).
     fn on_seal(&mut self, tuple: &Tuple);
@@ -65,9 +84,51 @@ pub fn scan_run(
     work.comparisons += (probe_tuples.len() * stored_run.len()) as u64;
 }
 
-/// The paper's Block Nested-Loop Join: physical block scans.
+/// The retained scalar reference kernel: the paper's Block Nested-Loop
+/// Join as straight-line tuple-at-a-time scans over row-form blocks.
+///
+/// [`ExactEngine`] is the production kernel; this engine exists so the
+/// equivalence property tests can assert, forever, that the columnar
+/// kernel emits byte-identical `(OutPair, WorkStats)` sequences.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct ExactEngine;
+pub struct ScalarEngine;
+
+impl ProbeEngine for ScalarEngine {
+    fn on_seal(&mut self, _tuple: &Tuple) {}
+
+    fn on_expire_block(&mut self, _side: Side, _block: &Block) {}
+
+    fn probe(
+        &mut self,
+        fresh: &[Tuple],
+        opposite: &WindowPartition,
+        sem: &JoinSemantics,
+        out: &mut Vec<OutPair>,
+        work: &mut WorkStats,
+    ) {
+        if fresh.is_empty() {
+            return;
+        }
+        work.blocks_touched += opposite.block_count() as u64;
+        opposite.for_each_sealed_run(|run| scan_run(fresh, run, sem, out, work));
+    }
+}
+
+/// The paper's Block Nested-Loop Join as a batched columnar kernel.
+///
+/// Per probe call the fresh batch's keys are gathered once into a
+/// reused scratch column; every sealed run is then scanned through its
+/// contiguous key column — 8 bytes per stored tuple instead of a whole
+/// 32-byte row — and runs whose `[min_key, max_key]` range is disjoint
+/// from the batch's key range are skipped outright (their comparisons
+/// are still charged; see the module docs). Row tuples are only touched
+/// to materialise an [`OutPair`] on a key hit, and emission order is
+/// exactly the scalar kernel's stored-major order.
+#[derive(Debug, Clone, Default)]
+pub struct ExactEngine {
+    /// Reused key column of the probing batch.
+    fresh_keys: Vec<u64>,
+}
 
 impl ProbeEngine for ExactEngine {
     fn on_seal(&mut self, _tuple: &Tuple) {}
@@ -86,7 +147,92 @@ impl ProbeEngine for ExactEngine {
             return;
         }
         work.blocks_touched += opposite.block_count() as u64;
-        opposite.for_each_sealed_run(|run| scan_run(fresh, run, sem, out, work));
+        self.fresh_keys.clear();
+        let (mut fresh_min, mut fresh_max) = (u64::MAX, 0u64);
+        for t in fresh {
+            self.fresh_keys.push(t.key);
+            fresh_min = fresh_min.min(t.key);
+            fresh_max = fresh_max.max(t.key);
+        }
+        let fresh_keys = &self.fresh_keys;
+        opposite.for_each_sealed_run_view(|run| {
+            // Full BNLJ charge, independent of the physical scan below.
+            work.comparisons += (fresh.len() * run.len()) as u64;
+            if run.min_key > fresh_max || run.max_key < fresh_min {
+                return; // no key of this block can equal any fresh key
+            }
+            if let [key] = fresh_keys[..] {
+                scan_run_one_key(key, &fresh[0], &run, sem, out, work);
+            } else {
+                scan_run_columnar(fresh, fresh_keys, &run, sem, out, work);
+            }
+        });
+    }
+}
+
+/// Columnar scan of one sealed run against a probing batch, preserving
+/// the scalar kernel's stored-major emission order. Comparisons are
+/// charged by the caller.
+fn scan_run_columnar(
+    fresh: &[Tuple],
+    fresh_keys: &[u64],
+    run: &RunView<'_>,
+    sem: &JoinSemantics,
+    out: &mut Vec<OutPair>,
+    work: &mut WorkStats,
+) {
+    for (j, &stored_key) in run.keys.iter().enumerate() {
+        for (i, &fresh_key) in fresh_keys.iter().enumerate() {
+            if fresh_key == stored_key {
+                let probe = &fresh[i];
+                let stored_t = run.ts[j];
+                if sem.joins(probe.t, probe.side, stored_t) {
+                    out.push(OutPair::from_probe(probe, stored_t, run.tuples[j].seq));
+                    work.emitted += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Single-probe fast path: a branchless 8-wide any-match sweep over the
+/// key column; only chunks containing the key fall back to the exact
+/// scalar walk, so the common all-miss chunk costs no branches at all.
+fn scan_run_one_key(
+    key: u64,
+    probe: &Tuple,
+    run: &RunView<'_>,
+    sem: &JoinSemantics,
+    out: &mut Vec<OutPair>,
+    work: &mut WorkStats,
+) {
+    let mut emit_at = |j: usize| {
+        let stored_t = run.ts[j];
+        if sem.joins(probe.t, probe.side, stored_t) {
+            out.push(OutPair::from_probe(probe, stored_t, run.tuples[j].seq));
+            work.emitted += 1;
+        }
+    };
+    let mut chunks = run.keys.chunks_exact(8);
+    let mut base = 0usize;
+    for chunk in &mut chunks {
+        let mut any = false;
+        for &k in chunk {
+            any |= k == key;
+        }
+        if any {
+            for (off, &k) in chunk.iter().enumerate() {
+                if k == key {
+                    emit_at(base + off);
+                }
+            }
+        }
+        base += 8;
+    }
+    for (off, &k) in chunks.remainder().iter().enumerate() {
+        if k == key {
+            emit_at(base + off);
+        }
     }
 }
 
@@ -207,7 +353,7 @@ mod tests {
 
     #[test]
     fn exact_engine_finds_window_valid_matches() {
-        let mut e = ExactEngine;
+        let mut e = ExactEngine::default();
         let stored = [tr(100, 7, 0), tr(500, 7, 1), tr(500, 9, 2), tr(2000, 7, 3)];
         let w = sealed_right(&mut e, &stored);
         let fresh = [tl(1200, 7, 0)];
@@ -234,7 +380,7 @@ mod tests {
         ];
         let fresh = [tl(1200, 7, 0), tl(1300, 9, 1), tl(1400, 42, 2)];
 
-        let mut ex = ExactEngine;
+        let mut ex = ExactEngine::default();
         let w_ex = sealed_right(&mut ex, &stored);
         let (mut out_ex, work_ex) = run_probe(&mut ex, &fresh, &w_ex);
 
@@ -253,7 +399,7 @@ mod tests {
         // The opposite window has one sealed and one fresh tuple; only
         // the sealed one may match (§IV-D duplicate elimination).
         for counted in [false, true] {
-            let mut ex = ExactEngine;
+            let mut ex = ExactEngine::default();
             let mut ct = CountedEngine::default();
             let mut w = WindowPartition::new(Side::Right, 4);
             let sealed = tr(100, 7, 0);
@@ -295,7 +441,7 @@ mod tests {
 
     #[test]
     fn empty_probe_is_free() {
-        let mut ex = ExactEngine;
+        let mut ex = ExactEngine::default();
         let w = sealed_right(&mut ex, &[tr(1, 7, 0)]);
         let (out, work) = run_probe(&mut ex, &[], &w);
         assert!(out.is_empty());
@@ -324,7 +470,7 @@ mod tests {
                 let w = sealed_right(&mut e, &stored);
                 run_probe(&mut e, &fresh, &w)
             } else {
-                let mut e = ExactEngine;
+                let mut e = ExactEngine::default();
                 let w = sealed_right(&mut e, &stored);
                 run_probe(&mut e, &fresh, &w)
             };

@@ -147,6 +147,20 @@ impl WindowPartition {
         }
     }
 
+    /// Columnar counterpart of [`WindowPartition::for_each_sealed_run`]:
+    /// visits the same runs in the same order, as [`crate::block::RunView`]s
+    /// carrying the contiguous key/timestamp columns and the block's key
+    /// bounds. This is the batched probe kernel's scan path.
+    pub fn for_each_sealed_run_view(&self, mut f: impl FnMut(crate::block::RunView<'_>)) {
+        let n = self.blocks.len();
+        for (i, b) in self.blocks.iter().enumerate() {
+            let run = b.run_view(if i + 1 == n { self.fresh_start } else { b.len() });
+            if !run.is_empty() {
+                f(run);
+            }
+        }
+    }
+
     /// Drops and returns the oldest block if it is fully expired at
     /// `watermark`: `newest_t + window_us + lag_us < watermark`. A block
     /// holding fresh tuples never expires.

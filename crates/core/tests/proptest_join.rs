@@ -13,7 +13,7 @@
 
 use proptest::prelude::*;
 use windjoin_core::{
-    probe::{CountedEngine, ExactEngine},
+    probe::{CountedEngine, ExactEngine, ScalarEngine},
     reference_join, OutPair, Params, ProbeEngine, Side, SlaveCore, TuningParams, Tuple, WorkStats,
 };
 
@@ -47,8 +47,9 @@ fn params(block_bytes: usize, window_us: u64, tuning: Option<TuningParams>) -> P
     p
 }
 
-/// Runs a whole workload through one slave in `chunk`-sized batches.
-fn run_slave<E: ProbeEngine>(
+/// Runs a whole workload through one slave in `chunk`-sized batches,
+/// returning the raw emission sequence (unsorted).
+fn run_slave_raw<E: ProbeEngine>(
     p: &Params,
     tuples: &[Tuple],
     chunk: usize,
@@ -63,6 +64,16 @@ fn run_slave<E: ProbeEngine>(
         s.receive_batch(batch.to_vec());
         s.process_pending(&mut out, &mut work);
     }
+    (out, work)
+}
+
+/// [`run_slave_raw`] with the output sorted by pair identity.
+fn run_slave<E: ProbeEngine>(
+    p: &Params,
+    tuples: &[Tuple],
+    chunk: usize,
+) -> (Vec<OutPair>, WorkStats) {
+    let (mut out, work) = run_slave_raw::<E>(p, tuples, chunk);
     out.sort_by_key(|o| o.id());
     (out, work)
 }
@@ -75,6 +86,28 @@ fn sorted_ids(pairs: &[OutPair]) -> Vec<(u64, u64)> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn columnar_kernel_matches_scalar_reference_byte_for_byte(
+        tuples in workload(300, 8),
+        block_bytes in prop_oneof![Just(128usize), Just(256), Just(512)],
+        w_left in prop_oneof![Just(50u64), Just(500), Just(5_000)],
+        w_right in prop_oneof![Just(50u64), Just(500), Just(5_000)],
+        chunk in 1usize..64,
+        tuned in any::<bool>(),
+    ) {
+        // The columnar `ExactEngine` must emit the *identical sequence*
+        // of `(OutPair, WorkStats)` — not just the same set — as the
+        // retained scalar reference kernel, across asymmetric window
+        // semantics, block geometries and batch boundaries.
+        let tuning = tuned.then_some(TuningParams { theta_blocks: 2, max_depth: 6 });
+        let mut p = params(block_bytes, w_left, tuning);
+        p.sem.w_right_us = w_right;
+        let (out_col, work_col) = run_slave_raw::<ExactEngine>(&p, &tuples, chunk);
+        let (out_ref, work_ref) = run_slave_raw::<ScalarEngine>(&p, &tuples, chunk);
+        prop_assert_eq!(out_col, out_ref, "emission sequences differ");
+        prop_assert_eq!(work_col, work_ref, "charged work differs");
+    }
 
     #[test]
     fn exact_and_counted_engines_are_equivalent(

@@ -35,4 +35,6 @@ pub use transport::{
     ChannelEndpoint, ChannelNetwork, Disconnected, Endpoint, Frame, Network, Transport,
     TransportEndpoint,
 };
-pub use wire::{decode_batch, encode_batch, Tagging, TUPLE_WIRE_BYTES};
+pub use wire::{
+    decode_batch, decode_batch_into, encode_batch, encode_batch_into, Tagging, TUPLE_WIRE_BYTES,
+};

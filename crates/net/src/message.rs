@@ -2,8 +2,8 @@
 //! binary codec so the threaded runtime exchanges machine-independent
 //! bytes end to end (§IV-B), not Rust objects.
 
-use crate::wire::{decode_batch, encode_batch, Tagging, WireError};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::wire::{decode_batch, decode_batch_into, encode_batch_into, Tagging, WireError};
+use bytes::{Buf, BufMut, Bytes};
 use windjoin_core::group::BucketState;
 use windjoin_core::{GroupState, OutPair, Side, Tuple};
 
@@ -51,13 +51,20 @@ const K_DONE: u8 = 5;
 const K_OUT: u8 = 6;
 const K_SHUT: u8 = 7;
 
-fn put_tuples(buf: &mut BytesMut, tuples: &[Tuple]) {
-    let b = encode_batch(tuples, Tagging::StreamTag);
-    buf.put_u32_le(b.len() as u32);
-    buf.put_slice(&b);
+fn put_tuples(buf: &mut Vec<u8>, tuples: &[Tuple]) {
+    // Reserve the length slot, encode in place, patch the length —
+    // no intermediate batch buffer.
+    let slot = buf.len();
+    buf.put_u32_le(0);
+    let body_start = buf.len();
+    encode_batch_into(tuples, Tagging::StreamTag, buf);
+    let body_len = (buf.len() - body_start) as u32;
+    buf[slot..slot + 4].copy_from_slice(&body_len.to_le_bytes());
 }
 
-fn get_tuples(buf: &mut Bytes) -> Result<Vec<Tuple>, WireError> {
+/// Splits off one `[len: u32 LE][body]` tuple block, validating the
+/// length prefix against the bytes actually present.
+fn take_tuple_block(buf: &mut Bytes) -> Result<Bytes, WireError> {
     if buf.remaining() < 4 {
         return Err(WireError::Truncated);
     }
@@ -65,11 +72,14 @@ fn get_tuples(buf: &mut Bytes) -> Result<Vec<Tuple>, WireError> {
     if buf.remaining() < len {
         return Err(WireError::Truncated);
     }
-    let body = buf.split_to(len);
-    decode_batch(body)
+    Ok(buf.split_to(len))
 }
 
-fn put_pair(buf: &mut BytesMut, p: &OutPair) {
+fn get_tuples(buf: &mut Bytes) -> Result<Vec<Tuple>, WireError> {
+    decode_batch(take_tuple_block(buf)?)
+}
+
+fn put_pair(buf: &mut Vec<u8>, p: &OutPair) {
     buf.put_u64_le(p.key);
     buf.put_u64_le(p.left.0);
     buf.put_u64_le(p.left.1);
@@ -91,12 +101,18 @@ fn get_pair(buf: &mut Bytes) -> Result<OutPair, WireError> {
 impl Message {
     /// Encodes to a self-describing byte frame.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Encodes into a caller-owned scratch vector (cleared first), so
+    /// hot loops reuse one encode buffer across messages. Combine with
+    /// `TransportEndpoint::send_slice` for an allocation-free send path.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
         match self {
-            Message::Batch(tuples) => {
-                buf.put_u8(K_BATCH);
-                put_tuples(&mut buf, tuples);
-            }
+            Message::Batch(tuples) => Self::encode_batch_into(tuples, buf),
             Message::Occupancy(f) => {
                 buf.put_u8(K_OCC);
                 buf.put_f64_le(*f);
@@ -115,27 +131,57 @@ impl Message {
                     buf.put_u8(b.depth);
                     // Left/right tuples as tagged batches; the sides are
                     // known but tagging keeps one decoder path.
-                    put_tuples(&mut buf, &b.left);
-                    put_tuples(&mut buf, &b.right);
+                    put_tuples(buf, &b.left);
+                    put_tuples(buf, &b.right);
                 }
-                put_tuples(&mut buf, pending);
+                put_tuples(buf, pending);
             }
             Message::MoveComplete { pid } => {
                 buf.put_u8(K_DONE);
                 buf.put_u32_le(*pid);
             }
-            Message::Outputs(pairs) => {
-                buf.put_u8(K_OUT);
-                buf.put_u32_le(pairs.len() as u32);
-                for p in pairs {
-                    put_pair(&mut buf, p);
-                }
-            }
+            Message::Outputs(pairs) => Self::encode_outputs_into(pairs, buf),
             Message::Shutdown => {
                 buf.put_u8(K_SHUT);
             }
         }
-        buf.freeze()
+    }
+
+    /// Encodes a [`Message::Batch`] frame straight from a tuple slice
+    /// (no `Message` construction, no buffer allocation).
+    pub fn encode_batch_into(tuples: &[Tuple], buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.put_u8(K_BATCH);
+        put_tuples(buf, tuples);
+    }
+
+    /// Encodes a [`Message::Outputs`] frame straight from a pair slice
+    /// (no `Message` construction, no buffer allocation).
+    pub fn encode_outputs_into(pairs: &[OutPair], buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.put_u8(K_OUT);
+        buf.put_u32_le(pairs.len() as u32);
+        for p in pairs {
+            put_pair(buf, p);
+        }
+    }
+
+    /// Fast-path decode of a [`Message::Batch`] frame into a reused
+    /// tuple vector (cleared first). Returns `Ok(false)` — leaving `out`
+    /// untouched — when the frame is some other message kind; the caller
+    /// then falls back to [`Message::decode`].
+    pub fn decode_batch_into(mut buf: Bytes, out: &mut Vec<Tuple>) -> Result<bool, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        if buf.chunk()[0] != K_BATCH {
+            return Ok(false);
+        }
+        buf.advance(1);
+        let body = take_tuple_block(&mut buf)?;
+        out.clear();
+        decode_batch_into(body, out)?;
+        Ok(true)
     }
 
     /// Decodes a frame produced by [`Message::encode`].

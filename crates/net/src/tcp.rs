@@ -9,6 +9,10 @@
 //!   ([`encode_frame`] / [`FrameDecoder`]). The decoder is incremental
 //!   and handles arbitrarily torn reads (a length prefix split across
 //!   TCP segments, frames spanning reads, several frames per read).
+//!   The hot receive path reads frames through a buffered reader
+//!   directly into exactly-sized payload buffers; the incremental
+//!   decoder remains the reference codec for the torn-read property
+//!   tests and external consumers.
 //! * **Bootstrap** — a rank-handshake mesh: every rank listens on its
 //!   address from the shared peer list; for each pair the higher rank
 //!   dials the lower and announces itself with a `HELLO` (magic,
@@ -28,7 +32,7 @@
 use crate::transport::{Disconnected, Frame, Transport, TransportEndpoint};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use std::io::{Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -141,6 +145,13 @@ impl FrameDecoder {
         self.pos += total;
         Ok(Some(payload))
     }
+}
+
+/// Panics on a payload above [`MAX_FRAME_BYTES`]: the receiver would
+/// drop the connection on the oversized length prefix, so failing
+/// loudly at the source beats silently killing the link.
+fn assert_frame_size(len: usize) {
+    assert!(len <= MAX_FRAME_BYTES, "frame of {len} bytes exceeds the {MAX_FRAME_BYTES} byte cap");
 }
 
 /// Time left until `deadline`, floored at 1 ms (`set_read_timeout`
@@ -403,6 +414,36 @@ fn check_ctrl(frame: &[u8], expected: u8) -> std::io::Result<()> {
     Ok(())
 }
 
+/// One peer's write half plus a reused frame-assembly scratch: each
+/// send builds `[len][payload]` in the scratch and issues **one**
+/// `write_all`, so the steady-state send path performs no allocation
+/// and one syscall per frame.
+#[derive(Debug)]
+struct TcpWriter {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
+/// Above this capacity the scratch is released after a send — a huge
+/// state-transfer frame must not pin its buffer for the rest of the
+/// run. Epoch batches stay far below it.
+const WRITER_SCRATCH_KEEP_BYTES: usize = 4 * 1024 * 1024;
+
+impl TcpWriter {
+    fn write_framed(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        self.scratch.clear();
+        self.scratch.reserve(FRAME_HEADER_BYTES + payload.len());
+        self.scratch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.scratch.extend_from_slice(payload);
+        self.stream.write_all(&self.scratch)?;
+        self.stream.flush()?;
+        if self.scratch.capacity() > WRITER_SCRATCH_KEEP_BYTES {
+            self.scratch = Vec::new();
+        }
+        Ok(())
+    }
+}
+
 /// One rank's handle on a TCP mesh.
 ///
 /// Sends write length-prefixed frames straight onto the peer's socket
@@ -415,7 +456,7 @@ pub struct TcpEndpoint {
     rank: usize,
     /// Write halves, `None` at our own rank. `Mutex` keeps concurrent
     /// sends to the same peer from interleaving partial frames.
-    writers: Arc<Vec<Option<Mutex<TcpStream>>>>,
+    writers: Arc<Vec<Option<Mutex<TcpWriter>>>>,
     inbox_tx: Sender<Frame>,
     inbox_rx: Receiver<Frame>,
 }
@@ -424,14 +465,14 @@ impl TcpEndpoint {
     fn start(rank: usize, streams: Vec<Option<TcpStream>>, capacity: usize) -> Self {
         let n = streams.len();
         let (inbox_tx, inbox_rx) = bounded(capacity);
-        let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(n);
+        let mut writers: Vec<Option<Mutex<TcpWriter>>> = Vec::with_capacity(n);
         for (peer, stream) in streams.into_iter().enumerate() {
             let Some(stream) = stream else {
                 writers.push(None);
                 continue;
             };
             let reader = stream.try_clone().expect("clone stream for reader");
-            writers.push(Some(Mutex::new(stream)));
+            writers.push(Some(Mutex::new(TcpWriter { stream, scratch: Vec::new() })));
             let tx = inbox_tx.clone();
             std::thread::Builder::new()
                 .name(format!("wj-net-r{rank}-p{peer}"))
@@ -457,20 +498,31 @@ impl TcpEndpoint {
     /// would drop the connection on the oversized length prefix, so
     /// failing loudly at the source beats silently killing the link.
     pub fn send(&self, to: usize, payload: Bytes) -> Result<(), Disconnected> {
-        assert!(
-            payload.len() <= MAX_FRAME_BYTES,
-            "frame of {} bytes exceeds the {MAX_FRAME_BYTES} byte cap",
-            payload.len()
-        );
         if to == self.rank {
-            return self
-                .inbox_tx
-                .send(Frame { from: self.rank, payload })
-                .map_err(|_| Disconnected);
+            // Owned payload: deliver without the copy `send_slice`'s
+            // self-send would make.
+            return self.deliver_to_self(payload);
         }
+        self.send_slice(to, &payload)
+    }
+
+    /// Blocking send of a borrowed payload: frames it in the peer
+    /// writer's reused scratch and writes it with one syscall — no
+    /// allocation on the steady-state path.
+    pub fn send_slice(&self, to: usize, payload: &[u8]) -> Result<(), Disconnected> {
+        if to == self.rank {
+            return self.deliver_to_self(Bytes::from(payload));
+        }
+        assert_frame_size(payload.len());
         let writer = self.writers[to].as_ref().expect("send to unconnected rank");
-        let mut stream = writer.lock().unwrap();
-        write_frame(&mut stream, &payload).map_err(|_| Disconnected)
+        let mut writer = writer.lock().unwrap();
+        writer.write_framed(payload).map_err(|_| Disconnected)
+    }
+
+    /// Self-sends short-circuit through the inbox like any other frame.
+    fn deliver_to_self(&self, payload: Bytes) -> Result<(), Disconnected> {
+        assert_frame_size(payload.len());
+        self.inbox_tx.send(Frame { from: self.rank, payload }).map_err(|_| Disconnected)
     }
 
     /// Blocking receive of the next frame addressed to this rank.
@@ -506,6 +558,10 @@ impl TransportEndpoint for TcpEndpoint {
         TcpEndpoint::send(self, to, payload)
     }
 
+    fn send_slice(&self, to: usize, payload: &[u8]) -> Result<(), Disconnected> {
+        TcpEndpoint::send_slice(self, to, payload)
+    }
+
     fn recv(&self) -> Result<Frame, Disconnected> {
         TcpEndpoint::recv(self)
     }
@@ -525,35 +581,37 @@ impl Drop for TcpEndpoint {
         // `try_clone`d fds keep the connection alive, so an explicit
         // shutdown is required, not just dropping the write halves.
         for writer in self.writers.iter().flatten() {
-            if let Ok(stream) = writer.lock() {
-                let _ = stream.shutdown(Shutdown::Both);
+            if let Ok(writer) = writer.lock() {
+                let _ = writer.stream.shutdown(Shutdown::Both);
             }
         }
     }
 }
 
-fn reader_loop(peer: usize, mut stream: TcpStream, tx: Sender<Frame>) {
-    let mut dec = FrameDecoder::new();
-    let mut buf = [0u8; 64 * 1024];
+fn reader_loop(peer: usize, stream: TcpStream, tx: Sender<Frame>) {
+    // Frames are read straight out of one reused buffered reader: the
+    // header comes off the buffer, the payload is read_exact into an
+    // exactly-sized vector that becomes the frame (its one and only
+    // allocation). No intermediate reassembly buffer, no extra copy.
+    let mut rd = BufReader::with_capacity(256 * 1024, stream);
     loop {
-        let nread = match stream.read(&mut buf) {
-            Ok(0) | Err(_) => return, // peer closed (or we shut down)
-            Ok(n) => n,
-        };
-        dec.feed(&buf[..nread]);
-        loop {
-            match dec.next_frame() {
-                Ok(Some(payload)) => {
-                    // A full inbox blocks here, which stops this read
-                    // loop, which fills the kernel buffers, which
-                    // blocks the sender: end-to-end backpressure.
-                    if tx.send(Frame { from: peer, payload }).is_err() {
-                        return;
-                    }
-                }
-                Ok(None) => break,
-                Err(_) => return, // corrupt stream: drop the connection
-            }
+        let mut hdr = [0u8; FRAME_HEADER_BYTES];
+        if rd.read_exact(&mut hdr).is_err() {
+            return; // peer closed (or we shut down)
+        }
+        let len = u32::from_le_bytes(hdr) as usize;
+        if len > MAX_FRAME_BYTES {
+            return; // corrupt stream: drop the connection
+        }
+        let mut payload = vec![0u8; len];
+        if rd.read_exact(&mut payload).is_err() {
+            return;
+        }
+        // A full inbox blocks here, which stops this read loop, which
+        // fills the kernel buffers, which blocks the sender: end-to-end
+        // backpressure.
+        if tx.send(Frame { from: peer, payload: Bytes::from(payload) }).is_err() {
+            return;
         }
     }
 }

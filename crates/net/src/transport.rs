@@ -66,6 +66,14 @@ pub trait TransportEndpoint: Send {
     /// Blocking send of `payload` to rank `to`.
     fn send(&self, to: usize, payload: Bytes) -> Result<(), Disconnected>;
 
+    /// Blocking send of a borrowed payload — the allocation-free hot
+    /// path for callers that encode into a reused scratch buffer.
+    /// Backends that can write the bytes straight to the wire (TCP)
+    /// override this; the default copies into an owned frame.
+    fn send_slice(&self, to: usize, payload: &[u8]) -> Result<(), Disconnected> {
+        self.send(to, Bytes::from(payload))
+    }
+
     /// Blocking receive of the next frame addressed to this rank.
     fn recv(&self) -> Result<Frame, Disconnected>;
 

@@ -81,7 +81,7 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-fn put_tuple(buf: &mut BytesMut, t: &Tuple, side_byte: u8) {
+fn put_tuple(buf: &mut impl BufMut, t: &Tuple, side_byte: u8) {
     buf.put_u64_le(t.t);
     buf.put_u64_le(t.key);
     buf.put_u64_le(t.seq);
@@ -115,12 +115,20 @@ fn get_tuple(buf: &mut Bytes, forced_side: Option<Side>) -> Result<Tuple, WireEr
 /// per-stream order — all the join needs).
 pub fn encode_batch(tuples: &[Tuple], tagging: Tagging) -> Bytes {
     let mut buf = BytesMut::with_capacity(HEADER_BYTES + tuples.len() * (TUPLE_WIRE_BYTES + 1));
+    encode_batch_into(tuples, tagging, &mut buf);
+    buf.freeze()
+}
+
+/// [`encode_batch`] into a caller-owned sink — the hot distribution path
+/// appends into a reused scratch buffer instead of allocating a fresh
+/// one per batch.
+pub fn encode_batch_into(tuples: &[Tuple], tagging: Tagging, buf: &mut impl BufMut) {
     buf.put_u8(tagging.as_byte());
     buf.put_u32_le(tuples.len() as u32);
     match tagging {
         Tagging::StreamTag => {
             for t in tuples {
-                put_tuple(&mut buf, t, t.side.index() as u8);
+                put_tuple(buf, t, t.side.index() as u8);
             }
         }
         Tagging::Punctuated => {
@@ -135,17 +143,25 @@ pub fn encode_batch(tuples: &[Tuple], tagging: Tagging) -> Bytes {
                 buf.put_u8(side.index() as u8);
                 buf.put_u32_le((run_end - i) as u32);
                 for t in &tuples[i..run_end] {
-                    put_tuple(&mut buf, t, 0);
+                    put_tuple(buf, t, 0);
                 }
                 i = run_end;
             }
         }
     }
-    buf.freeze()
 }
 
 /// Decodes a batch produced by [`encode_batch`].
-pub fn decode_batch(mut buf: Bytes) -> Result<Vec<Tuple>, WireError> {
+pub fn decode_batch(buf: Bytes) -> Result<Vec<Tuple>, WireError> {
+    let mut out = Vec::new();
+    decode_batch_into(buf, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_batch`] appending into a caller-owned vector, so the hot
+/// receive path reuses one tuple buffer across batches. `out` keeps any
+/// existing contents; on error it may hold a partially decoded prefix.
+pub fn decode_batch_into(mut buf: Bytes, out: &mut Vec<Tuple>) -> Result<(), WireError> {
     if buf.remaining() < HEADER_BYTES {
         return Err(WireError::Truncated);
     }
@@ -153,7 +169,8 @@ pub fn decode_batch(mut buf: Bytes) -> Result<Vec<Tuple>, WireError> {
     let count = buf.get_u32_le() as usize;
     // The count is untrusted (it may arrive off a socket): never let it
     // drive the allocation beyond what the buffer could actually hold.
-    let mut out = Vec::with_capacity(count.min(buf.remaining() / TUPLE_WIRE_BYTES));
+    out.reserve(count.min(buf.remaining() / TUPLE_WIRE_BYTES));
+    let start = out.len();
     match tagging {
         Tagging::StreamTag => {
             for _ in 0..count {
@@ -161,7 +178,7 @@ pub fn decode_batch(mut buf: Bytes) -> Result<Vec<Tuple>, WireError> {
             }
         }
         Tagging::Punctuated => {
-            while out.len() < count {
+            while out.len() - start < count {
                 if buf.remaining() < PUNCT_BYTES {
                     return Err(WireError::Truncated);
                 }
@@ -171,7 +188,7 @@ pub fn decode_batch(mut buf: Bytes) -> Result<Vec<Tuple>, WireError> {
                     other => return Err(WireError::BadSide(other)),
                 };
                 let run = buf.get_u32_le() as usize;
-                if out.len() + run > count {
+                if out.len() - start + run > count {
                     return Err(WireError::Truncated);
                 }
                 for _ in 0..run {
@@ -180,7 +197,7 @@ pub fn decode_batch(mut buf: Bytes) -> Result<Vec<Tuple>, WireError> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Exact encoded size of a batch under a tagging scheme (for link-cost

@@ -80,9 +80,12 @@ pub trait BufMut {
         self.put_u64_le(v.to_bits());
     }
 
-    /// Appends `cnt` copies of `val`.
+    /// Appends `cnt` copies of `val`. Implementors override this with an
+    /// allocation-free `resize` — it sits on the per-tuple encode path.
     fn put_bytes(&mut self, val: u8, cnt: usize) {
-        self.put_slice(&vec![val; cnt]);
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
     }
 }
 
@@ -259,6 +262,23 @@ impl Deref for BytesMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.buf.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.buf.resize(self.buf.len() + cnt, val);
+    }
+}
+
+/// Plain `Vec<u8>` works as an encode sink too — the reusable-scratch
+/// encode paths build frames in a caller-owned vector whose capacity
+/// survives across batches.
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
     }
 }
 
