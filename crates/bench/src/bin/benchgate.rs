@@ -1,0 +1,111 @@
+//! `benchgate` — CI regression gate over `perfjson` snapshots.
+//!
+//! Compares a freshly measured `bench_now.json` against the committed
+//! `BENCH_probe.json` baseline and fails (exit 1) when the headline
+//! `speedup_vs_scalar` ratio regressed by more than the allowed
+//! fraction. Per-scenario element rates are printed for context but not
+//! gated — absolute rates vary wildly across runner hardware, while the
+//! columnar/scalar ratio is measured on the same machine in the same
+//! process and stays comparable.
+//!
+//! ```text
+//! benchgate --baseline BENCH_probe.json --current bench_now.json [--max-regression 0.30]
+//! ```
+
+/// Minimal extraction of `"field": <number>` from the perfjson format
+/// (full JSON parsing is not needed for a file we generate ourselves).
+fn extract_number(json: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))?;
+    rest[..end].parse().ok()
+}
+
+/// Every `(name, elements_per_sec)` pair in a perfjson snapshot.
+fn extract_scenarios(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split("{\"name\": \"").skip(1) {
+        let Some(name_end) = chunk.find('"') else { continue };
+        let name = chunk[..name_end].to_string();
+        if let Some(rate) = extract_number(chunk, "elements_per_sec") {
+            out.push((name, rate));
+        }
+    }
+    out
+}
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("benchgate: {msg}");
+    eprintln!("usage: benchgate --baseline PATH --current PATH [--max-regression F]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut max_regression = 0.30f64;
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage_and_exit("flag needs a value"))
+        };
+        match argv[i].as_str() {
+            "--baseline" => baseline = Some(value(&mut i)),
+            "--current" => current = Some(value(&mut i)),
+            "--max-regression" => {
+                max_regression =
+                    value(&mut i).parse().unwrap_or_else(|_| usage_and_exit("bad --max-regression"))
+            }
+            other => usage_and_exit(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let baseline_path = baseline.unwrap_or_else(|| usage_and_exit("--baseline is required"));
+    let current_path = current.unwrap_or_else(|| usage_and_exit("--current is required"));
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage_and_exit(&format!("reading {path}: {e}")))
+    };
+    let base = read(&baseline_path);
+    let curr = read(&current_path);
+    for (label, json) in [("baseline", &base), ("current", &curr)] {
+        if !json.contains("\"schema\": \"windjoin-perfjson/1\"") {
+            usage_and_exit(&format!("{label} snapshot has an unknown schema"));
+        }
+    }
+
+    let base_speedup = extract_number(&base, "speedup_vs_scalar")
+        .unwrap_or_else(|| usage_and_exit("baseline lacks speedup_vs_scalar"));
+    let curr_speedup = extract_number(&curr, "speedup_vs_scalar")
+        .unwrap_or_else(|| usage_and_exit("current lacks speedup_vs_scalar"));
+
+    println!(
+        "benchgate: speedup_vs_scalar baseline {base_speedup:.2}x, current {curr_speedup:.2}x"
+    );
+    let base_rates = extract_scenarios(&base);
+    for (name, rate) in extract_scenarios(&curr) {
+        let vs = base_rates
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, b)| format!("{:+.1}% vs baseline", (rate / b - 1.0) * 100.0))
+            .unwrap_or_else(|| "new scenario".into());
+        println!("  {name:<36} {rate:>14.0} elem/s  ({vs})");
+    }
+
+    let floor = base_speedup * (1.0 - max_regression);
+    if curr_speedup < floor {
+        eprintln!(
+            "benchgate: FAIL — speedup_vs_scalar {curr_speedup:.2}x fell below \
+             {floor:.2}x (baseline {base_speedup:.2}x minus {:.0}% allowance)",
+            max_regression * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "benchgate: OK — within the {:.0}% allowance (floor {floor:.2}x)",
+        max_regression * 100.0
+    );
+}

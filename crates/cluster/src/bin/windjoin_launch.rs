@@ -1,0 +1,221 @@
+//! `windjoin-launch` — port-safe launcher for a local multi-process
+//! cluster.
+//!
+//! Hard-coded port lists are collision-flaky on shared CI runners: two
+//! jobs (or a leftover process) grab the same port and the whole mesh
+//! handshake dies. This launcher reserves ports by binding port 0,
+//! reads back the kernel-assigned addresses, passes the same `--peers`
+//! list to every rank it spawns, and retries the whole launch on fresh
+//! ports if the narrow bind-then-release window loses a race.
+//!
+//! ```text
+//! windjoin-launch --ranks N [options] [-- node flags...]
+//!
+//!   --ranks N               cluster size: master + N-2 slaves + collector
+//!   --bin PATH              windjoin-node binary [next to this binary]
+//!   --out PATH              also write the collector stdout to PATH
+//!   --log-dir DIR           capture each rank's stderr to DIR/rank<r>.log
+//!                           (dumped to stderr when the launch fails)
+//!   --kill-rank R           chaos: pass --die-after-batches to rank R
+//!   --die-after-batches N   batches rank R processes before crashing [6]
+//!   --retries K             full-launch retries on port races [3]
+//!   -- ...                  everything after `--` goes to every rank
+//! ```
+//!
+//! Exit status 0 when the cluster completed (a chaos-killed rank's
+//! expected death is not a failure); the collector's stdout is echoed.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::{Command, Stdio};
+
+struct Args {
+    ranks: usize,
+    bin: Option<String>,
+    out: Option<String>,
+    log_dir: Option<String>,
+    kill_rank: Option<usize>,
+    die_after_batches: u64,
+    retries: usize,
+    passthrough: Vec<String>,
+}
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("windjoin-launch: {msg}");
+    eprintln!("usage: windjoin-launch --ranks N [--bin PATH] [--out PATH] [--log-dir DIR]");
+    eprintln!("                       [--kill-rank R [--die-after-batches N]] [--retries K]");
+    eprintln!("                       [-- node flags...]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        ranks: 0,
+        bin: None,
+        out: None,
+        log_dir: None,
+        kill_rank: None,
+        die_after_batches: 6,
+        retries: 3,
+        passthrough: Vec::new(),
+    };
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage_and_exit(&format!("{flag} needs a value")))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        match flag.as_str() {
+            "--ranks" => {
+                args.ranks =
+                    value(&mut i, &flag).parse().unwrap_or_else(|_| usage_and_exit("bad --ranks"))
+            }
+            "--bin" => args.bin = Some(value(&mut i, &flag)),
+            "--out" => args.out = Some(value(&mut i, &flag)),
+            "--log-dir" => args.log_dir = Some(value(&mut i, &flag)),
+            "--kill-rank" => {
+                args.kill_rank = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --kill-rank")),
+                )
+            }
+            "--die-after-batches" => {
+                args.die_after_batches = value(&mut i, &flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("bad --die-after-batches"))
+            }
+            "--retries" => {
+                args.retries =
+                    value(&mut i, &flag).parse().unwrap_or_else(|_| usage_and_exit("bad --retries"))
+            }
+            "--" => {
+                args.passthrough = argv[i + 1..].to_vec();
+                break;
+            }
+            other => usage_and_exit(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    if args.ranks < 3 {
+        usage_and_exit("--ranks must be >= 3 (master, >=1 slave, collector)");
+    }
+    if let Some(r) = args.kill_rank {
+        if r == 0 || r + 1 >= args.ranks {
+            usage_and_exit("--kill-rank must name a slave rank");
+        }
+        if args.die_after_batches == 0 {
+            usage_and_exit("--die-after-batches must be >= 1");
+        }
+    }
+    args
+}
+
+/// Reserves `n` distinct loopback ports: binds port 0 `n` times, reads
+/// the assigned addresses, then releases the listeners for the ranks to
+/// re-bind. The race window between release and re-bind is why the
+/// caller retries on a failed launch.
+fn reserve_peer_list(n: usize) -> std::io::Result<String> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<Result<_, _>>()?;
+    let peers: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().map(|a| a.to_string()))
+        .collect::<Result<_, _>>()?;
+    Ok(peers.join(","))
+}
+
+fn node_bin(explicit: &Option<String>) -> String {
+    if let Some(b) = explicit {
+        return b.clone();
+    }
+    let mut path = std::env::current_exe().expect("current_exe");
+    path.set_file_name("windjoin-node");
+    path.to_string_lossy().into_owned()
+}
+
+/// One full launch on freshly reserved ports. `Ok` carries the
+/// collector's stdout; `Err` the combined diagnostics of failed ranks.
+fn launch_once(args: &Args, bin: &str) -> Result<String, String> {
+    let peer_list = reserve_peer_list(args.ranks).map_err(|e| format!("reserving ports: {e}"))?;
+    eprintln!("windjoin-launch: peers {peer_list}");
+
+    let stderr_for = |rank: usize| -> Stdio {
+        match &args.log_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).expect("create --log-dir");
+                Stdio::from(
+                    std::fs::File::create(format!("{dir}/rank{rank}.log")).expect("rank log"),
+                )
+            }
+            None => Stdio::inherit(),
+        }
+    };
+    let spawn = |rank: usize| {
+        let mut cmd = Command::new(bin);
+        cmd.args(["--rank", &rank.to_string()])
+            .args(["--peers", &peer_list])
+            .args(&args.passthrough)
+            .stdout(if rank + 1 == args.ranks { Stdio::piped() } else { Stdio::null() })
+            .stderr(stderr_for(rank));
+        if args.kill_rank == Some(rank) {
+            cmd.args(["--die-after-batches", &args.die_after_batches.to_string()]);
+        }
+        cmd.spawn().unwrap_or_else(|e| usage_and_exit(&format!("spawning {bin}: {e}")))
+    };
+
+    // Master and slaves first, collector (whose stdout we keep) last.
+    let others: Vec<_> = (0..args.ranks - 1).map(spawn).collect();
+    let collector = spawn(args.ranks - 1);
+
+    let collector_out = collector.wait_with_output().expect("collector wait");
+    let mut errors = String::new();
+    for (rank, child) in others.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("rank wait");
+        // A chaos-killed rank is *supposed* to die hard; anything else
+        // must exit cleanly.
+        if !out.status.success() && args.kill_rank != Some(rank) {
+            errors.push_str(&format!("rank {rank} failed ({}):\n", out.status));
+            errors.push_str(&String::from_utf8_lossy(&out.stderr));
+            if let Some(dir) = &args.log_dir {
+                if let Ok(log) = std::fs::read_to_string(format!("{dir}/rank{rank}.log")) {
+                    errors.push_str(&log);
+                }
+            }
+        }
+    }
+    if !collector_out.status.success() {
+        errors.push_str(&format!("collector failed ({}):\n", collector_out.status));
+        errors.push_str(&String::from_utf8_lossy(&collector_out.stderr));
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    Ok(String::from_utf8_lossy(&collector_out.stdout).into_owned())
+}
+
+fn main() {
+    let args = parse_args();
+    let bin = node_bin(&args.bin);
+    let mut attempt = 0;
+    let stdout = loop {
+        attempt += 1;
+        match launch_once(&args, &bin) {
+            Ok(stdout) => break stdout,
+            Err(errors) if attempt < args.retries => {
+                eprintln!("windjoin-launch: attempt {attempt} failed, retrying:\n{errors}");
+            }
+            Err(errors) => {
+                eprintln!("windjoin-launch: failed after {attempt} attempt(s):\n{errors}");
+                std::process::exit(1);
+            }
+        }
+    };
+    if let Some(path) = &args.out {
+        std::fs::write(path, &stdout).expect("write --out");
+    }
+    print!("{stdout}");
+    std::io::stdout().flush().ok();
+}

@@ -23,6 +23,11 @@
 //!                                  | constant:K             [bmodel:0.7:100000]
 //!              --probe-threads N   slave probe worker pool  [1]
 //!              --adaptive-dod      enable §V-A adaptive declustering
+//! liveness     --heartbeat-ms N    slave beacon interval; 0 off [500]
+//!              --max-missed N      silent beacons before a slave is
+//!                                  declared dead; 0 off     [20]
+//! chaos        --die-after-batches N  (slave ranks only) crash this
+//!                                  process after processing N batches
 //! transport    --capacity N        inbox frames             [4096]
 //!              --handshake-ms N    mesh dial window         [30000]
 //! output       --emit-pairs       collector prints every join pair
@@ -35,7 +40,7 @@
 
 use std::net::SocketAddr;
 use std::time::Duration;
-use windjoin_cluster::{run_node, NodeConfig, NodeOutcome, ProcessConfig};
+use windjoin_cluster::{run_node, ChaosKill, NodeConfig, NodeOutcome, ProcessConfig};
 use windjoin_gen::KeyDist;
 
 struct Args {
@@ -87,6 +92,9 @@ fn parse_args() -> Args {
     let mut keys: Option<KeyDist> = None;
     let mut probe_threads: Option<usize> = None;
     let mut adaptive_dod = false;
+    let mut heartbeat_ms: Option<u64> = None;
+    let mut max_missed: Option<u32> = None;
+    let mut die_after_batches: Option<u64> = None;
     let mut capacity: Option<usize> = None;
     let mut handshake_ms: Option<u64> = None;
     let mut emit_pairs = false;
@@ -173,6 +181,27 @@ fn parse_args() -> Args {
                 )
             }
             "--adaptive-dod" => adaptive_dod = true,
+            "--heartbeat-ms" => {
+                heartbeat_ms = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --heartbeat-ms")),
+                )
+            }
+            "--max-missed" => {
+                max_missed = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --max-missed")),
+                )
+            }
+            "--die-after-batches" => {
+                die_after_batches = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --die-after-batches")),
+                )
+            }
             "--capacity" => {
                 capacity = Some(
                     value(&mut i, &flag)
@@ -234,6 +263,25 @@ fn parse_args() -> Args {
     }
     node.adaptive_dod = adaptive_dod;
     node.capture_outputs = emit_pairs;
+    if let Some(ms) = heartbeat_ms {
+        node.heartbeat = Duration::from_millis(ms);
+    }
+    if let Some(n) = max_missed {
+        node.max_missed = n;
+    }
+    if let Some(n) = die_after_batches {
+        if rank == 0 || rank + 1 >= peers.len() {
+            usage_and_exit("--die-after-batches applies to slave ranks only");
+        }
+        if n == 0 {
+            // The trigger compares after the Nth batch: 0 would mean
+            // "never fire", a silently useless chaos config.
+            usage_and_exit("--die-after-batches must be >= 1");
+        }
+        // The chaos kill applies to *this* process: a real crash via
+        // process exit, pinned to a protocol point for determinism.
+        node.chaos = Some(ChaosKill { slave: rank - 1, after_batches: n, exit_process: true });
+    }
 
     Args {
         rank,
@@ -278,6 +326,13 @@ fn main() {
                 "master done: {} tuples ingested, {} partition moves, final degree {}",
                 m.tuples_in, m.moves, m.final_degree
             );
+            if !m.dead_slaves.is_empty() || !m.loss.is_zero() {
+                // Machine-readable failure accounting (chaos CI greps it).
+                eprintln!(
+                    "master loss: dead_slaves {:?} groups_lost {} tuples_lost {}",
+                    m.dead_slaves, m.loss.groups_lost, m.loss.tuples_lost
+                );
+            }
         }
         NodeOutcome::Slave(s) => {
             eprintln!(

@@ -35,7 +35,7 @@ pub mod runcfg;
 pub mod simrt;
 pub mod threadrt;
 
-pub use nodes::{NodeConfig, Role};
+pub use nodes::{ChaosKill, NodeConfig, Role};
 pub use procrt::{run_node, NodeOutcome, ProcessConfig};
 pub use report::RunReport;
 pub use runcfg::RunConfig;

@@ -19,14 +19,27 @@
 //! collector. Batch boundaries never change join results (a property
 //! the core test suite proves), so a channel run, a TCP run and the
 //! `reference_join` oracle all agree pair-for-pair on the same seed.
+//!
+//! ## Failure model
+//!
+//! Node loss is a protocol event, not a hang. Slaves beacon
+//! [`Message::Heartbeat`] at [`NodeConfig::heartbeat`]; the master
+//! declares a slave dead on a transport [`NetEvent::PeerDown`] or after
+//! [`NodeConfig::max_missed`] silent beacon intervals, re-homes its
+//! partition-groups onto live slaves as fresh adoptions
+//! ([`MasterCore::on_slave_down`]) and accounts the abandoned window
+//! state as a window-bounded loss. The drain is kill-safe: the run
+//! terminates when every **live** slave has flushed — outputs of
+//! surviving partitions remain exactly the oracle's, outputs of dead
+//! partitions a sound subset (never a wrong or duplicate pair).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use windjoin_core::probe::ExactEngine;
-use windjoin_core::{MasterCore, OutPair, Params, Side, SlaveCore, Tuple, WorkStats};
+use windjoin_core::{GroupState, MasterCore, OutPair, Params, Side, SlaveCore, Tuple, WorkStats};
 use windjoin_gen::{merge_streams, KeyDist, StreamSpec};
 use windjoin_metrics::{DelayTracker, TimeSeries};
-use windjoin_net::{Message, TransportEndpoint};
+use windjoin_net::{Message, NetEvent, TransportEndpoint};
 
 /// Configuration shared by every execution backend of the real-time
 /// cluster (threaded and multi-process).
@@ -52,6 +65,35 @@ pub struct NodeConfig {
     pub adaptive_dod: bool,
     /// Keep every output pair in the report.
     pub capture_outputs: bool,
+    /// Slave liveness-beacon interval ([`Message::Heartbeat`]); zero
+    /// disables beaconing (failures are then detected through transport
+    /// teardown only).
+    pub heartbeat: Duration,
+    /// Consecutive silent beacon intervals before the master declares a
+    /// slave dead; zero disables detection-by-silence. Keep the product
+    /// `heartbeat * max_missed` well above the longest legitimate gap
+    /// between frames from a slave (a distribution epoch), or a busy
+    /// node gets declared dead spuriously.
+    pub max_missed: u32,
+    /// Fault-injection hook for the chaos tests: the selected slave
+    /// dies abruptly after processing N batches.
+    pub chaos: Option<ChaosKill>,
+}
+
+/// Deterministic fault injection: slave `slave` dies immediately after
+/// fully processing its `after_batches`-th batch frame — no goodbye, no
+/// flush, exactly like a crash at that protocol point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosKill {
+    /// The victim's slave index (0-based; rank `slave + 1`).
+    pub slave: usize,
+    /// How many batch frames to process before dying (batches arrive
+    /// once per distribution-epoch slot, so this pins the injection
+    /// point in protocol time, not wall-clock time).
+    pub after_batches: u64,
+    /// Die by `std::process::exit` (multi-process runtime) instead of
+    /// returning from the node loop (threaded runtime).
+    pub exit_process: bool,
 }
 
 impl NodeConfig {
@@ -71,6 +113,9 @@ impl NodeConfig {
             warmup: Duration::from_secs(2),
             adaptive_dod: false,
             capture_outputs: false,
+            heartbeat: Duration::from_millis(500),
+            max_missed: 20,
+            chaos: None,
         }
     }
 
@@ -122,6 +167,11 @@ pub struct MasterOutcome {
     pub moves: u64,
     /// Tuples ingested from both streams (deterministic per seed).
     pub tuples_in: u64,
+    /// Window state abandoned on dead slaves (window-bounded upper
+    /// bound; see [`WorkStats::tuples_lost`]).
+    pub loss: WorkStats,
+    /// Slaves that were dead when the run ended, ascending.
+    pub dead_slaves: Vec<usize>,
 }
 
 /// What one slave accumulated over a run.
@@ -158,6 +208,115 @@ pub fn initial_partitions(params: &Params, slaves: usize, slave: usize) -> Vec<u
     (0..params.npart).filter(|p| (*p as usize) % slaves == slave).collect()
 }
 
+/// The master's event handling and liveness bookkeeping, shared by the
+/// main loop and every flush phase so a slave death is handled
+/// identically wherever it surfaces.
+struct MasterDriver<'a, E: TransportEndpoint> {
+    ep: &'a E,
+    cfg: &'a NodeConfig,
+    core: MasterCore,
+    occ_samples: Vec<Vec<f64>>,
+    /// Wall clock of the last frame seen per slave (heartbeat monitor).
+    last_heard: Vec<Instant>,
+    /// Slaves that announced a clean `Goodbye` (never readmitted).
+    departed: Vec<bool>,
+}
+
+impl<'a, E: TransportEndpoint> MasterDriver<'a, E> {
+    fn new(ep: &'a E, cfg: &'a NodeConfig, core: MasterCore) -> Self {
+        MasterDriver {
+            ep,
+            cfg,
+            core,
+            occ_samples: vec![Vec::new(); cfg.slaves],
+            last_heard: vec![Instant::now(); cfg.slaves],
+            departed: vec![false; cfg.slaves],
+        }
+    }
+
+    /// Handles one transport event (frame or peer teardown).
+    fn on_event(&mut self, ev: NetEvent) {
+        let frame = match ev {
+            NetEvent::PeerDown(rank) if rank >= 1 && rank <= self.cfg.slaves => {
+                self.declare_down(rank - 1, "connection torn down");
+                return;
+            }
+            // The collector going down is not recoverable (results have
+            // nowhere to go) but must not wedge the protocol: slaves'
+            // output sends simply start failing.
+            NetEvent::PeerDown(_) => return,
+            NetEvent::Frame(f) => f,
+        };
+        let slave = frame.from.checked_sub(1).expect("no frames from ourselves");
+        assert!(slave < self.cfg.slaves, "master got a frame from the collector");
+        self.last_heard[slave] = Instant::now();
+        // Any frame from a slave we declared dead by heartbeat timeout
+        // proves it alive after all: park it for readmission at the
+        // next reorganization epoch.
+        if !self.core.is_live(slave) && !self.departed[slave] && self.core.on_slave_up(slave) {
+            eprintln!("master: slave {slave} is back; readmitting at the next reorg epoch");
+        }
+        match Message::decode(frame.payload).expect("master frame") {
+            Message::Occupancy(f) => self.occ_samples[slave].push(f),
+            // Tolerant ack: a stale completion for a superseded
+            // (pre-failure) move is ignored by the core.
+            Message::MoveComplete { pid } => {
+                let _ = self.core.on_move_complete(pid, slave);
+            }
+            Message::Heartbeat { .. } => {}
+            Message::Goodbye => {
+                self.departed[slave] = true;
+                self.declare_down(slave, "clean goodbye");
+            }
+            other => panic!("master got unexpected message {other:?}"),
+        }
+    }
+
+    /// Declares `slave` dead and issues the fresh adoptions that re-home
+    /// its partition-groups onto live slaves.
+    fn declare_down(&mut self, slave: usize, why: &str) {
+        if !self.core.is_live(slave) {
+            return;
+        }
+        let plan = self.core.on_slave_down(slave);
+        // Tell the collector not to wait for this slave's flush marker —
+        // a wedged-but-connected slave produces no transport teardown
+        // the collector could observe on its own.
+        let _ =
+            self.ep.send(self.cfg.collector_rank(), Message::Dead { slave: slave as u32 }.encode());
+        eprintln!(
+            "master: slave {slave} down ({why}); re-homing {} partition-group(s), \
+             <= {} window tuple(s) lost",
+            plan.adoptions.len(),
+            plan.lost.tuples_lost
+        );
+        for mv in plan.adoptions {
+            // A fresh (empty) install through the ordinary state-move
+            // path; the adopter's MoveComplete releases the hold.
+            let msg = Message::State {
+                pid: mv.pid,
+                state: GroupState { buckets: Vec::new() },
+                pending: Vec::new(),
+            }
+            .encode();
+            let _ = self.ep.send(1 + mv.to, msg);
+        }
+    }
+
+    /// Declares every slave silent past the heartbeat deadline dead.
+    fn check_liveness(&mut self) {
+        if self.cfg.heartbeat.is_zero() || self.cfg.max_missed == 0 {
+            return;
+        }
+        let deadline = self.cfg.heartbeat * self.cfg.max_missed;
+        for s in 0..self.cfg.slaves {
+            if self.core.is_live(s) && self.last_heard[s].elapsed() > deadline {
+                self.declare_down(s, "missed heartbeats");
+            }
+        }
+    }
+}
+
 /// Runs the master loop on `ep` (rank 0) until the configured horizon,
 /// then flushes deterministically and shuts the cluster down.
 pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutcome {
@@ -165,7 +324,7 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     // One shared `Params` for the whole node; the core holds the `Arc`,
     // no per-component deep clone.
     let params: Arc<Params> = Arc::new(cfg.params.clone());
-    let mut core = MasterCore::new(Arc::clone(&params), cfg.slaves, cfg.slaves, cfg.seed);
+    let core = MasterCore::new(Arc::clone(&params), cfg.slaves, cfg.slaves, cfg.seed);
     let s1 = StreamSpec {
         rate: windjoin_gen::RateSchedule::constant(cfg.rate),
         keys: cfg.keys,
@@ -188,21 +347,12 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     // Reused frame-encode scratch: batch sends are allocation-free over
     // TCP (`send_slice` writes straight from this buffer).
     let mut enc_scratch: Vec<u8> = Vec::new();
-    let mut occ_samples: Vec<Vec<f64>> = vec![Vec::new(); cfg.slaves];
     let mut dod_trace = TimeSeries::new(tr);
     let mut moves = 0u64;
     let mut tuples_in = 0u64;
     let mut next_reorg = tr;
     let mut epoch = 0u64;
-
-    let handle =
-        |core: &mut MasterCore, occ_samples: &mut Vec<Vec<f64>>, frame: windjoin_net::Frame| {
-            match Message::decode(frame.payload).expect("master frame") {
-                Message::Occupancy(f) => occ_samples[frame.from - 1].push(f),
-                Message::MoveComplete { pid } => core.on_move_complete(pid),
-                other => panic!("master got unexpected message {other:?}"),
-            }
-        };
+    let mut md = MasterDriver::new(ep, cfg, core);
 
     loop {
         for slot in 0..ng {
@@ -210,16 +360,17 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
             if slot_at >= run_us_total {
                 break;
             }
-            // Service incoming frames until the slot time.
+            // Service incoming events until the slot time.
             loop {
                 let now_us = start.elapsed().as_micros() as u64;
                 if now_us >= slot_at {
                     break;
                 }
                 let budget = Duration::from_micros((slot_at - now_us).min(2_000));
-                if let Ok(Some(frame)) = ep.recv_timeout(budget) {
-                    handle(&mut core, &mut occ_samples, frame);
+                if let Ok(Some(ev)) = ep.recv_event_timeout(budget) {
+                    md.on_event(ev);
                 }
+                md.check_liveness();
             }
             // Clamp to the horizon: the ingested arrival set must be a
             // pure function of the seed, not of scheduling jitter.
@@ -229,32 +380,37 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
                     break;
                 }
                 let side = if a.stream == 0 { Side::Left } else { Side::Right };
-                core.on_arrival(Tuple::new(side, a.at_us, a.key, a.seq));
+                md.core.on_arrival(Tuple::new(side, a.at_us, a.key, a.seq));
                 tuples_in += 1;
                 next = gen.next();
             }
-            for (slave, batch) in core.drain_for_slot(slot) {
+            for (slave, batch) in md.core.drain_for_slot(slot) {
                 Message::encode_batch_into(&batch, &mut enc_scratch);
                 let _ = ep.send_slice(1 + slave, &enc_scratch);
             }
         }
         epoch += 1;
         let now_us = epoch * td;
-        // Reorganise, but not within the final stretch: in-flight
-        // state moves must complete before shutdown.
-        if now_us >= next_reorg && now_us + 2 * tr < run_us_total {
-            for s in core.active_slaves() {
-                let samples = std::mem::take(&mut occ_samples[s]);
+        // Reorganise while ingest remains. The cutoff derives from the
+        // remaining arrival stream, not a wall-clock guard band: the
+        // deterministic flush below waits for in-flight state moves
+        // before shutdown anyway, and the old `now + 2*t_r < run` guard
+        // silently disabled every reorg on runs shorter than two reorg
+        // epochs.
+        let ingest_remaining = next.as_ref().is_some_and(|a| a.at_us <= run_us_total);
+        if now_us >= next_reorg && ingest_remaining {
+            for s in md.core.active_slaves() {
+                let samples = std::mem::take(&mut md.occ_samples[s]);
                 let avg = if samples.is_empty() {
                     0.0
                 } else {
                     samples.iter().sum::<f64>() / samples.len() as f64
                 };
-                core.on_occupancy(s, avg);
+                md.core.on_occupancy(s, avg);
             }
-            let plan = core.plan_reorg(cfg.adaptive_dod);
+            let plan = md.core.plan_reorg(cfg.adaptive_dod);
             moves += plan.moves.len() as u64;
-            dod_trace.record(now_us, core.degree() as f64);
+            dod_trace.record(now_us, md.core.degree() as f64);
             for mv in plan.moves {
                 let msg = Message::MoveDirective { pid: mv.pid, to: mv.to as u32 }.encode();
                 let _ = ep.send(1 + mv.from, msg);
@@ -276,9 +432,10 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
             break;
         }
         let budget = Duration::from_micros((run_us_total - now_us).min(2_000));
-        if let Ok(Some(frame)) = ep.recv_timeout(budget) {
-            handle(&mut core, &mut occ_samples, frame);
+        if let Ok(Some(ev)) = ep.recv_event_timeout(budget) {
+            md.on_event(ev);
         }
+        md.check_liveness();
     }
     // (1) Ingest every remaining arrival inside the horizon.
     while let Some(a) = next {
@@ -286,7 +443,7 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
             break;
         }
         let side = if a.stream == 0 { Side::Left } else { Side::Right };
-        core.on_arrival(Tuple::new(side, a.at_us, a.key, a.seq));
+        md.core.on_arrival(Tuple::new(side, a.at_us, a.key, a.seq));
         tuples_in += 1;
         next = gen.next();
     }
@@ -294,47 +451,77 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     // `drain_for_slot` withholds tuples of held (moving) partitions,
     // so draining first would strand them in the buffer — and a
     // Shutdown racing a State transfer would strand tuples on the wire.
+    // Kill-safe: a slave dying here surfaces as PeerDown/timeout, its
+    // moves are cancelled or re-issued at live adopters, and the wait
+    // ends when the *live* cluster has acked.
     let move_deadline = Instant::now() + Duration::from_secs(10);
-    while !core.pending_moves().is_empty() && Instant::now() < move_deadline {
-        if let Ok(Some(frame)) = ep.recv_timeout(Duration::from_millis(20)) {
-            handle(&mut core, &mut occ_samples, frame);
+    while !md.core.pending_moves().is_empty() && Instant::now() < move_deadline {
+        if let Ok(Some(ev)) = ep.recv_event_timeout(Duration::from_millis(20)) {
+            md.on_event(ev);
         }
+        md.check_liveness();
     }
     // (3) Drain every slot so no batch stays buffered. No reorg is
     // planned after the main loop, so nothing re-holds a partition.
     for slot in 0..ng {
-        for (slave, batch) in core.drain_for_slot(slot) {
+        for (slave, batch) in md.core.drain_for_slot(slot) {
             Message::encode_batch_into(&batch, &mut enc_scratch);
             let _ = ep.send_slice(1 + slave, &enc_scratch);
         }
-        while let Some(frame) = ep.try_recv() {
-            handle(&mut core, &mut occ_samples, frame);
+        while let Some(ev) = ep.try_recv_event() {
+            md.on_event(ev);
         }
     }
-    // (4) Now the cluster may wind down.
-    for s in 0..cfg.slaves {
+    // (3b) Whatever is still buffered now can never be delivered — a
+    // stalled adoption kept its partition held past the deadline, or a
+    // total-death episode left partitions with no live owner. Charge it
+    // as lost instead of dropping it silently.
+    let undelivered = md.core.account_undelivered();
+    if !undelivered.is_zero() {
+        eprintln!(
+            "master: {} buffered tuple(s) undeliverable at shutdown (stalled \
+             adoption or dead owner); charged as lost",
+            undelivered.tuples_lost
+        );
+    }
+    // (4) Now the cluster may wind down: every live slave gets the
+    // shutdown marker (dead ones have nobody listening).
+    for s in md.core.live_slaves() {
         let _ = ep.send(1 + s, Message::Shutdown.encode());
     }
     // Drain stragglers so slaves never block on a full master inbox.
-    while let Ok(Some(frame)) = ep.recv_timeout(Duration::from_millis(50)) {
-        if let Ok(Message::MoveComplete { pid }) = Message::decode(frame.payload) {
-            if core.pending_moves().iter().any(|m| m.pid == pid) {
-                core.on_move_complete(pid);
+    while let Ok(Some(ev)) = ep.recv_event_timeout(Duration::from_millis(50)) {
+        match ev {
+            NetEvent::Frame(frame) => {
+                let slave = frame.from - 1;
+                match Message::decode(frame.payload) {
+                    Ok(Message::MoveComplete { pid }) => {
+                        let _ = md.core.on_move_complete(pid, slave);
+                    }
+                    Ok(Message::Goodbye) => md.departed[slave] = true,
+                    _ => {}
+                }
             }
+            NetEvent::PeerDown(_) => {}
         }
     }
 
+    let dead_slaves: Vec<usize> =
+        (0..cfg.slaves).filter(|&s| !md.core.is_live(s) && !md.departed[s]).collect();
     MasterOutcome {
-        peak_buffer_bytes: core.peak_buffer_bytes(),
-        final_degree: core.degree(),
+        peak_buffer_bytes: md.core.peak_buffer_bytes(),
+        final_degree: md.core.degree(),
         dod_trace,
         moves,
         tuples_in,
+        loss: md.core.loss(),
+        dead_slaves,
     }
 }
 
 /// Runs slave `index`'s loop on `ep` (rank `index + 1`) until the
-/// master's `Shutdown` arrives.
+/// master's `Shutdown` (or `Leave`) arrives, beaconing heartbeats and
+/// honouring the chaos fault-injection hook.
 pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) -> SlaveOutcome {
     let collector_rank = cfg.collector_rank();
     let params: Arc<Params> = Arc::new(cfg.params.clone());
@@ -351,10 +538,49 @@ pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) 
     let mut out: Vec<OutPair> = Vec::new();
     let mut batch: Vec<Tuple> = Vec::new();
     let mut enc_scratch: Vec<u8> = Vec::new();
+    let hb = cfg.heartbeat;
+    let mut hb_seq = 0u64;
+    let mut last_beacon = Instant::now();
+    let mut batches_seen = 0u64;
+    let chaos = cfg.chaos.filter(|c| c.slave == index);
     loop {
+        // Liveness beacon: sent on schedule even when no frames arrive,
+        // so the master distinguishes "idle" from "dead".
+        if !hb.is_zero() && last_beacon.elapsed() >= hb {
+            Message::Heartbeat { seq: hb_seq }.encode_into(&mut enc_scratch);
+            let _ = ep.send_slice(0, &enc_scratch);
+            hb_seq += 1;
+            last_beacon = Instant::now();
+        }
         let recv_started = Instant::now();
-        let Ok(frame) = ep.recv() else { break };
+        let ev = if hb.is_zero() {
+            match ep.recv_event() {
+                Ok(ev) => Some(ev),
+                Err(_) => break,
+            }
+        } else {
+            let wait = hb.saturating_sub(last_beacon.elapsed()).max(Duration::from_millis(1));
+            match ep.recv_event_timeout(wait) {
+                Ok(ev) => ev,
+                Err(_) => break,
+            }
+        };
         comm_us += recv_started.elapsed().as_micros() as u64;
+        let frame = match ev {
+            None => continue, // beacon tick
+            Some(NetEvent::PeerDown(0)) => {
+                // The master is gone: no further work can ever arrive.
+                // Announce a clean departure so the collector counts
+                // this slave as flushed instead of hanging on it.
+                let _ = ep.send(collector_rank, Message::Goodbye.encode());
+                break;
+            }
+            // A peer slave or the collector tearing down is not this
+            // node's problem: state sends toward it will error and the
+            // master re-plans around it.
+            Some(NetEvent::PeerDown(_)) => continue,
+            Some(NetEvent::Frame(f)) => f,
+        };
         // Fast path: batches (the per-epoch hot frame) decode into the
         // reused tuple buffer without constructing a `Message`.
         if Message::decode_batch_into(frame.payload.clone(), &mut batch).expect("slave frame") {
@@ -371,6 +597,18 @@ pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) 
             let occ = core.take_avg_occupancy();
             Message::Occupancy(occ).encode_into(&mut enc_scratch);
             let _ = ep.send_slice(0, &enc_scratch);
+            batches_seen += 1;
+            if let Some(c) = chaos {
+                if batches_seen == c.after_batches {
+                    // Chaos injection: die abruptly at a fixed protocol
+                    // point — no goodbye, no flush, exactly a crash.
+                    if c.exit_process {
+                        eprintln!("slave {index}: chaos kill after {batches_seen} batches");
+                        std::process::exit(137);
+                    }
+                    return SlaveOutcome { work, cpu_us, comm_us };
+                }
+            }
             continue;
         }
         match Message::decode(frame.payload).expect("slave frame") {
@@ -379,9 +617,18 @@ pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) 
                 let msg = Message::State { pid, state, pending }.encode();
                 let _ = ep.send(1 + to as usize, msg);
             }
+            // The recovery-tolerant install: a fresh adoption from the
+            // master after a failure, or a regular supplier transfer —
+            // an incoming install is authoritative either way.
             Message::State { pid, state, pending } => {
-                core.install_group(pid, state, pending, &mut work);
+                core.adopt_group(pid, state, pending, &mut work);
                 let _ = ep.send(0, Message::MoveComplete { pid }.encode());
+            }
+            Message::Leave => {
+                // Planned departure: acknowledge to both sinks, then go.
+                let _ = ep.send(0, Message::Goodbye.encode());
+                let _ = ep.send(collector_rank, Message::Goodbye.encode());
+                break;
             }
             Message::Shutdown => {
                 let _ = ep.send(collector_rank, Message::Shutdown.encode());
@@ -393,17 +640,31 @@ pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) 
     SlaveOutcome { work, cpu_us, comm_us }
 }
 
-/// Runs the collector loop on `ep` (rank `n + 1`) until every slave's
-/// `Shutdown` marker arrives.
+/// Runs the collector loop on `ep` (rank `n + 1`) until every slave has
+/// flushed — by `Shutdown`/`Goodbye` marker or, kill-safely, by its
+/// connection tearing down. A dead slave's completed outputs all arrive
+/// before its teardown notice (per-peer FIFO), so nothing it produced
+/// is dropped and nothing it failed to produce is waited on.
 pub fn collector_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> CollectorOutcome {
     let start = Instant::now();
     let mut delay = DelayTracker::new(duration_us(cfg.warmup));
     let mut captured: Vec<OutPair> = Vec::new();
     let mut checksum = 0u64;
     let mut outputs_total = 0u64;
-    let mut shutdowns = 0;
-    while shutdowns < cfg.slaves {
-        let Ok(frame) = ep.recv() else { break };
+    let mut finished = vec![false; cfg.slaves];
+    while finished.iter().any(|f| !f) {
+        let Ok(ev) = ep.recv_event() else { break };
+        let frame = match ev {
+            NetEvent::PeerDown(rank) if rank >= 1 && rank <= cfg.slaves => {
+                finished[rank - 1] = true; // dead slaves flush by dying
+                continue;
+            }
+            // The master going down is survivable here: the slaves see
+            // it too and send their own markers (or die and be counted
+            // above).
+            NetEvent::PeerDown(_) => continue,
+            NetEvent::Frame(f) => f,
+        };
         match Message::decode(frame.payload).expect("collector frame") {
             Message::Outputs(pairs) => {
                 let emit = start.elapsed().as_micros() as u64;
@@ -418,7 +679,11 @@ pub fn collector_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> Collect
                     }
                 }
             }
-            Message::Shutdown => shutdowns += 1,
+            Message::Shutdown | Message::Goodbye => finished[frame.from - 1] = true,
+            Message::Dead { slave } => {
+                assert_eq!(frame.from, 0, "only the master declares deaths");
+                finished[slave as usize] = true;
+            }
             other => panic!("collector got unexpected message {other:?}"),
         }
     }

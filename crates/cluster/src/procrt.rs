@@ -4,10 +4,15 @@
 //!
 //! Each process calls [`run_node`] with its rank and the shared peer
 //! list; the TCP mesh bootstrap blocks until every pairwise connection
-//! exists, then the rank's node loop (from [`crate::nodes`]) runs
-//! exactly as it does inside the threaded runtime. The `windjoin-node`
-//! binary is a thin CLI over this module — see the README for a
-//! copy-pasteable cluster launch recipe.
+//! exists (ranks may start, crash and redial in any order within the
+//! handshake window), then the rank's node loop (from [`crate::nodes`])
+//! runs exactly as it does inside the threaded runtime — including the
+//! failure handling: a killed rank surfaces as a typed `PeerDown` at
+//! its peers, the master re-homes its partitions, and the drain
+//! completes on the live slaves. The `windjoin-node` binary is a thin
+//! CLI over this module (`windjoin-launch` spawns a whole local cluster
+//! on kernel-assigned ports) — see the README for launch recipes and
+//! the fault-tolerance model.
 
 use crate::nodes::{self, CollectorOutcome, MasterOutcome, NodeConfig, Role, SlaveOutcome};
 use std::net::SocketAddr;

@@ -89,7 +89,7 @@ enum Ev {
     TryProcess { slave: usize },
     Directive { mv: MovePlan },
     StateArrive { mv: MovePlan, state: GroupState, pending: Vec<Tuple> },
-    MoveDone { pid: u32 },
+    MoveDone { mv: MovePlan },
 }
 
 struct SlaveSim<E: ProbeEngine> {
@@ -293,7 +293,7 @@ impl<E: ProbeEngine> Actor<Ev> for ClusterSim<E> {
                 ctx.send_at(
                     end + self.cfg.dist_link.latency_us,
                     ctx.self_id(),
-                    Ev::MoveDone { pid: mv.pid },
+                    Ev::MoveDone { mv },
                 );
                 // Whatever moved in may be processable immediately.
                 ctx.send_at(
@@ -303,8 +303,9 @@ impl<E: ProbeEngine> Actor<Ev> for ClusterSim<E> {
                 );
             }
 
-            Ev::MoveDone { pid } => {
-                self.master.on_move_complete(pid);
+            Ev::MoveDone { mv } => {
+                let acked = self.master.on_move_complete(mv.pid, mv.to);
+                debug_assert!(acked, "simulated moves are never superseded");
             }
         }
     }

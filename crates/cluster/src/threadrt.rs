@@ -84,6 +84,9 @@ where
     let m = master.join().expect("master");
     let mut usage = UsageSet::new(n, warmup_us);
     let mut work = WorkStats::default();
+    // Slave-failure losses are known only at the master (the dead
+    // slave's own tally died with it).
+    work.add(&m.loss);
     for (i, h) in slaves.into_iter().enumerate() {
         let s = h.join().expect("slave");
         work.add(&s.work);

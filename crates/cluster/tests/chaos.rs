@@ -1,0 +1,389 @@
+//! Chaos tests: a slave dies mid-run and the cluster must (a) terminate
+//! — the kill-safe drain completes on the *live* slaves — and (b) stay
+//! correct: outputs of partitions whose state survived are **exactly**
+//! the single-process oracle's, outputs of the dead slave's partitions
+//! are a sound subset (never a wrong or duplicate pair), and the
+//! abandoned state is accounted as a window-bounded loss in `WorkStats`.
+//!
+//! The kill is injected at a fixed protocol point (after the victim
+//! processes its Nth batch) so the surviving-partition set is
+//! deterministic; wall-clock jitter only shifts which in-flight tuples
+//! of the *dead* partitions are lost, which the subset assertion
+//! absorbs. `WINDJOIN_CHAOS_PROBE_THREADS` (CI matrix) widens the
+//! slave drain pool without changing any assertion.
+
+use std::collections::HashSet;
+use std::time::Duration;
+use windjoin_cluster::{
+    nodes, run_on_transport, run_threaded, ChaosKill, RunReport, ThreadedConfig,
+};
+use windjoin_core::hash::partition_of;
+use windjoin_core::{reference_join, OutPair, Side, Tuple};
+use windjoin_gen::{merge_streams, KeyDist, RateSchedule, StreamSpec};
+use windjoin_net::{ChannelNetwork, Message, NetEvent, TcpNetwork};
+
+const KILLED_SLAVE: usize = 1;
+const KILL_AFTER_BATCHES: u64 = 5;
+
+fn probe_threads_from_env() -> usize {
+    std::env::var("WINDJOIN_CHAOS_PROBE_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+fn chaos_cfg() -> ThreadedConfig {
+    let mut cfg = ThreadedConfig::demo(3);
+    cfg.params.sem.w_left_us = 2_000_000;
+    cfg.params.sem.w_right_us = 2_000_000;
+    cfg.params.probe_threads = probe_threads_from_env();
+    cfg.rate = 400.0;
+    cfg.keys = KeyDist::Uniform { domain: 500 };
+    cfg.run = Duration::from_secs(3);
+    cfg.warmup = Duration::from_millis(500);
+    cfg.seed = 4242;
+    cfg.capture_outputs = true;
+    cfg.chaos = Some(ChaosKill {
+        slave: KILLED_SLAVE,
+        after_batches: KILL_AFTER_BATCHES,
+        exit_process: false,
+    });
+    cfg
+}
+
+fn oracle_pairs(cfg: &ThreadedConfig) -> Vec<OutPair> {
+    let spec = |seed| StreamSpec { rate: RateSchedule::constant(cfg.rate), keys: cfg.keys, seed };
+    let arrivals: Vec<Tuple> = merge_streams(vec![
+        spec(cfg.seed.wrapping_add(1)).arrivals(0),
+        spec(cfg.seed.wrapping_add(2)).arrivals(1),
+    ])
+    .take_while(|a| a.at_us <= cfg.run.as_micros() as u64)
+    .map(|a| {
+        let side = if a.stream == 0 { Side::Left } else { Side::Right };
+        Tuple::new(side, a.at_us, a.key, a.seq)
+    })
+    .collect();
+    reference_join(&arrivals, &cfg.params.sem)
+}
+
+/// Partitions initially owned by the killed slave — with uniform keys
+/// and low rate there are no suppliers, so no load move ever relocates
+/// a partition and the dead set is exactly the initial assignment.
+fn dead_partitions(cfg: &ThreadedConfig) -> HashSet<u32> {
+    windjoin_cluster::threadrt::initial_partitions(&cfg.params, cfg.slaves, KILLED_SLAVE)
+        .into_iter()
+        .collect()
+}
+
+/// `(key, left_seq, right_seq)` — the identity of one output pair.
+type PairId = (u64, u64, u64);
+
+/// Splits pair identities by whether their partition survived.
+fn split_by_survival(
+    pairs: impl IntoIterator<Item = PairId>,
+    dead: &HashSet<u32>,
+    npart: u32,
+) -> (Vec<PairId>, Vec<PairId>) {
+    let (mut surviving, mut lost) = (Vec::new(), Vec::new());
+    for p in pairs {
+        if dead.contains(&partition_of(p.0, npart)) {
+            lost.push(p);
+        } else {
+            surviving.push(p);
+        }
+    }
+    surviving.sort_unstable();
+    lost.sort_unstable();
+    (surviving, lost)
+}
+
+fn triples(pairs: &[OutPair]) -> Vec<PairId> {
+    pairs.iter().map(|p| (p.key, p.left.1, p.right.1)).collect()
+}
+
+/// Runs `f` on a watchdog thread: a hang (the old behaviour when a rank
+/// died) fails the test instead of wedging the suite.
+fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(120))
+        .expect("cluster hung after the slave death: kill-safe drain failed")
+}
+
+fn assert_chaos_invariants(cfg: &ThreadedConfig, report: &RunReport) {
+    let dead = dead_partitions(cfg);
+    let npart = cfg.params.npart;
+    assert!(!dead.is_empty());
+
+    let oracle = oracle_pairs(cfg);
+    let (oracle_surviving, oracle_lost) = split_by_survival(triples(&oracle), &dead, npart);
+    let (got_surviving, got_lost) = split_by_survival(triples(&report.captured), &dead, npart);
+
+    // No duplicates anywhere.
+    let mut all = triples(&report.captured);
+    let n = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), n, "slave death produced duplicate outputs");
+
+    // Surviving partitions: exactly the oracle.
+    assert!(!oracle_surviving.is_empty(), "workload too small to exercise the property");
+    assert_eq!(
+        got_surviving, oracle_surviving,
+        "surviving partitions diverged from the oracle after the slave death"
+    );
+
+    // Dead partitions: a sound subset — state loss suppresses matches,
+    // never fabricates them — and a *strict* subset (the kill landed
+    // mid-run, so some window state really was lost).
+    let oracle_lost: HashSet<_> = oracle_lost.into_iter().collect();
+    for p in &got_lost {
+        assert!(oracle_lost.contains(p), "non-oracle pair {p:?} from a recovered partition");
+    }
+    assert!(
+        got_lost.len() < oracle_lost.len(),
+        "kill too late to lose anything: got {} of {} lost-partition pairs",
+        got_lost.len(),
+        oracle_lost.len()
+    );
+
+    // The loss is accounted: one group per dead partition, and a
+    // nonzero window-bounded tuple count.
+    assert_eq!(report.work.groups_lost, dead.len() as u64, "every dead group accounted");
+    assert!(report.work.tuples_lost > 0, "window loss must be accounted in WorkStats");
+}
+
+#[test]
+fn threaded_cluster_survives_slave_death() {
+    let cfg = chaos_cfg();
+    let report = {
+        let cfg = cfg.clone();
+        with_watchdog(move || run_threaded(&cfg))
+    };
+    assert!(report.outputs_total > 0);
+    assert_chaos_invariants(&cfg, &report);
+}
+
+#[test]
+fn wedged_slave_is_declared_dead_by_heartbeats() {
+    // The failure no transport event ever reports: a slave that stays
+    // connected but stops responding. The master must declare it dead
+    // by missed heartbeats, re-home its partitions, tell the collector
+    // to stop waiting for it, and the run must still terminate with
+    // surviving partitions exactly matching the oracle.
+    let mut cfg = chaos_cfg();
+    cfg.chaos = None;
+    cfg.slaves = 2;
+    cfg.heartbeat = Duration::from_millis(50);
+    cfg.max_missed = 8; // declared dead after ~400 ms of silence
+    cfg.run = Duration::from_secs(2);
+    let cfg2 = cfg.clone();
+
+    let (master, collector) = with_watchdog(move || {
+        let cfg = cfg2;
+        let mut net = ChannelNetwork::new(cfg.ranks(), 4096);
+        let m_ep = net.take(0);
+        let s_ep = net.take(1);
+        let z_ep = net.take(2);
+        let c_ep = net.take(cfg.collector_rank());
+        std::thread::scope(|sc| {
+            let cfg = &cfg;
+            // Endpoints move into their threads so they drop when the
+            // node loop returns — the master's exit is what releases
+            // the zombie (PeerDown(0)) and lets the scope close.
+            let master = sc.spawn(move || nodes::master_node(&m_ep, cfg));
+            let collector = sc.spawn(move || nodes::collector_node(&c_ep, cfg));
+            sc.spawn(move || nodes::slave_node(&s_ep, 0, cfg));
+            // The zombie: drains its inbox (so nobody blocks on it) but
+            // never beacons, processes or acknowledges anything.
+            sc.spawn(move || loop {
+                match z_ep.recv_event_timeout(Duration::from_millis(100)) {
+                    Ok(Some(NetEvent::PeerDown(0))) | Err(_) => break,
+                    _ => continue,
+                }
+            });
+            (master.join().expect("master"), collector.join().expect("collector"))
+        })
+    });
+
+    // The zombie's partitions were re-homed and charged as lost.
+    let dead = dead_partitions(&cfg);
+    assert_eq!(master.loss.groups_lost, dead.len() as u64);
+    assert_eq!(master.dead_slaves, vec![KILLED_SLAVE]);
+
+    // Survivors are exact, the zombie's partitions a sound subset.
+    let oracle = oracle_pairs(&cfg);
+    let npart = cfg.params.npart;
+    let (oracle_surviving, oracle_lost) = split_by_survival(triples(&oracle), &dead, npart);
+    let (got_surviving, got_lost) = split_by_survival(triples(&collector.captured), &dead, npart);
+    assert!(!oracle_surviving.is_empty());
+    assert_eq!(got_surviving, oracle_surviving, "survivors diverged under a wedged slave");
+    let oracle_lost: HashSet<_> = oracle_lost.into_iter().collect();
+    for p in &got_lost {
+        assert!(oracle_lost.contains(p), "non-oracle pair {p:?}");
+    }
+}
+
+#[test]
+fn leave_directive_is_a_clean_goodbye_to_both_sinks() {
+    // Planned departure: a slave ordered to `Leave` must announce
+    // `Goodbye` to the master *and* the collector before exiting, so
+    // both distinguish the clean exit from a crash — and the goodbye
+    // must precede the transport teardown notice (per-peer FIFO).
+    let mut cfg = chaos_cfg();
+    cfg.chaos = None;
+    cfg.slaves = 1;
+    let mut net = ChannelNetwork::new(cfg.ranks(), 64);
+    let m_ep = net.take(0);
+    let s_ep = net.take(1);
+    let c_ep = net.take(cfg.collector_rank());
+    let slave = {
+        let cfg = cfg.clone();
+        std::thread::spawn(move || nodes::slave_node(&s_ep, 0, &cfg))
+    };
+    m_ep.send(1, Message::Leave.encode()).unwrap();
+    // The master hears Goodbye (heartbeats may precede it).
+    loop {
+        let f = m_ep.recv().unwrap();
+        match Message::decode(f.payload).unwrap() {
+            Message::Goodbye => break,
+            Message::Heartbeat { .. } | Message::Occupancy(_) => continue,
+            other => panic!("master got {other:?} instead of Goodbye"),
+        }
+    }
+    // The collector hears Goodbye strictly before the teardown notice.
+    match c_ep.recv_event().unwrap() {
+        NetEvent::Frame(f) => {
+            assert_eq!(f.from, 1);
+            assert_eq!(Message::decode(f.payload).unwrap(), Message::Goodbye);
+        }
+        other => panic!("collector got {other:?} before the Goodbye"),
+    }
+    slave.join().expect("slave exits cleanly after Leave");
+    assert_eq!(c_ep.recv_event().unwrap(), NetEvent::PeerDown(1));
+}
+
+// ---- 4-process TCP chaos ------------------------------------------------
+
+/// Equivalent in-process view of the flags passed to `windjoin-node`
+/// below (for the oracle and the dead-partition set).
+fn process_cfg() -> ThreadedConfig {
+    let mut cfg = chaos_cfg();
+    cfg.slaves = 2; // 4 ranks: master + 2 slaves + collector
+    cfg
+}
+
+fn artifact_dir() -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/chaos-artifacts");
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    dir
+}
+
+/// One chaos cluster launch through `windjoin-launch` (which reserves
+/// ports by binding port 0 and retries reservation races itself): rank
+/// 2 (slave 1) crashes after [`KILL_AFTER_BATCHES`] batches. Returns
+/// the collector stdout and the master stderr log.
+fn launch_chaos_cluster(cfg: &ThreadedConfig) -> (String, String) {
+    use std::process::Command;
+    let dir = artifact_dir();
+    let out = Command::new(env!("CARGO_BIN_EXE_windjoin-launch"))
+        .args(["--ranks", &cfg.ranks().to_string()])
+        .args(["--bin", env!("CARGO_BIN_EXE_windjoin-node")])
+        .args(["--log-dir", dir.to_str().unwrap()])
+        .args(["--out", dir.join("collector.out").to_str().unwrap()])
+        .args(["--kill-rank", &(1 + KILLED_SLAVE).to_string()])
+        .args(["--die-after-batches", &KILL_AFTER_BATCHES.to_string()])
+        .arg("--")
+        .args(["--rate", &cfg.rate.to_string()])
+        .args(["--run-ms", &cfg.run.as_millis().to_string()])
+        .args(["--warmup-ms", &cfg.warmup.as_millis().to_string()])
+        .args(["--seed", &cfg.seed.to_string()])
+        .args(["--window-ms", "2000"])
+        .args(["--keys", "uniform:500"])
+        .args(["--probe-threads", &cfg.params.probe_threads.to_string()])
+        .args(["--handshake-ms", "10000"])
+        .arg("--emit-pairs")
+        .output()
+        .expect("run windjoin-launch");
+    assert!(
+        out.status.success(),
+        "windjoin-launch failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let master_log = std::fs::read_to_string(dir.join("rank0.log")).expect("master log captured");
+    let victim_log = std::fs::read_to_string(dir.join(format!("rank{}.log", 1 + KILLED_SLAVE)))
+        .expect("victim log captured");
+    assert!(victim_log.contains("chaos kill"), "the victim never died:\n{victim_log}");
+    (String::from_utf8(out.stdout).expect("utf8 stdout"), master_log)
+}
+
+#[test]
+fn multiprocess_cluster_survives_slave_kill() {
+    let cfg = process_cfg();
+    let (stdout, master_log) = {
+        let cfg = cfg.clone();
+        with_watchdog(move || launch_chaos_cluster(&cfg))
+    };
+
+    let mut pairs: Vec<PairId> = Vec::new();
+    let mut outputs_total: Option<u64> = None;
+    for line in stdout.lines() {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("outputs_total") => outputs_total = Some(it.next().unwrap().parse().unwrap()),
+            Some("pair") => {
+                let f: Vec<u64> = it.map(|v| v.parse().unwrap()).collect();
+                pairs.push((f[0], f[2], f[4])); // key, left seq, right seq
+            }
+            _ => {}
+        }
+    }
+    let outputs_total = outputs_total.expect("collector printed outputs_total");
+    assert_eq!(pairs.len() as u64, outputs_total);
+    assert!(outputs_total > 0, "chaos cluster produced nothing");
+
+    // Same invariants as in-process: surviving partitions exact, dead
+    // partitions a sound strict subset, no duplicates.
+    let dead = dead_partitions(&cfg);
+    let npart = cfg.params.npart;
+    let oracle = oracle_pairs(&cfg);
+    let (oracle_surviving, oracle_lost) = split_by_survival(triples(&oracle), &dead, npart);
+    let (got_surviving, got_lost) = split_by_survival(pairs.clone(), &dead, npart);
+    let mut all = pairs;
+    let n = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), n, "duplicate outputs after the kill");
+    assert_eq!(got_surviving, oracle_surviving, "surviving partitions != oracle");
+    let oracle_lost: HashSet<_> = oracle_lost.into_iter().collect();
+    for p in &got_lost {
+        assert!(oracle_lost.contains(p), "non-oracle pair {p:?}");
+    }
+    assert!(got_lost.len() < oracle_lost.len(), "kill lost nothing");
+
+    // The master accounted the loss (machine-readable stderr line).
+    let loss_line = master_log
+        .lines()
+        .find(|l| l.starts_with("master loss:"))
+        .expect("master printed its loss accounting");
+    assert!(loss_line.contains(&format!("groups_lost {}", dead.len())), "bad loss: {loss_line}");
+    let tuples_lost: u64 = loss_line
+        .split("tuples_lost ")
+        .nth(1)
+        .and_then(|v| v.trim().parse().ok())
+        .expect("tuples_lost in the loss line");
+    assert!(tuples_lost > 0, "window loss must be accounted: {loss_line}");
+}
+
+#[test]
+fn tcp_loopback_cluster_survives_slave_death() {
+    let cfg = chaos_cfg();
+    let report = {
+        let cfg = cfg.clone();
+        with_watchdog(move || {
+            let net = TcpNetwork::loopback(cfg.ranks(), 4096).expect("loopback mesh");
+            run_on_transport(&cfg, net)
+        })
+    };
+    assert!(report.outputs_total > 0);
+    assert_chaos_invariants(&cfg, &report);
+}

@@ -4,8 +4,7 @@
 //! results identical to the in-process threaded runtime on the same
 //! seeded workload — and therefore to the `reference_join` oracle.
 
-use std::net::TcpListener;
-use std::process::{Command, Stdio};
+use std::process::Command;
 use std::time::Duration;
 use windjoin_cluster::{run_threaded, ThreadedConfig};
 use windjoin_gen::KeyDist;
@@ -25,90 +24,43 @@ fn equivalent_config() -> ThreadedConfig {
     params.sem.w_right_us = WINDOW_MS * 1_000;
     params.reorg_epoch_us = 2_000_000;
     params.npart = 16;
-    ThreadedConfig {
-        params,
-        slaves: SLAVES,
-        rate: RATE,
-        keys: KeyDist::Uniform { domain: 500 },
-        seed: SEED,
-        run: Duration::from_millis(RUN_MS),
-        warmup: Duration::from_millis(WARMUP_MS),
-        adaptive_dod: false,
-        capture_outputs: true,
-    }
-}
-
-/// Reserves `n` distinct loopback ports (bind to 0, read, release).
-fn free_ports(n: usize) -> Vec<u16> {
-    let listeners: Vec<TcpListener> =
-        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind")).collect();
-    listeners.iter().map(|l| l.local_addr().unwrap().port()).collect()
-}
-
-/// One cluster launch over freshly reserved ports. `Err` carries the
-/// combined stderr when any rank failed (e.g. a port was stolen in
-/// the bind-then-release window), so the caller can retry.
-fn launch_cluster(bin: &str) -> Result<String, String> {
-    let ports = free_ports(SLAVES + 2);
-    let peers: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
-    let peer_list = peers.join(",");
-
-    let spawn = |rank: usize, emit_pairs: bool| {
-        let mut cmd = Command::new(bin);
-        cmd.args(["--rank", &rank.to_string()])
-            .args(["--peers", &peer_list])
-            .args(["--rate", &RATE.to_string()])
-            .args(["--run-ms", &RUN_MS.to_string()])
-            .args(["--warmup-ms", &WARMUP_MS.to_string()])
-            .args(["--seed", &SEED.to_string()])
-            .args(["--window-ms", &WINDOW_MS.to_string()])
-            .args(["--keys", "uniform:500"])
-            .args(["--handshake-ms", "10000"])
-            .stdout(if emit_pairs { Stdio::piped() } else { Stdio::null() })
-            .stderr(Stdio::piped());
-        if emit_pairs {
-            cmd.arg("--emit-pairs");
-        }
-        cmd.spawn().expect("spawn windjoin-node")
-    };
-
-    // Master, slaves, then the collector whose stdout we keep.
-    let others: Vec<_> = (0..=SLAVES).map(|rank| spawn(rank, false)).collect();
-    let collector = spawn(SLAVES + 1, true);
-
-    let collector_out = collector.wait_with_output().expect("collector run");
-    let mut errors = String::new();
-    for child in others {
-        let out = child.wait_with_output().expect("node run");
-        if !out.status.success() {
-            errors.push_str(&String::from_utf8_lossy(&out.stderr));
-        }
-    }
-    if !collector_out.status.success() {
-        errors.push_str(&String::from_utf8_lossy(&collector_out.stderr));
-    }
-    if !errors.is_empty() {
-        return Err(errors);
-    }
-    Ok(String::from_utf8(collector_out.stdout).expect("utf8 stdout"))
+    let mut cfg = ThreadedConfig::demo(SLAVES);
+    cfg.params = params;
+    cfg.rate = RATE;
+    cfg.keys = KeyDist::Uniform { domain: 500 };
+    cfg.seed = SEED;
+    cfg.run = Duration::from_millis(RUN_MS);
+    cfg.warmup = Duration::from_millis(WARMUP_MS);
+    cfg.adaptive_dod = false;
+    cfg.capture_outputs = true;
+    cfg
 }
 
 #[test]
 fn multiprocess_cluster_matches_threaded_runtime_and_oracle() {
-    let bin = env!("CARGO_BIN_EXE_windjoin-node");
-    // The port reservation is bind-then-release, so another process can
-    // steal an address before the ranks re-bind; retry on fresh ports.
-    let mut attempt = 0;
-    let stdout = loop {
-        attempt += 1;
-        match launch_cluster(bin) {
-            Ok(stdout) => break stdout,
-            Err(errors) if attempt < 3 => {
-                eprintln!("cluster launch attempt {attempt} failed, retrying:\n{errors}")
-            }
-            Err(errors) => panic!("cluster failed on {attempt} attempts:\n{errors}"),
-        }
-    };
+    // `windjoin-launch` reserves ports by binding port 0, hands the
+    // assigned addresses to every rank and retries the narrow
+    // bind-then-release race itself.
+    let out = Command::new(env!("CARGO_BIN_EXE_windjoin-launch"))
+        .args(["--ranks", &(SLAVES + 2).to_string()])
+        .args(["--bin", env!("CARGO_BIN_EXE_windjoin-node")])
+        .arg("--")
+        .args(["--rate", &RATE.to_string()])
+        .args(["--run-ms", &RUN_MS.to_string()])
+        .args(["--warmup-ms", &WARMUP_MS.to_string()])
+        .args(["--seed", &SEED.to_string()])
+        .args(["--window-ms", &WINDOW_MS.to_string()])
+        .args(["--keys", "uniform:500"])
+        .args(["--handshake-ms", "10000"])
+        .arg("--emit-pairs")
+        .output()
+        .expect("run windjoin-launch");
+    assert!(
+        out.status.success(),
+        "cluster launch failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
     let mut outputs_total: Option<u64> = None;
     let mut checksum: Option<u64> = None;
     let mut pairs: Vec<(u64, u64, u64, u64, u64)> = Vec::new();

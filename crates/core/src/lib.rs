@@ -72,11 +72,11 @@ pub use block::Block;
 pub use buffer::PartitionedBuffer;
 pub use config::{JoinSemantics, Params, TuningParams};
 pub use group::{GroupState, PartitionGroup};
-pub use master::{MasterCore, MasterEvent, MovePlan, ReorgPlan};
+pub use master::{MasterCore, MasterEvent, MovePlan, RecoveryPlan, ReorgPlan};
 pub use minigroup::MiniGroup;
 pub use probe::{CountedEngine, ExactEngine, ProbeEngine, ScalarEngine};
 pub use reference::reference_join;
-pub use reorg::{classify, decide_dod, pair_moves, NodeClass};
+pub use reorg::{classify, decide_dod, decide_membership, pair_moves, DodDecision, NodeClass};
 pub use slave::SlaveCore;
 pub use subgroup::{master_buffer_bound_bytes, slot_of_slave};
 pub use tune_epoch::EpochTuning;

@@ -7,13 +7,26 @@
 //!
 //! Sans-io: the driver calls [`MasterCore::drain_for_slot`] /
 //! [`MasterCore::plan_reorg`] on its epoch timers and reports move
-//! completions back.
+//! completions, slave deaths ([`MasterCore::on_slave_down`]) and
+//! recoveries ([`MasterCore::on_slave_up`]) back.
+//!
+//! ## Failure model
+//!
+//! A dead slave is treated as a supplier that can no longer supply: its
+//! partition-groups are re-homed onto live consumers through the same
+//! mapping/hold/ack machinery as a §IV-C load move, except the state
+//! transfer is a *fresh adoption* (the dead slave's window state is
+//! unrecoverable). The abandoned state is charged to
+//! [`WorkStats::tuples_lost`]/[`WorkStats::groups_lost`] as a
+//! window-bounded upper bound — losing window state can only suppress
+//! future matches, never fabricate or duplicate one, so outputs stay a
+//! subset of the oracle.
 
-use crate::reorg::{classify, decide_dod, pair_moves, DodDecision, NodeClass};
-use crate::{hash::partition_of, Params, PartitionedBuffer, Tuple};
+use crate::reorg::{classify, decide_membership, pair_moves, DodDecision, NodeClass};
+use crate::{hash::partition_of, Params, PartitionedBuffer, Tuple, WorkStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 /// One directed partition-group movement (§IV-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,11 +58,32 @@ pub struct ReorgPlan {
 /// method calls on [`MasterCore`].
 pub type MasterEvent = ();
 
+/// The outcome of declaring a slave dead ([`MasterCore::on_slave_down`]).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryPlan {
+    /// Partitions to re-home: `from` is the dead slave, `to` the live
+    /// adopter. The driver sends `to` an **empty** state install (a
+    /// fresh adoption through the ordinary state-move path); the
+    /// partition stays held until the adopter acks, exactly like a load
+    /// move.
+    pub adoptions: Vec<MovePlan>,
+    /// What died with the slave: one `groups_lost` per abandoned
+    /// partition-group, plus the window-bounded `tuples_lost` estimate.
+    pub lost: WorkStats,
+}
+
 /// The master's protocol state.
 #[derive(Debug)]
 pub struct MasterCore {
     params: std::sync::Arc<Params>,
     active: Vec<bool>,
+    /// Transport/heartbeat liveness per slave. `active[s]` implies
+    /// `live[s]`; a dead slave can only return through
+    /// [`MasterCore::on_slave_up`].
+    live: Vec<bool>,
+    /// Slaves back from the dead (or late joiners) awaiting readmission
+    /// at the next reorganization epoch.
+    recovered: Vec<bool>,
     /// Partition → owning slave. Remapped eagerly when a move is
     /// planned; the partition is *held* until the move completes.
     map: Vec<usize>,
@@ -59,6 +93,14 @@ pub struct MasterCore {
     /// Latest reported occupancy per slave; `None` = no report yet
     /// (fresh slaves classify as consumers — they carry no load).
     occupancy: Vec<Option<f64>>,
+    /// Per-partition log of `(max timestamp, count)` per drained batch,
+    /// pruned to the retention horizon — the window-bounded estimate of
+    /// what a slave's death costs.
+    sent_log: Vec<VecDeque<(u64, u32)>>,
+    /// Largest tuple timestamp ever drained (prunes the sent log).
+    sent_watermark: u64,
+    /// Accumulated losses across every slave failure.
+    loss: WorkStats,
     rng: SmallRng,
     peak_buffer_bytes: u64,
 }
@@ -83,11 +125,16 @@ impl MasterCore {
             PartitionedBuffer::new(params.npart, params.tuple_bytes, params.slave_buffer_bytes);
         MasterCore {
             active: (0..total_slaves).map(|s| s < initial_active).collect(),
+            live: vec![true; total_slaves],
+            recovered: vec![false; total_slaves],
             map,
             buf,
             held: HashSet::new(),
             pending_moves: Vec::new(),
             occupancy: vec![None; total_slaves],
+            sent_log: (0..params.npart).map(|_| VecDeque::new()).collect(),
+            sent_watermark: 0,
+            loss: WorkStats::default(),
             rng: SmallRng::seed_from_u64(seed),
             params,
             peak_buffer_bytes: 0,
@@ -156,16 +203,191 @@ impl MasterCore {
             let pids: Vec<u32> = (0..self.params.npart)
                 .filter(|&p| self.map[p as usize] == s && !self.held.contains(&p))
                 .collect();
-            let batch = self.buf.drain_partitions(pids);
+            // Per-partition drain (same concatenation order as the old
+            // merged drain) so every send is logged against its
+            // partition — the window-bounded loss estimate a failure
+            // charges.
+            let mut batch = Vec::new();
+            for pid in pids {
+                let tuples = self.buf.drain_partition(pid);
+                if !tuples.is_empty() {
+                    let max_ts = tuples.iter().map(|t| t.t).max().expect("non-empty");
+                    self.record_sent(pid, max_ts, tuples.len() as u32);
+                    batch.extend(tuples);
+                }
+            }
             out.push((s, batch));
         }
         out
+    }
+
+    /// Maximum useful state lifetime: a tuple older than this (relative
+    /// to the newest drained timestamp) can no longer produce a match.
+    fn retention_horizon_us(&self) -> u64 {
+        self.params
+            .sem
+            .w_left_us
+            .max(self.params.sem.w_right_us)
+            .saturating_add(self.params.expiry_lag_us)
+    }
+
+    fn record_sent(&mut self, pid: u32, max_ts: u64, n: u32) {
+        self.sent_watermark = self.sent_watermark.max(max_ts);
+        let floor = self.sent_watermark.saturating_sub(self.retention_horizon_us());
+        let log = &mut self.sent_log[pid as usize];
+        log.push_back((max_ts, n));
+        while log.front().is_some_and(|&(ts, _)| ts < floor) {
+            log.pop_front();
+        }
+    }
+
+    /// Charges partition `pid`'s abandoned state to the loss tally:
+    /// one group, plus every tuple routed to the dead owner that was
+    /// still within the retention horizon.
+    fn charge_loss(&mut self, pid: u32, lost: &mut WorkStats) {
+        lost.groups_lost += 1;
+        let floor = self.sent_watermark.saturating_sub(self.retention_horizon_us());
+        let log = &mut self.sent_log[pid as usize];
+        lost.tuples_lost +=
+            log.iter().filter(|&&(ts, _)| ts >= floor).map(|&(_, n)| n as u64).sum::<u64>();
+        // The adopter starts from an empty group: a later failure only
+        // costs what was routed after this point.
+        log.clear();
     }
 
     /// Records a slave's average-occupancy report for the closing
     /// reorganization epoch (§IV-C).
     pub fn on_occupancy(&mut self, slave: usize, f: f64) {
         self.occupancy[slave] = Some(f);
+    }
+
+    /// True while `slave` is considered alive (connected / heartbeating).
+    pub fn is_live(&self, slave: usize) -> bool {
+        self.live[slave]
+    }
+
+    /// Currently live slaves, ascending (active or not).
+    pub fn live_slaves(&self) -> Vec<usize> {
+        (0..self.live.len()).filter(|&s| self.live[s]).collect()
+    }
+
+    /// Accumulated state losses across every slave failure so far.
+    pub fn loss(&self) -> WorkStats {
+        self.loss
+    }
+
+    /// Declares `slave` dead (transport teardown or missed heartbeats)
+    /// and re-homes everything it owned.
+    ///
+    /// * Every partition mapped to it is remapped onto the live active
+    ///   slave owning the fewest partitions (ties to the lowest id) and
+    ///   *held*; the driver sends the adopter a fresh (empty) state
+    ///   install and the partition is released by the adopter's ordinary
+    ///   move-complete ack — the exact §IV-C machinery, minus the
+    ///   unrecoverable supplier.
+    /// * In-flight moves touching the dead slave are cancelled. A move
+    ///   *into* it is folded into the re-home above; a move *out of* it
+    ///   is re-issued as a fresh adoption at the surviving consumer (the
+    ///   extracted state may have died on the wire).
+    /// * The abandoned window state is charged to the loss tally,
+    ///   window-bounded (see [`WorkStats::tuples_lost`]).
+    ///
+    /// Idempotent: declaring a dead slave dead again is a no-op.
+    pub fn on_slave_down(&mut self, slave: usize) -> RecoveryPlan {
+        let mut plan = RecoveryPlan::default();
+        if !self.live[slave] {
+            return plan;
+        }
+        self.live[slave] = false;
+        self.recovered[slave] = false;
+        self.active[slave] = false;
+        self.occupancy[slave] = None;
+
+        let stale: Vec<MovePlan> = self
+            .pending_moves
+            .iter()
+            .copied()
+            .filter(|m| m.from == slave || m.to == slave)
+            .collect();
+        for m in &stale {
+            self.held.remove(&m.pid);
+            self.pending_moves.retain(|x| x.pid != m.pid);
+        }
+        for m in stale {
+            if m.from == slave {
+                // The live consumer may never receive the in-flight
+                // State frame: re-issue as a fresh adoption there. (If
+                // the frame does arrive, the adopter keeps whichever
+                // install lands last — both orders stay sound.)
+                self.charge_loss(m.pid, &mut plan.lost);
+                self.held.insert(m.pid);
+                let mv = MovePlan { pid: m.pid, from: slave, to: m.to };
+                self.pending_moves.push(mv);
+                plan.adoptions.push(mv);
+            }
+            // m.to == slave: the partition now maps to the dead slave
+            // and is re-homed by the sweep below.
+        }
+
+        for pid in 0..self.params.npart {
+            if self.map[pid as usize] != slave {
+                continue;
+            }
+            self.charge_loss(pid, &mut plan.lost);
+            let Some(to) = self.adopter() else {
+                // No live active slave remains; the orphan-rescue sweep
+                // re-homes the partition if one ever comes back.
+                continue;
+            };
+            self.map[pid as usize] = to;
+            self.held.insert(pid);
+            let mv = MovePlan { pid, from: slave, to };
+            self.pending_moves.push(mv);
+            plan.adoptions.push(mv);
+        }
+        self.loss.add(&plan.lost);
+        plan
+    }
+
+    /// The live active slave owning the fewest partitions (ties to the
+    /// lowest id) — where a dead slave's partitions go.
+    fn adopter(&self) -> Option<usize> {
+        let mut owned = vec![0usize; self.active.len()];
+        for &s in self.map.iter() {
+            if s < owned.len() {
+                owned[s] += 1;
+            }
+        }
+        self.active_slaves().into_iter().min_by_key(|&s| (owned[s], s))
+    }
+
+    /// Charges every tuple still buffered at the master as lost and
+    /// returns the charge. For the driver's shutdown path: anything
+    /// buffered after the final drain — held behind an adoption whose
+    /// adopter never acked, or owned by a dead slave with no live
+    /// adopter — can never be delivered, and must not vanish
+    /// unaccounted.
+    pub fn account_undelivered(&mut self) -> WorkStats {
+        let mut lost = WorkStats::default();
+        for pid in self.buf.non_empty_partitions() {
+            lost.tuples_lost += self.buf.partition_len(pid) as u64;
+        }
+        self.loss.add(&lost);
+        lost
+    }
+
+    /// Reports that `slave` is reachable again (a recovered node or a
+    /// late joiner). It waits in the recovered set until the next
+    /// reorganization epoch readmits it ([`DodDecision::Readmit`]);
+    /// returns `true` when this transitioned the slave back to live.
+    pub fn on_slave_up(&mut self, slave: usize) -> bool {
+        if self.live[slave] {
+            return false;
+        }
+        self.live[slave] = true;
+        self.recovered[slave] = true;
+        self.occupancy[slave] = None;
+        true
     }
 
     /// Runs the reorganization protocol (Algorithm 1, lines 10–19):
@@ -199,22 +421,18 @@ impl MasterCore {
             .map(|(s, _)| *s)
             .collect();
 
-        // Orphan rescue: a partition may only live on an active slave.
-        // This cannot happen through the rules below (a slave with an
-        // inbound move in flight is never deactivated), but a mapping to
-        // an inactive slave would strand the partition forever, so sweep
-        // defensively every epoch.
-        for pid in 0..self.params.npart {
-            let owner = self.map[pid as usize];
-            if !self.active[owner] && !self.held.contains(&pid) {
-                if let Some(&to) = self.active_slaves().first() {
-                    self.start_move(MovePlan { pid, from: owner, to }, &mut plan);
-                }
+        let n_recovered = self.recovered.iter().filter(|&&r| r).count();
+        if !adaptive_dod {
+            // Failure recovery is orthogonal to §V-A adaptivity: a
+            // non-adaptive run keeps a fixed degree, so a recovered
+            // slave rejoins immediately to restore it.
+            if let Some(fresh) = (0..self.active.len()).find(|&s| self.recovered[s]) {
+                self.activate_slave(fresh, &mut plan);
+                consumers.push(fresh);
             }
-        }
-
-        if adaptive_dod {
-            match decide_dod(suppliers.len(), consumers.len(), self.params.beta) {
+        } else {
+            match decide_membership(suppliers.len(), consumers.len(), self.params.beta, n_recovered)
+            {
                 DodDecision::Shrink if self.degree() > 1 => {
                     // Drain the emptiest consumer onto the other actives.
                     // A slave still awaiting an inbound state move must
@@ -260,16 +478,37 @@ impl MasterCore {
                     // Shrink only happens with zero suppliers; no pairing.
                     return plan;
                 }
-                DodDecision::Grow => {
-                    // Activate the first provisioned inactive slave.
-                    if let Some(fresh) = (0..self.active.len()).find(|&s| !self.active[s]) {
-                        self.active[fresh] = true;
-                        self.occupancy[fresh] = None;
-                        plan.activated = Some(fresh);
+                DodDecision::Grow | DodDecision::Readmit => {
+                    // Activate a waiting rejoiner first (it restores the
+                    // pre-failure degree for free), else the first
+                    // provisioned inactive *live* slave — a dead slave
+                    // can never be grown back in.
+                    let fresh = (0..self.active.len()).find(|&s| self.recovered[s]).or_else(|| {
+                        (0..self.active.len()).find(|&s| !self.active[s] && self.live[s])
+                    });
+                    if let Some(fresh) = fresh {
+                        self.activate_slave(fresh, &mut plan);
                         consumers.push(fresh);
                     }
                 }
                 _ => {}
+            }
+        }
+
+        // Orphan rescue: a partition may only live on an active slave.
+        // The load rules cannot produce one (a slave with an inbound
+        // move in flight is never deactivated), but a total-death
+        // episode can leave partitions mapped to a dead slave with no
+        // adopter; sweep defensively every epoch, after readmission so a
+        // rejoiner is immediately eligible. (A shrink epoch returns
+        // early above; orphans then wait one epoch — they only exist
+        // after a total-death episode, which a shrink cannot follow.)
+        for pid in 0..self.params.npart {
+            let owner = self.map[pid as usize];
+            if !self.active[owner] && !self.held.contains(&pid) {
+                if let Some(&to) = self.active_slaves().first() {
+                    self.start_move(MovePlan { pid, from: owner, to }, &mut plan);
+                }
             }
         }
 
@@ -298,11 +537,30 @@ impl MasterCore {
         plan.moves.push(mv);
     }
 
+    fn activate_slave(&mut self, slave: usize, plan: &mut ReorgPlan) {
+        debug_assert!(self.live[slave] && !self.active[slave]);
+        self.active[slave] = true;
+        self.recovered[slave] = false;
+        self.occupancy[slave] = None;
+        plan.activated = Some(slave);
+    }
+
     /// Reports that the state of `pid` has been installed at its new
-    /// owner; the partition's buffered tuples flow at the next drain.
-    pub fn on_move_complete(&mut self, pid: u32) {
-        assert!(self.held.remove(&pid), "no move in flight for partition {pid}");
+    /// owner `at_slave`; the partition's buffered tuples flow at the
+    /// next drain. Returns `false` for a stale ack — no move in flight
+    /// for `pid`, or an ack from a slave that is not the current move's
+    /// target (a superseded pre-failure move) — which leaves the hold in
+    /// place for the live move's own ack.
+    pub fn on_move_complete(&mut self, pid: u32, at_slave: usize) -> bool {
+        let Some(m) = self.pending_moves.iter().find(|m| m.pid == pid) else {
+            return false;
+        };
+        if m.to != at_slave {
+            return false;
+        }
+        self.held.remove(&pid);
         self.pending_moves.retain(|m| m.pid != pid);
+        true
     }
 
     /// Moves still awaiting completion.
@@ -394,8 +652,13 @@ mod tests {
         let drained: usize = m.drain_for_slot(0).iter().map(|(_, b)| b.len()).sum();
         assert_eq!(drained, 0, "held partition's tuples must wait");
 
-        // ...and released after completion.
-        m.on_move_complete(mv.pid);
+        // ...a stale ack from the wrong slave does not release them...
+        assert!(!m.on_move_complete(mv.pid, 0), "ack from a non-target slave must be ignored");
+        let drained: usize = m.drain_for_slot(0).iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(drained, 0, "hold survives the stale ack");
+
+        // ...and the real completion releases them.
+        assert!(m.on_move_complete(mv.pid, mv.to));
         let drained: Vec<(usize, Vec<Tuple>)> = m.drain_for_slot(0);
         let to_new_owner: usize =
             drained.iter().filter(|(s, _)| *s == 1).map(|(_, b)| b.len()).sum();
@@ -534,7 +797,7 @@ mod tests {
         let plan = m.plan_reorg(true);
         assert_eq!(plan.deactivated, Some(1));
         for mv in &plan.moves {
-            m.on_move_complete(mv.pid);
+            assert!(m.on_move_complete(mv.pid, mv.to));
         }
         for s in m.active_slaves() {
             m.on_occupancy(s, 0.2);
@@ -547,6 +810,201 @@ mod tests {
                     || m.pending_moves().iter().any(|mv| mv.pid == pid),
                 "partition {pid} stranded on {owner}"
             );
+        }
+    }
+
+    #[test]
+    fn slave_death_rehomes_partitions_and_accounts_loss() {
+        let mut p = params(9);
+        p.sem.w_left_us = 1_000_000;
+        p.sem.w_right_us = 1_000_000;
+        p.expiry_lag_us = 0;
+        let mut m = MasterCore::new(p, 3, 3, 1);
+        // Route tuples everywhere and drain, so slave 1's partitions
+        // carry window state the failure will abandon.
+        for i in 0..300u64 {
+            m.on_arrival(Tuple::new(Side::Left, 1_000 + i, i, i));
+        }
+        m.drain_for_slot(0);
+        let dead_pids: Vec<u32> = (0..9).filter(|p| p % 3 == 1).collect();
+
+        let plan = m.on_slave_down(1);
+        assert_eq!(m.live_slaves(), vec![0, 2]);
+        assert_eq!(m.active_slaves(), vec![0, 2]);
+        let mut adopted: Vec<u32> = plan.adoptions.iter().map(|a| a.pid).collect();
+        adopted.sort_unstable();
+        assert_eq!(adopted, dead_pids, "every partition of the dead slave is re-homed");
+        for a in &plan.adoptions {
+            assert_eq!(a.from, 1);
+            assert!(m.active_slaves().contains(&a.to));
+            assert_eq!(m.partition_owner(a.pid), a.to, "mapping updated eagerly");
+        }
+        assert_eq!(plan.lost.groups_lost, dead_pids.len() as u64);
+        assert!(plan.lost.tuples_lost > 0, "abandoned window state must be charged");
+        assert_eq!(m.loss().tuples_lost, plan.lost.tuples_lost);
+
+        // Re-homed partitions are held until the adopter acks...
+        for pid in &adopted {
+            m.on_arrival(Tuple::new(Side::Left, 2_000, *pid as u64 * 3 + 1, 999));
+        }
+        // (keys constructed so some land in dead partitions; just check
+        // the holds directly instead of relying on the hash.)
+        assert_eq!(m.pending_moves().len(), dead_pids.len());
+        for a in plan.adoptions {
+            assert!(m.on_move_complete(a.pid, a.to));
+        }
+        assert!(m.pending_moves().is_empty());
+
+        // A second death declaration is a no-op.
+        let again = m.on_slave_down(1);
+        assert!(again.adoptions.is_empty());
+        assert!(again.lost.is_zero());
+    }
+
+    #[test]
+    fn tuples_lost_is_window_bounded() {
+        let mut p = params(4);
+        p.sem.w_left_us = 1_000; // 1 ms window
+        p.sem.w_right_us = 1_000;
+        p.expiry_lag_us = 0;
+        let mut m = MasterCore::new(p, 2, 2, 1);
+        // Old tuples at t=0..: they expire long before the failure.
+        for i in 0..100u64 {
+            m.on_arrival(Tuple::new(Side::Left, i, i, i));
+        }
+        m.drain_for_slot(0);
+        // Fresh tuples far in the future advance the watermark.
+        for i in 0..10u64 {
+            m.on_arrival(Tuple::new(Side::Left, 10_000_000 + i, i, 100 + i));
+        }
+        m.drain_for_slot(0);
+        let plan = m.on_slave_down(0);
+        assert!(
+            plan.lost.tuples_lost <= 10,
+            "expired state must not be charged: lost {} of 110 sent",
+            plan.lost.tuples_lost
+        );
+    }
+
+    #[test]
+    fn death_cancels_inflight_moves_both_directions() {
+        // Supplier dies mid-move: the consumer gets a fresh adoption.
+        let mut m = MasterCore::new(params(8), 2, 2, 1);
+        m.on_occupancy(0, 0.9);
+        m.on_occupancy(1, 0.0);
+        let mv = m.plan_reorg(false).moves[0];
+        let plan = m.on_slave_down(mv.from);
+        assert!(plan.adoptions.iter().any(|a| a.pid == mv.pid && a.to == mv.to));
+        assert_eq!(m.partition_owner(mv.pid), mv.to);
+        for a in plan.adoptions {
+            assert!(m.on_move_complete(a.pid, a.to));
+        }
+        assert!(m.pending_moves().is_empty());
+
+        // Consumer dies mid-move: the partition is re-homed elsewhere.
+        let mut m = MasterCore::new(params(9), 3, 3, 1);
+        m.on_occupancy(0, 0.9);
+        m.on_occupancy(1, 0.0);
+        m.on_occupancy(2, 0.3);
+        let mv = m.plan_reorg(false).moves[0];
+        assert_eq!((mv.from, mv.to), (0, 1));
+        let plan = m.on_slave_down(1);
+        let adoption = plan
+            .adoptions
+            .iter()
+            .find(|a| a.pid == mv.pid)
+            .expect("the in-flight partition is re-homed");
+        assert_ne!(adoption.to, 1, "cannot adopt onto the dead consumer");
+        assert!(m.active_slaves().contains(&adoption.to));
+        // The superseded supplier-side ack (the old consumer installing
+        // late) must not release the new hold.
+        assert!(!m.on_move_complete(mv.pid, 1));
+        assert!(m.pending_moves().iter().any(|p| p.pid == mv.pid));
+    }
+
+    #[test]
+    fn recovered_slave_is_readmitted() {
+        let mut m = MasterCore::new(params(9), 3, 3, 1);
+        let plan = m.on_slave_down(2);
+        for a in plan.adoptions {
+            assert!(m.on_move_complete(a.pid, a.to));
+        }
+        assert_eq!(m.degree(), 2);
+
+        // While dead, pressure cannot grow it back in.
+        m.on_occupancy(0, 0.9);
+        m.on_occupancy(1, 0.9);
+        let plan = m.plan_reorg(true);
+        assert_eq!(plan.activated, None, "a dead slave must never be activated");
+        assert_eq!(m.degree(), 2);
+
+        // Back from the dead: readmitted at the next reorg under any
+        // load pressure, even below the §V-A growth threshold.
+        assert!(m.on_slave_up(2));
+        assert!(!m.on_slave_up(2), "already live");
+        m.on_occupancy(0, 0.9);
+        m.on_occupancy(1, 0.0);
+        let plan = m.plan_reorg(true);
+        assert_eq!(plan.activated, Some(2));
+        assert_eq!(m.degree(), 3);
+        assert!(m.live_slaves().contains(&2));
+    }
+
+    #[test]
+    fn non_adaptive_runs_readmit_to_restore_fixed_degree() {
+        let mut m = MasterCore::new(params(6), 2, 2, 1);
+        let plan = m.on_slave_down(1);
+        for a in plan.adoptions {
+            assert!(m.on_move_complete(a.pid, a.to));
+        }
+        assert_eq!(m.degree(), 1);
+        assert!(m.on_slave_up(1));
+        m.on_occupancy(0, 0.2);
+        let plan = m.plan_reorg(false);
+        assert_eq!(plan.activated, Some(1), "fixed-degree run restores its degree");
+        assert_eq!(m.degree(), 2);
+    }
+
+    #[test]
+    fn undelivered_buffered_tuples_are_charged_at_shutdown() {
+        let mut m = MasterCore::new(params(8), 2, 2, 1);
+        m.on_occupancy(0, 0.9);
+        m.on_occupancy(1, 0.0);
+        let mv = m.plan_reorg(false).moves[0];
+        // Buffer tuples for the held (moving) partition; the adopter
+        // never acks, so a drain cannot release them.
+        let key = (0..10_000u64).find(|&k| partition_of(k, 8) == mv.pid).unwrap();
+        m.on_arrival(arrival(key, 0));
+        m.on_arrival(arrival(key, 1));
+        assert_eq!(m.drain_for_slot(0).iter().map(|(_, b)| b.len()).sum::<usize>(), 0);
+        let lost = m.account_undelivered();
+        assert_eq!(lost.tuples_lost, 2, "held tuples charged as lost");
+        assert_eq!(m.loss().tuples_lost, 2);
+        // Nothing buffered: nothing charged.
+        let mut clean = MasterCore::new(params(8), 2, 2, 1);
+        assert!(clean.account_undelivered().is_zero());
+    }
+
+    #[test]
+    fn total_cluster_death_leaves_orphans_for_rescue() {
+        let mut m = MasterCore::new(params(4), 2, 2, 1);
+        let p0 = m.on_slave_down(0);
+        for a in p0.adoptions {
+            assert!(m.on_move_complete(a.pid, a.to));
+        }
+        let p1 = m.on_slave_down(1);
+        assert!(p1.adoptions.is_empty(), "nobody left to adopt");
+        assert_eq!(m.degree(), 0);
+        // A recovered slave sweeps the orphans back in at the next reorg.
+        assert!(m.on_slave_up(0));
+        let plan = m.plan_reorg(false);
+        assert_eq!(plan.activated, Some(0));
+        for mv in &plan.moves {
+            assert_eq!(mv.to, 0, "orphan rescue targets the readmitted slave");
+            assert!(m.on_move_complete(mv.pid, mv.to));
+        }
+        for pid in 0..4u32 {
+            assert_eq!(m.partition_owner(pid), 0);
         }
     }
 

@@ -32,7 +32,8 @@ pub fn pair_moves(suppliers: &[usize], consumers: &[usize]) -> Vec<(usize, usize
     suppliers.iter().copied().zip(consumers.iter().copied()).collect()
 }
 
-/// Degree-of-declustering decision (§V-A).
+/// Degree-of-declustering decision (§V-A, extended with the failure
+/// recovery case).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DodDecision {
     /// Keep the current degree.
@@ -42,6 +43,12 @@ pub enum DodDecision {
     /// Deactivate one slave: no supplier exists (every node is neutral
     /// or consumer), so the system is under-utilised.
     Shrink,
+    /// Re-activate a recovered (or late-joining) slave: the symmetric
+    /// case of a failure-forced shrink. A waiting rejoiner is readmitted
+    /// as soon as any load pressure exists, even below the §V-A growth
+    /// threshold — it costs nothing (it is already provisioned and
+    /// running) and restores the pre-failure degree.
+    Readmit,
 }
 
 /// Applies the §V-A rules given the class counts.
@@ -61,6 +68,19 @@ pub fn decide_dod(n_sup: usize, n_con: usize, beta: f64) -> DodDecision {
         DodDecision::Grow
     } else {
         DodDecision::Keep
+    }
+}
+
+/// [`decide_dod`] extended with elastic membership: `n_recovered` slaves
+/// have come back from the dead (or joined late) and wait for
+/// readmission. A rejoiner is readmitted whenever load pressure exists
+/// (`n_sup > 0`) but the plain §V-A rule would not grow — the symmetric
+/// case of the failure-forced shrink that removed it. With no rejoiner
+/// waiting this is exactly [`decide_dod`].
+pub fn decide_membership(n_sup: usize, n_con: usize, beta: f64, n_recovered: usize) -> DodDecision {
+    match decide_dod(n_sup, n_con, beta) {
+        DodDecision::Keep if n_recovered > 0 && n_sup > 0 => DodDecision::Readmit,
+        other => other,
     }
 }
 
@@ -100,5 +120,22 @@ mod tests {
         assert_eq!(decide_dod(1, 2, 0.5), DodDecision::Keep);
         // Smaller beta grows sooner.
         assert_eq!(decide_dod(1, 2, 0.4), DodDecision::Grow);
+    }
+
+    #[test]
+    fn membership_readmits_recovered_slaves_under_pressure() {
+        // No rejoiner waiting: identical to the plain §V-A rule.
+        assert_eq!(decide_membership(0, 2, 0.5, 0), DodDecision::Shrink);
+        assert_eq!(decide_membership(2, 1, 0.5, 0), DodDecision::Grow);
+        assert_eq!(decide_membership(1, 2, 0.5, 0), DodDecision::Keep);
+        // A rejoiner is readmitted as soon as any supplier exists, even
+        // below the growth threshold...
+        assert_eq!(decide_membership(1, 2, 0.5, 1), DodDecision::Readmit);
+        // ...but an idle system keeps it parked (no load to absorb)...
+        assert_eq!(decide_membership(0, 0, 0.5, 1), DodDecision::Keep);
+        assert_eq!(decide_membership(0, 2, 0.5, 1), DodDecision::Shrink);
+        // ...and outright overload still reports Grow (the activation
+        // path prefers the rejoiner anyway).
+        assert_eq!(decide_membership(2, 1, 0.5, 1), DodDecision::Grow);
     }
 }

@@ -247,6 +247,37 @@ impl<E: ProbeEngine> SlaveCore<E> {
         }
     }
 
+    /// [`install_group`](Self::install_group) that tolerates already
+    /// owning the partition: the incoming install is authoritative (the
+    /// master's mapping says so) and **replaces** any local copy.
+    ///
+    /// This is the failure-recovery install path. A replace happens only
+    /// in the races failure handling creates — a fresh adoption landing
+    /// after the dead supplier's in-flight state, or a real move onto a
+    /// slave that was wrongly declared dead and still holds a stale
+    /// pre-failure group. Either way the replaced copy was already
+    /// charged as lost by the master, and dropping window state can only
+    /// suppress future matches, never fabricate or duplicate one.
+    ///
+    /// Returns `true` when a stale local group was replaced.
+    pub fn adopt_group(
+        &mut self,
+        pid: u32,
+        state: GroupState,
+        pending: Vec<Tuple>,
+        work: &mut WorkStats,
+    ) -> bool {
+        let replaced = self.groups.remove(&pid).is_some();
+        if replaced {
+            // Buffered tuples of the stale ownership era die with it —
+            // the master already charged that era as lost, and a clean
+            // cut keeps "what survived" easy to reason about.
+            let _ = self.buffer.drain_partition(pid);
+        }
+        self.install_group(pid, state, pending, work);
+        replaced
+    }
+
     /// Total window blocks across owned partitions (the paper's
     /// "window size within a node" metric).
     pub fn window_blocks(&self) -> usize {
@@ -394,6 +425,43 @@ mod tests {
         let mut out = Vec::new();
         b.process_pending(&mut out, &mut work);
         assert_eq!(out.len(), 1, "the in-flight tuple was not lost");
+    }
+
+    #[test]
+    fn adopt_group_replaces_a_stale_local_copy() {
+        let p = small_params();
+        let key = 5u64;
+        let pid = partition_of(key, p.npart);
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+
+        // A slave with real window state for the partition...
+        let mut a = slave_with_all_partitions();
+        a.receive_batch((0..20).map(|i| Tuple::new(Side::Left, 100 + i, key, i)).collect());
+        a.process_pending(&mut out, &mut work);
+        assert_eq!(a.window_tuples(), 20);
+        // ...plus a buffered straggler from the stale ownership era.
+        a.receive_batch(vec![Tuple::new(Side::Left, 200, key, 777)]);
+
+        // An authoritative (fresh, empty) adoption replaces both.
+        let replaced =
+            a.adopt_group(pid, GroupState { buckets: Vec::new() }, Vec::new(), &mut work);
+        assert!(replaced);
+        assert_eq!(a.window_tuples(), 0, "stale window state replaced");
+        assert_eq!(a.backlog_tuples(), 0, "stale buffered tuples dropped");
+
+        // Fresh adoption of an unowned partition is a plain install.
+        let mut b: SlaveCore<CountedEngine> = SlaveCore::new(1, p);
+        assert!(!b.adopt_group(pid, GroupState { buckets: Vec::new() }, Vec::new(), &mut work));
+        assert!(b.owned_partitions().contains(&pid));
+        // And the adopted group joins normally from empty.
+        b.receive_batch(vec![
+            Tuple::new(Side::Left, 300, key, 0),
+            Tuple::new(Side::Right, 400, key, 0),
+        ]);
+        let before = out.len();
+        b.process_pending(&mut out, &mut work);
+        assert_eq!(out.len() - before, 1);
     }
 
     #[test]

@@ -19,6 +19,15 @@ pub struct WorkStats {
     /// Tuples packed/unpacked for partition-group state movement, and
     /// tuples relocated by mini-group splits/merges.
     pub tuples_moved: u64,
+    /// Partition-group state instances abandoned on dead slaves (one per
+    /// re-homed partition of a failed node).
+    pub groups_lost: u64,
+    /// Upper bound on tuples whose window/buffered state died with a
+    /// slave. Window-bounded: the master only counts tuples it routed to
+    /// the dead slave whose timestamps were still inside the retention
+    /// horizon (max window + expiry lag) at failure time — everything
+    /// older had already expired and was never going to join again.
+    pub tuples_lost: u64,
 }
 
 impl WorkStats {
@@ -30,6 +39,8 @@ impl WorkStats {
         self.hash_ops += other.hash_ops;
         self.blocks_touched += other.blocks_touched;
         self.tuples_moved += other.tuples_moved;
+        self.groups_lost += other.groups_lost;
+        self.tuples_lost += other.tuples_lost;
     }
 
     /// True when nothing was counted.

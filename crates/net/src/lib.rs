@@ -32,7 +32,7 @@ pub mod wire;
 pub use message::Message;
 pub use tcp::{FrameDecoder, TcpEndpoint, TcpNetwork};
 pub use transport::{
-    ChannelEndpoint, ChannelNetwork, Disconnected, Endpoint, Frame, Network, Transport,
+    ChannelEndpoint, ChannelNetwork, Disconnected, Endpoint, Frame, NetEvent, Network, Transport,
     TransportEndpoint,
 };
 pub use wire::{

@@ -41,6 +41,26 @@ pub enum Message {
     Outputs(Vec<OutPair>),
     /// Master → everyone: the run is over.
     Shutdown,
+    /// Slave → master: periodic liveness beacon. A master that misses
+    /// `max_missed` consecutive beacons declares the slave dead and
+    /// re-homes its partition-groups (elastic membership).
+    Heartbeat {
+        /// Monotonic per-sender beacon counter (diagnostics).
+        seq: u64,
+    },
+    /// Master → slave: leave the cluster — flush, announce `Goodbye`
+    /// and exit. The planned-departure counterpart of a crash.
+    Leave,
+    /// Any rank → master/collector: clean departure announcement, so
+    /// peers distinguish an intentional leave from a failure.
+    Goodbye,
+    /// Master → collector: `slave` was declared dead (transport teardown
+    /// or missed heartbeats); stop waiting for its flush marker. Covers
+    /// the wedged-but-connected case no transport event ever reports.
+    Dead {
+        /// The dead slave's index (rank `slave + 1`).
+        slave: u32,
+    },
 }
 
 const K_BATCH: u8 = 1;
@@ -50,6 +70,10 @@ const K_STATE: u8 = 4;
 const K_DONE: u8 = 5;
 const K_OUT: u8 = 6;
 const K_SHUT: u8 = 7;
+const K_HEARTBEAT: u8 = 8;
+const K_LEAVE: u8 = 9;
+const K_GOODBYE: u8 = 10;
+const K_DEAD: u8 = 11;
 
 fn put_tuples(buf: &mut Vec<u8>, tuples: &[Tuple]) {
     // Reserve the length slot, encode in place, patch the length —
@@ -143,6 +167,20 @@ impl Message {
             Message::Outputs(pairs) => Self::encode_outputs_into(pairs, buf),
             Message::Shutdown => {
                 buf.put_u8(K_SHUT);
+            }
+            Message::Heartbeat { seq } => {
+                buf.put_u8(K_HEARTBEAT);
+                buf.put_u64_le(*seq);
+            }
+            Message::Leave => {
+                buf.put_u8(K_LEAVE);
+            }
+            Message::Goodbye => {
+                buf.put_u8(K_GOODBYE);
+            }
+            Message::Dead { slave } => {
+                buf.put_u8(K_DEAD);
+                buf.put_u32_le(*slave);
             }
         }
     }
@@ -246,6 +284,20 @@ impl Message {
                 Ok(Message::Outputs(pairs))
             }
             K_SHUT => Ok(Message::Shutdown),
+            K_HEARTBEAT => {
+                if buf.remaining() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::Heartbeat { seq: buf.get_u64_le() })
+            }
+            K_LEAVE => Ok(Message::Leave),
+            K_GOODBYE => Ok(Message::Goodbye),
+            K_DEAD => {
+                if buf.remaining() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::Dead { slave: buf.get_u32_le() })
+            }
             other => Err(WireError::BadTagScheme(other)),
         }
     }
@@ -293,6 +345,17 @@ mod tests {
         roundtrip(Message::MoveComplete { pid: 4 });
         roundtrip(Message::Outputs(vec![OutPair { key: 1, left: (2, 3), right: (4, 5) }]));
         roundtrip(Message::Shutdown);
+        roundtrip(Message::Heartbeat { seq: 0 });
+        roundtrip(Message::Heartbeat { seq: u64::MAX });
+        roundtrip(Message::Leave);
+        roundtrip(Message::Goodbye);
+        roundtrip(Message::Dead { slave: 3 });
+    }
+
+    #[test]
+    fn truncated_heartbeat_errors() {
+        let enc = Message::Heartbeat { seq: 7 }.encode();
+        assert!(Message::decode(enc.slice(0..5)).is_err());
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! the `windjoin-node` binary); [`TcpNetwork::loopback`] builds an
 //! in-process mesh over `127.0.0.1` for tests and demos.
 
-use crate::transport::{Disconnected, Frame, Transport, TransportEndpoint};
+use crate::transport::{Disconnected, Frame, NetEvent, Transport, TransportEndpoint};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::io::{BufReader, Read, Write};
@@ -227,11 +227,20 @@ impl TcpNetwork {
         // Accept side: ranks above ours dial us and announce themselves.
         // The deadline applies here too — a rank that never starts must
         // fail the whole bootstrap, not hang the ranks waiting on it.
+        // Within the window the acceptor is forgiving: a dialer that
+        // connects but fails the hello (crashed mid-handshake, garbage
+        // announce) is dropped, and a *repeat* hello from a rank we
+        // already hold replaces the stale connection — a dialer that
+        // crashed after a successful hello can restart and redial while
+        // the window is open. (Once every expected hello is in, the
+        // window closes; a crash after that fails the barrier loudly
+        // and the whole launch is retried by the caller.)
         let expected_inbound = n - 1 - rank;
-        let acceptor = std::thread::spawn(move || -> std::io::Result<Vec<(usize, TcpStream)>> {
+        let acceptor = std::thread::spawn(move || -> std::io::Result<Vec<Option<TcpStream>>> {
             listener.set_nonblocking(true)?;
-            let mut inbound = Vec::with_capacity(expected_inbound);
-            while inbound.len() < expected_inbound {
+            let mut inbound: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+            let mut filled = 0;
+            while filled < expected_inbound {
                 let (mut stream, _) = match listener.accept() {
                     Ok(accepted) => accepted,
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -240,7 +249,7 @@ impl TcpNetwork {
                                 std::io::ErrorKind::TimedOut,
                                 format!(
                                     "waited for {} inbound rank(s) that never dialed",
-                                    expected_inbound - inbound.len()
+                                    expected_inbound - filled
                                 ),
                             ));
                         }
@@ -249,25 +258,50 @@ impl TcpNetwork {
                     }
                     Err(e) => return Err(e),
                 };
-                stream.set_nonblocking(false)?;
-                stream.set_nodelay(true)?;
-                // Bound the hello read: a dialer that connects but
-                // never announces must not stall the mesh.
-                stream.set_read_timeout(Some(remaining(deadline)))?;
-                let hello = read_exact_frame(&mut stream)?;
-                stream.set_read_timeout(None)?;
-                let peer = parse_hello(&hello)?;
-                inbound.push((peer, stream));
+                let handshake = (|| -> std::io::Result<usize> {
+                    stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true)?;
+                    // Bound the hello read: a dialer that connects
+                    // but never announces must not stall the mesh.
+                    stream.set_read_timeout(Some(remaining(deadline)))?;
+                    let hello = read_exact_frame(&mut stream)?;
+                    stream.set_read_timeout(None)?;
+                    parse_hello(&hello)
+                })();
+                match handshake {
+                    Ok(peer) if peer > rank && peer < n => {
+                        if inbound[peer].is_none() {
+                            filled += 1;
+                        }
+                        // Newest connection wins: it is the one a
+                        // restarted peer will actually use.
+                        inbound[peer] = Some(stream);
+                    }
+                    // Bad or torn hello: drop the connection and
+                    // keep the accept window open for a redial.
+                    _ => drop(stream),
+                }
             }
             Ok(inbound)
         });
 
-        // Dial side: we dial every rank below ours, retrying while the
-        // peer's listener comes up.
+        // Dial side: we dial every rank below ours, retrying the whole
+        // connect-and-hello exchange while the peer's listener comes up
+        // (or comes *back* up after a crash-restart within the window).
         let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
         for (lower, addr) in peers.iter().enumerate().take(rank) {
-            let mut stream = loop {
-                match TcpStream::connect(addr) {
+            let stream = loop {
+                let attempt = (|| -> std::io::Result<TcpStream> {
+                    let mut s = TcpStream::connect(addr)?;
+                    s.set_nodelay(true)?;
+                    let mut hello = Vec::with_capacity(9);
+                    hello.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
+                    hello.push(PROTO_VERSION);
+                    hello.extend_from_slice(&(rank as u32).to_le_bytes());
+                    write_frame(&mut s, &hello)?;
+                    Ok(s)
+                })();
+                match attempt {
                     Ok(s) => break s,
                     Err(e) => {
                         if Instant::now() >= deadline {
@@ -280,23 +314,16 @@ impl TcpNetwork {
                     }
                 }
             };
-            stream.set_nodelay(true)?;
-            let mut hello = Vec::with_capacity(9);
-            hello.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
-            hello.push(PROTO_VERSION);
-            hello.extend_from_slice(&(rank as u32).to_le_bytes());
-            write_frame(&mut stream, &hello)?;
             streams[lower] = Some(stream);
         }
 
-        for (peer, stream) in acceptor.join().expect("acceptor thread panicked")? {
-            if peer <= rank || peer >= n || streams[peer].is_some() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("unexpected hello from rank {peer}"),
-                ));
+        for (peer, stream) in
+            acceptor.join().expect("acceptor thread panicked")?.into_iter().enumerate()
+        {
+            if let Some(stream) = stream {
+                debug_assert!(peer > rank && peer < n && streams[peer].is_none());
+                streams[peer] = Some(stream);
             }
-            streams[peer] = Some(stream);
         }
 
         // Barrier through rank 0: nobody proceeds until everyone holds
@@ -457,8 +484,8 @@ pub struct TcpEndpoint {
     /// Write halves, `None` at our own rank. `Mutex` keeps concurrent
     /// sends to the same peer from interleaving partial frames.
     writers: Arc<Vec<Option<Mutex<TcpWriter>>>>,
-    inbox_tx: Sender<Frame>,
-    inbox_rx: Receiver<Frame>,
+    inbox_tx: Sender<NetEvent>,
+    inbox_rx: Receiver<NetEvent>,
 }
 
 impl TcpEndpoint {
@@ -522,26 +549,45 @@ impl TcpEndpoint {
     /// Self-sends short-circuit through the inbox like any other frame.
     fn deliver_to_self(&self, payload: Bytes) -> Result<(), Disconnected> {
         assert_frame_size(payload.len());
-        self.inbox_tx.send(Frame { from: self.rank, payload }).map_err(|_| Disconnected)
+        self.inbox_tx
+            .send(NetEvent::Frame(Frame { from: self.rank, payload }))
+            .map_err(|_| Disconnected)
     }
 
-    /// Blocking receive of the next frame addressed to this rank.
-    pub fn recv(&self) -> Result<Frame, Disconnected> {
+    /// Blocking receive of the next event addressed to this rank; a
+    /// peer whose reader thread hit EOF or an IO error is delivered as
+    /// [`NetEvent::PeerDown`] after its in-flight frames.
+    pub fn recv_event(&self) -> Result<NetEvent, Disconnected> {
         self.inbox_rx.recv().map_err(|_| Disconnected)
     }
 
-    /// Receive with a timeout; `Ok(None)` on timeout.
-    pub fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected> {
+    /// Event receive with a timeout; `Ok(None)` on timeout.
+    pub fn recv_event_timeout(&self, d: Duration) -> Result<Option<NetEvent>, Disconnected> {
         match self.inbox_rx.recv_timeout(d) {
-            Ok(f) => Ok(Some(f)),
+            Ok(ev) => Ok(Some(ev)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(Disconnected),
         }
     }
 
-    /// Non-blocking receive; `None` when the inbox is empty.
-    pub fn try_recv(&self) -> Option<Frame> {
+    /// Non-blocking event receive; `None` when the inbox is empty.
+    pub fn try_recv_event(&self) -> Option<NetEvent> {
         self.inbox_rx.try_recv().ok()
+    }
+
+    /// Blocking receive of the next frame (peer-down notices discarded).
+    pub fn recv(&self) -> Result<Frame, Disconnected> {
+        TransportEndpoint::recv(self)
+    }
+
+    /// Frame receive with a timeout; `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected> {
+        TransportEndpoint::recv_timeout(self, d)
+    }
+
+    /// Non-blocking frame receive; `None` when no frame is buffered.
+    pub fn try_recv(&self) -> Option<Frame> {
+        TransportEndpoint::try_recv(self)
     }
 }
 
@@ -562,16 +608,16 @@ impl TransportEndpoint for TcpEndpoint {
         TcpEndpoint::send_slice(self, to, payload)
     }
 
-    fn recv(&self) -> Result<Frame, Disconnected> {
-        TcpEndpoint::recv(self)
+    fn recv_event(&self) -> Result<NetEvent, Disconnected> {
+        TcpEndpoint::recv_event(self)
     }
 
-    fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected> {
-        TcpEndpoint::recv_timeout(self, d)
+    fn recv_event_timeout(&self, d: Duration) -> Result<Option<NetEvent>, Disconnected> {
+        TcpEndpoint::recv_event_timeout(self, d)
     }
 
-    fn try_recv(&self) -> Option<Frame> {
-        TcpEndpoint::try_recv(self)
+    fn try_recv_event(&self) -> Option<NetEvent> {
+        TcpEndpoint::try_recv_event(self)
     }
 }
 
@@ -588,7 +634,7 @@ impl Drop for TcpEndpoint {
     }
 }
 
-fn reader_loop(peer: usize, stream: TcpStream, tx: Sender<Frame>) {
+fn reader_loop(peer: usize, stream: TcpStream, tx: Sender<NetEvent>) {
     // Frames are read straight out of one reused buffered reader: the
     // header comes off the buffer, the payload is read_exact into an
     // exactly-sized vector that becomes the frame (its one and only
@@ -597,23 +643,27 @@ fn reader_loop(peer: usize, stream: TcpStream, tx: Sender<Frame>) {
     loop {
         let mut hdr = [0u8; FRAME_HEADER_BYTES];
         if rd.read_exact(&mut hdr).is_err() {
-            return; // peer closed (or we shut down)
+            break; // peer closed (or we shut down)
         }
         let len = u32::from_le_bytes(hdr) as usize;
         if len > MAX_FRAME_BYTES {
-            return; // corrupt stream: drop the connection
+            break; // corrupt stream: drop the connection
         }
         let mut payload = vec![0u8; len];
         if rd.read_exact(&mut payload).is_err() {
-            return;
+            break; // torn mid-frame: the partial payload is discarded
         }
         // A full inbox blocks here, which stops this read loop, which
         // fills the kernel buffers, which blocks the sender: end-to-end
         // backpressure.
-        if tx.send(Frame { from: peer, payload: Bytes::from(payload) }).is_err() {
-            return;
+        if tx.send(NetEvent::Frame(Frame { from: peer, payload: Bytes::from(payload) })).is_err() {
+            return; // our own endpoint is gone; nobody to notify
         }
     }
+    // The connection tore down — EOF, reset, corrupt length prefix or a
+    // frame cut off mid-payload. Surface a typed death notice *after*
+    // every frame the peer completed, instead of going silent.
+    let _ = tx.send(NetEvent::PeerDown(peer));
 }
 
 #[cfg(test)]
@@ -703,6 +753,121 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert!(failed, "send to a dead peer never failed");
+    }
+
+    #[test]
+    fn torn_connection_mid_frame_yields_peer_down_not_hang() {
+        // A raw peer announces a 100-byte frame, delivers 10 bytes and
+        // vanishes. The reader must discard the partial frame and
+        // surface a typed PeerDown — no panic, no silent hang.
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&100u32.to_le_bytes()).unwrap();
+            s.write_all(&[7u8; 10]).unwrap();
+        });
+        let (accepted, _) = listener.accept().unwrap();
+        let ep = TcpEndpoint::start(0, vec![None, Some(accepted)], 8);
+        raw.join().unwrap();
+        match ep.recv_event_timeout(Duration::from_secs(5)).unwrap() {
+            Some(NetEvent::PeerDown(1)) => {}
+            other => panic!("expected PeerDown(1), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_yields_peer_down() {
+        // An oversized length prefix is a corrupt stream: the reader
+        // drops the connection and reports the peer down.
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        });
+        let (accepted, _) = listener.accept().unwrap();
+        let ep = TcpEndpoint::start(0, vec![None, Some(accepted)], 8);
+        raw.join().unwrap();
+        match ep.recv_event_timeout(Duration::from_secs(5)).unwrap() {
+            Some(NetEvent::PeerDown(1)) => {}
+            other => panic!("expected PeerDown(1), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_endpoint_surfaces_peer_down_after_its_frames() {
+        let mut net = TcpNetwork::loopback(3, 64).unwrap();
+        let a = net.take(0);
+        let b = net.take(1);
+        let _c = net.take(2);
+        a.send(1, Bytes::from_static(b"bye")).unwrap();
+        drop(a);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut saw_frame = false;
+        loop {
+            match b.recv_event_timeout(remaining(deadline)).unwrap() {
+                Some(NetEvent::Frame(f)) => {
+                    assert_eq!((f.from, &f.payload[..]), (0, &b"bye"[..]));
+                    saw_frame = true;
+                }
+                Some(NetEvent::PeerDown(0)) => break,
+                Some(NetEvent::PeerDown(r)) => panic!("wrong peer {r} reported down"),
+                None => panic!("no PeerDown within the deadline"),
+            }
+        }
+        assert!(saw_frame, "the pre-death frame must be delivered first");
+    }
+
+    #[test]
+    fn crashed_dialer_can_redial_while_the_window_is_open() {
+        // Rank 1 "crashes" right after a successful hello, then
+        // restarts and redials. The acceptor must replace the stale
+        // connection with the redial instead of keeping the dead
+        // socket, so the mesh completes over live links.
+        let listeners: Vec<TcpListener> = (0..3)
+            .map(|_| TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap())
+            .collect();
+        let peers: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut listeners = listeners.into_iter();
+        let l0 = listeners.next().unwrap();
+        let l1 = listeners.next().unwrap();
+        let l2 = listeners.next().unwrap();
+
+        let window = Duration::from_secs(10);
+        let h0 = {
+            let peers = peers.clone();
+            std::thread::spawn(move || {
+                TcpNetwork::establish_with_listener(0, &peers, l0, 8, window)
+            })
+        };
+        // First incarnation of rank 1: hello succeeds, then it dies.
+        {
+            let mut s = TcpStream::connect(peers[0]).unwrap();
+            let mut hello = Vec::with_capacity(9);
+            hello.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
+            hello.push(PROTO_VERSION);
+            hello.extend_from_slice(&1u32.to_le_bytes());
+            write_frame(&mut s, &hello).unwrap();
+        } // dropped: crash after the hello
+        std::thread::sleep(Duration::from_millis(100));
+        // Restarted rank 1 redials; rank 2 starts last so rank 0's
+        // accept window is still open when the redial arrives.
+        let h1 = {
+            let peers = peers.clone();
+            std::thread::spawn(move || {
+                TcpNetwork::establish_with_listener(1, &peers, l1, 8, window)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(200));
+        let e2 = TcpNetwork::establish_with_listener(2, &peers, l2, 8, window).unwrap();
+        let e0 = h0.join().unwrap().unwrap();
+        let e1 = h1.join().unwrap().unwrap();
+
+        e1.send(0, Bytes::from_static(b"alive")).unwrap();
+        let f = e0.recv().unwrap();
+        assert_eq!((f.from, &f.payload[..]), (1, &b"alive"[..]));
+        drop(e2);
     }
 
     #[test]

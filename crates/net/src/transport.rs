@@ -19,8 +19,9 @@
 //! either backend unchanged.
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use std::time::Duration;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One delivered frame: the sender's rank and the payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +30,23 @@ pub struct Frame {
     pub from: usize,
     /// Encoded message payload.
     pub payload: Bytes,
+}
+
+/// One delivered transport event: a frame, or the typed notice that a
+/// peer's connection tore down (process death, socket reset, endpoint
+/// drop). `PeerDown` is what turns node loss from a silent hang into a
+/// protocol event the master's recovery path can act on.
+///
+/// Per-peer ordering: every frame a peer sent before dying is delivered
+/// before its `PeerDown` (the notice is produced by the same in-order
+/// channel that carries the peer's frames).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A payload from a live peer.
+    Frame(Frame),
+    /// The connection to this rank is gone; no further frames from it
+    /// will ever arrive.
+    PeerDown(usize),
 }
 
 /// Send-side failure: the peer is gone (channel closed / socket reset).
@@ -56,6 +74,9 @@ impl std::error::Error for Disconnected {}
 ///   while the peer's inbox is full; it never buffers unboundedly.
 /// * **Self-send** — a rank may send to itself; the frame is delivered
 ///   through its own inbox like any other.
+/// * **Failure surfacing** — a torn peer connection is delivered as a
+///   typed [`NetEvent::PeerDown`] through the event receive methods,
+///   after every frame that peer sent before dying.
 pub trait TransportEndpoint: Send {
     /// This endpoint's rank.
     fn rank(&self) -> usize;
@@ -74,14 +95,51 @@ pub trait TransportEndpoint: Send {
         self.send(to, Bytes::from(payload))
     }
 
-    /// Blocking receive of the next frame addressed to this rank.
-    fn recv(&self) -> Result<Frame, Disconnected>;
+    /// Blocking receive of the next event (frame or peer teardown)
+    /// addressed to this rank.
+    fn recv_event(&self) -> Result<NetEvent, Disconnected>;
 
-    /// Receive with a timeout; `Ok(None)` on timeout.
-    fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected>;
+    /// Event receive with a timeout; `Ok(None)` on timeout.
+    fn recv_event_timeout(&self, d: Duration) -> Result<Option<NetEvent>, Disconnected>;
 
-    /// Non-blocking receive; `None` when the inbox is empty.
-    fn try_recv(&self) -> Option<Frame>;
+    /// Non-blocking event receive; `None` when the inbox is empty.
+    fn try_recv_event(&self) -> Option<NetEvent>;
+
+    /// Blocking receive of the next *frame*; [`NetEvent::PeerDown`]
+    /// notices are silently discarded. Failure-aware loops should use
+    /// [`recv_event`](Self::recv_event) instead.
+    fn recv(&self) -> Result<Frame, Disconnected> {
+        loop {
+            if let NetEvent::Frame(f) = self.recv_event()? {
+                return Ok(f);
+            }
+        }
+    }
+
+    /// Frame receive with a timeout; `Ok(None)` on timeout. Peer-down
+    /// notices are discarded without extending the deadline.
+    fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected> {
+        let deadline = Instant::now() + d;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.recv_event_timeout(left)? {
+                Some(NetEvent::Frame(f)) => return Ok(Some(f)),
+                Some(NetEvent::PeerDown(_)) if Instant::now() < deadline => continue,
+                _ => return Ok(None),
+            }
+        }
+    }
+
+    /// Non-blocking frame receive; `None` when no frame is buffered.
+    /// Peer-down notices are discarded.
+    fn try_recv(&self) -> Option<Frame> {
+        loop {
+            match self.try_recv_event()? {
+                NetEvent::Frame(f) => return Some(f),
+                NetEvent::PeerDown(_) => continue,
+            }
+        }
+    }
 }
 
 /// A materialized network of `n` ranks whose endpoints are handed out
@@ -117,12 +175,43 @@ pub type Network = ChannelNetwork;
 #[derive(Debug, Clone)]
 pub struct ChannelEndpoint {
     rank: usize,
-    senders: Vec<Sender<Frame>>,
-    receiver: Receiver<Frame>,
+    senders: Vec<Sender<NetEvent>>,
+    receiver: Receiver<NetEvent>,
+    /// Fires [`NetEvent::PeerDown`] at every peer when the last clone of
+    /// this endpoint drops — the channel backend's equivalent of a TCP
+    /// EOF, so in-process "process death" (a node loop returning and
+    /// dropping its endpoint) is observable exactly like a socket reset.
+    _death: Arc<DeathWatch>,
 }
 
 /// Backwards-compatible name for [`ChannelEndpoint`].
 pub type Endpoint = ChannelEndpoint;
+
+/// Drop guard that announces this rank's death to every peer inbox.
+#[derive(Debug)]
+struct DeathWatch {
+    rank: usize,
+    peers: Vec<Sender<NetEvent>>,
+}
+
+impl Drop for DeathWatch {
+    fn drop(&mut self) {
+        for (peer, s) in self.peers.iter().enumerate() {
+            if peer == self.rank {
+                continue; // our own inbox is being dropped with us
+            }
+            // Never block in Drop: if the peer's inbox is momentarily
+            // full, hand the (blocking) send to a detached thread — the
+            // peer is draining or gone, and either resolves the send.
+            if let Err(TrySendError::Full(ev)) = s.try_send(NetEvent::PeerDown(self.rank)) {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let _ = s.send(ev);
+                });
+            }
+        }
+    }
+}
 
 impl ChannelNetwork {
     /// Builds a network of `n` ranks with per-inbox `capacity` frames.
@@ -139,7 +228,12 @@ impl ChannelNetwork {
             .into_iter()
             .enumerate()
             .map(|(rank, receiver)| {
-                Some(ChannelEndpoint { rank, senders: senders.clone(), receiver })
+                Some(ChannelEndpoint {
+                    rank,
+                    senders: senders.clone(),
+                    receiver,
+                    _death: Arc::new(DeathWatch { rank, peers: senders.clone() }),
+                })
             })
             .collect();
         ChannelNetwork { endpoints }
@@ -188,26 +282,43 @@ impl ChannelEndpoint {
     /// Blocking send of `payload` to rank `to` (blocks while the peer's
     /// inbox is full).
     pub fn send(&self, to: usize, payload: Bytes) -> Result<(), Disconnected> {
-        self.senders[to].send(Frame { from: self.rank, payload }).map_err(|_| Disconnected)
+        self.senders[to]
+            .send(NetEvent::Frame(Frame { from: self.rank, payload }))
+            .map_err(|_| Disconnected)
     }
 
-    /// Blocking receive of the next frame addressed to this rank.
-    pub fn recv(&self) -> Result<Frame, Disconnected> {
+    /// Blocking receive of the next event addressed to this rank.
+    pub fn recv_event(&self) -> Result<NetEvent, Disconnected> {
         self.receiver.recv().map_err(|_| Disconnected)
     }
 
-    /// Receive with a timeout; `Ok(None)` on timeout.
-    pub fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected> {
+    /// Event receive with a timeout; `Ok(None)` on timeout.
+    pub fn recv_event_timeout(&self, d: Duration) -> Result<Option<NetEvent>, Disconnected> {
         match self.receiver.recv_timeout(d) {
-            Ok(f) => Ok(Some(f)),
+            Ok(ev) => Ok(Some(ev)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(Disconnected),
         }
     }
 
-    /// Non-blocking receive; `None` when the inbox is empty.
-    pub fn try_recv(&self) -> Option<Frame> {
+    /// Non-blocking event receive; `None` when the inbox is empty.
+    pub fn try_recv_event(&self) -> Option<NetEvent> {
         self.receiver.try_recv().ok()
+    }
+
+    /// Blocking receive of the next frame (peer-down notices discarded).
+    pub fn recv(&self) -> Result<Frame, Disconnected> {
+        TransportEndpoint::recv(self)
+    }
+
+    /// Frame receive with a timeout; `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected> {
+        TransportEndpoint::recv_timeout(self, d)
+    }
+
+    /// Non-blocking frame receive; `None` when no frame is buffered.
+    pub fn try_recv(&self) -> Option<Frame> {
+        TransportEndpoint::try_recv(self)
     }
 }
 
@@ -224,16 +335,16 @@ impl TransportEndpoint for ChannelEndpoint {
         ChannelEndpoint::send(self, to, payload)
     }
 
-    fn recv(&self) -> Result<Frame, Disconnected> {
-        ChannelEndpoint::recv(self)
+    fn recv_event(&self) -> Result<NetEvent, Disconnected> {
+        ChannelEndpoint::recv_event(self)
     }
 
-    fn recv_timeout(&self, d: Duration) -> Result<Option<Frame>, Disconnected> {
-        ChannelEndpoint::recv_timeout(self, d)
+    fn recv_event_timeout(&self, d: Duration) -> Result<Option<NetEvent>, Disconnected> {
+        ChannelEndpoint::recv_event_timeout(self, d)
     }
 
-    fn try_recv(&self) -> Option<Frame> {
-        ChannelEndpoint::try_recv(self)
+    fn try_recv_event(&self) -> Option<NetEvent> {
+        ChannelEndpoint::try_recv_event(self)
     }
 }
 
@@ -302,6 +413,50 @@ mod tests {
         let mut net = ChannelNetwork::new(1, 1);
         let _a = net.take(0);
         let _b = net.take(0);
+    }
+
+    #[test]
+    fn dropped_endpoint_announces_peer_down_after_its_frames() {
+        let mut net = ChannelNetwork::new(3, 16);
+        let a = net.take(0);
+        let b = net.take(1);
+        let _c = net.take(2);
+        a.send(1, Bytes::from_static(b"last words")).unwrap();
+        drop(a);
+        assert_eq!(
+            b.recv_event().unwrap(),
+            NetEvent::Frame(Frame { from: 0, payload: Bytes::from_static(b"last words") }),
+            "frames sent before death arrive first"
+        );
+        assert_eq!(b.recv_event().unwrap(), NetEvent::PeerDown(0));
+    }
+
+    #[test]
+    fn peer_down_on_full_inbox_is_not_lost() {
+        let mut net = ChannelNetwork::new(2, 1);
+        let a = net.take(0);
+        let b = net.take(1);
+        a.send(1, Bytes::from_static(b"fill")).unwrap(); // inbox now full
+        drop(a); // death notice must survive the full inbox
+        assert_eq!(&b.recv().unwrap().payload[..], b"fill");
+        let ev = b
+            .recv_event_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("deferred death notice arrives");
+        assert_eq!(ev, NetEvent::PeerDown(0));
+    }
+
+    #[test]
+    fn frame_level_receives_skip_peer_down() {
+        let mut net = ChannelNetwork::new(3, 16);
+        let a = net.take(0);
+        let b = net.take(1);
+        let c = net.take(2);
+        drop(c);
+        a.send(1, Bytes::from_static(b"after")).unwrap();
+        // recv() must deliver the frame, silently discarding rank 2's
+        // death notice queued ahead of it.
+        assert_eq!(&b.recv().unwrap().payload[..], b"after");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use bytes::Bytes;
 use std::time::Duration;
-use windjoin_net::{ChannelNetwork, TcpNetwork, Transport, TransportEndpoint};
+use windjoin_net::{ChannelNetwork, NetEvent, TcpNetwork, Transport, TransportEndpoint};
 
 /// Takes all endpoints out of a transport.
 fn endpoints<T: Transport>(net: &mut T) -> Vec<T::Endpoint> {
@@ -112,6 +112,57 @@ fn check_bulk_backpressure<E: TransportEndpoint + Sync>(eps: &[E]) {
     });
 }
 
+/// Peer teardown mid-batch: a peer that sends part of a "batch" of
+/// frames and dies must surface as a typed [`NetEvent::PeerDown`] at
+/// every other rank — after its completed frames, never as a hang or a
+/// partial-frame panic — and subsequent sends toward it must error.
+fn check_peer_teardown_mid_batch<E: TransportEndpoint>(mut eps: Vec<E>) {
+    const SENT: u32 = 5;
+    let dead = eps.len() - 1;
+    let dying = eps.pop().expect("at least two ranks");
+    for i in 0..SENT {
+        dying.send(0, Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+    }
+    drop(dying); // dies "mid-batch": more frames were expected
+                 // Rank 0 drains the completed frames, then the death notice.
+    let mut got = 0u32;
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        match eps[0].recv_event_timeout(left).unwrap() {
+            Some(NetEvent::Frame(f)) if f.from == dead => {
+                assert_eq!(u32::from_le_bytes(f.payload[..].try_into().unwrap()), got);
+                got += 1;
+            }
+            Some(NetEvent::Frame(f)) => panic!("unexpected frame from rank {}", f.from),
+            Some(NetEvent::PeerDown(r)) => {
+                assert_eq!(r, dead, "wrong rank reported down");
+                break;
+            }
+            None => panic!("peer teardown never surfaced: hang instead of PeerDown"),
+        }
+    }
+    assert_eq!(got, SENT, "frames completed before death must all arrive first");
+    // The other ranks see it too (no frames from the dead peer there).
+    for ep in &eps[1..] {
+        match ep.recv_event_timeout(Duration::from_secs(10)).unwrap() {
+            Some(NetEvent::PeerDown(r)) => assert_eq!(r, dead),
+            other => panic!("expected PeerDown({dead}), got {other:?}"),
+        }
+    }
+    // Sends toward the dead rank eventually fail instead of blocking
+    // forever (TCP may buffer a few writes before the reset lands).
+    let mut failed = false;
+    for _ in 0..1_000 {
+        if eps[0].send(dead, Bytes::from(vec![0u8; 4096])).is_err() {
+            failed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(failed, "send to the dead rank never failed");
+}
+
 fn conformance<T: Transport>(mut net: T)
 where
     T::Endpoint: Sync,
@@ -134,4 +185,16 @@ fn channel_backend_conforms() {
 #[test]
 fn tcp_backend_conforms() {
     conformance(TcpNetwork::loopback(4, 16).unwrap());
+}
+
+#[test]
+fn channel_backend_peer_teardown() {
+    let mut net = ChannelNetwork::new(3, 16);
+    check_peer_teardown_mid_batch(endpoints(&mut net));
+}
+
+#[test]
+fn tcp_backend_peer_teardown() {
+    let mut net = TcpNetwork::loopback(3, 16).unwrap();
+    check_peer_teardown_mid_batch(endpoints(&mut net));
 }

@@ -23,17 +23,13 @@ fn main() {
     params.reorg_epoch_us = 1_000_000;
     params.npart = 24;
 
-    let cfg = ThreadedConfig {
-        params,
-        slaves: 3,
-        rate: 800.0,                                    // flow records per second per tap
-        keys: KeyDist::Zipf { s: 1.1, domain: 50_000 }, // elephant flows
-        seed: 2024,
-        run: Duration::from_secs(6),
-        warmup: Duration::from_secs(2),
-        adaptive_dod: false,
-        capture_outputs: false,
-    };
+    let mut cfg = ThreadedConfig::demo(3);
+    cfg.params = params;
+    cfg.rate = 800.0; // flow records per second per tap
+    cfg.keys = KeyDist::Zipf { s: 1.1, domain: 50_000 }; // elephant flows
+    cfg.seed = 2024;
+    cfg.run = Duration::from_secs(6);
+    cfg.warmup = Duration::from_secs(2);
 
     println!("correlating two 800 rec/s taps over a 3 s window on 3 slaves...");
     let report = run_threaded(&cfg);

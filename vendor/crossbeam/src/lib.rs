@@ -61,6 +61,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Outcome of a non-blocking send; the unsent message is returned.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is full right now.
+        Full(T),
+        /// The receiving side disconnected.
+        Disconnected(T),
+    }
+
     /// Creates a bounded FIFO channel with room for `capacity` messages.
     pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         assert!(capacity > 0, "capacity must be positive");
@@ -88,6 +97,20 @@ pub mod channel {
                 }
                 st = self.inner.not_full.wait(st).unwrap();
             }
+        }
+
+        /// Non-blocking send; fails immediately when the queue is full.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.inner.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if st.queue.len() < self.inner.capacity {
+                st.queue.push_back(msg);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            Err(TrySendError::Full(msg))
         }
     }
 
@@ -233,5 +256,15 @@ mod tests {
         assert_eq!(r.try_recv(), Err(TryRecvError::Empty));
         s.send(3).unwrap();
         assert_eq!(r.try_recv(), Ok(3));
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (s, r) = bounded::<u32>(1);
+        assert_eq!(s.try_send(1), Ok(()));
+        assert_eq!(s.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(r.try_recv(), Ok(1));
+        drop(r);
+        assert_eq!(s.try_send(3), Err(TrySendError::Disconnected(3)));
     }
 }
