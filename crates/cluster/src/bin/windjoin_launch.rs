@@ -12,6 +12,9 @@
 //! windjoin-launch --ranks N [options] [-- node flags...]
 //!
 //!   --ranks N               cluster size: master + N-2 slaves + collector
+//!   --job PATH              serialised JobSpec every rank loads (same as
+//!                           passing `-- --job PATH`); when the file's
+//!                           `slaves` matches, --ranks may be omitted
 //!   --bin PATH              windjoin-node binary [next to this binary]
 //!   --out PATH              also write the collector stdout to PATH
 //!   --log-dir DIR           capture each rank's stderr to DIR/rank<r>.log
@@ -31,6 +34,7 @@ use std::process::{Command, Stdio};
 
 struct Args {
     ranks: usize,
+    job: Option<String>,
     bin: Option<String>,
     out: Option<String>,
     log_dir: Option<String>,
@@ -52,6 +56,7 @@ fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut args = Args {
         ranks: 0,
+        job: None,
         bin: None,
         out: None,
         log_dir: None,
@@ -72,6 +77,7 @@ fn parse_args() -> Args {
                 args.ranks =
                     value(&mut i, &flag).parse().unwrap_or_else(|_| usage_and_exit("bad --ranks"))
             }
+            "--job" => args.job = Some(value(&mut i, &flag)),
             "--bin" => args.bin = Some(value(&mut i, &flag)),
             "--out" => args.out = Some(value(&mut i, &flag)),
             "--log-dir" => args.log_dir = Some(value(&mut i, &flag)),
@@ -98,6 +104,21 @@ fn parse_args() -> Args {
             other => usage_and_exit(&format!("unknown flag {other:?}")),
         }
         i += 1;
+    }
+    if let Some(job) = &args.job {
+        // The job file is authoritative for the topology when --ranks
+        // is omitted; every rank receives `--job PATH` via passthrough.
+        if args.ranks == 0 {
+            match windjoin_cluster::JobSpec::from_json(
+                &std::fs::read_to_string(job)
+                    .unwrap_or_else(|e| usage_and_exit(&format!("reading --job {job}: {e}"))),
+            ) {
+                Ok(spec) => args.ranks = spec.slaves + 2,
+                Err(e) => usage_and_exit(&format!("--job {job}: {e}")),
+            }
+        }
+        args.passthrough.insert(0, "--job".into());
+        args.passthrough.insert(1, job.clone());
     }
     if args.ranks < 3 {
         usage_and_exit("--ranks must be >= 3 (master, >=1 slave, collector)");

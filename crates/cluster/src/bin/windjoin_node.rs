@@ -11,6 +11,11 @@
 //!
 //! topology     --rank N            this process's rank
 //!              --peers A,B,...     listen address of every rank, by rank
+//! job file     --job PATH          load a serialised JobSpec (the JSON
+//!                                  written by JobSpec::to_json); all
+//!                                  other workload flags override its
+//!                                  fields, so flags are a thin layer
+//!                                  over the same spec
 //! workload     --rate F            tuples/s per stream      [500]
 //!              --run-ms N          run length               [6000]
 //!              --warmup-ms N       stats warm-up            [2000]
@@ -21,6 +26,8 @@
 //!              --npart N           hash partitions          [16]
 //!              --keys SPEC         uniform:D | bmodel:B:D | zipf:S:D
 //!                                  | constant:K             [bmodel:0.7:100000]
+//!              --engine E          scalar | exact | counted [exact]
+//!              --payload-bytes N   wire payload width       [0]
 //!              --probe-threads N   slave probe worker pool  [1]
 //!              --adaptive-dod      enable §V-A adaptive declustering
 //! liveness     --heartbeat-ms N    slave beacon interval; 0 off [500]
@@ -40,7 +47,9 @@
 
 use std::net::SocketAddr;
 use std::time::Duration;
-use windjoin_cluster::{run_node, ChaosKill, NodeConfig, NodeOutcome, ProcessConfig};
+use windjoin_cluster::{
+    run_node, ChaosKill, EngineKind, JobSpec, NodeConfig, NodeOutcome, ProcessConfig,
+};
 use windjoin_gen::KeyDist;
 
 struct Args {
@@ -81,6 +90,9 @@ fn parse_args() -> Args {
     // default in-process and multi-process runs stay comparable.
     let mut rank: Option<usize> = None;
     let mut peers: Vec<SocketAddr> = Vec::new();
+    let mut job_path: Option<String> = None;
+    let mut engine: Option<EngineKind> = None;
+    let mut payload_bytes: Option<usize> = None;
     let mut rate: Option<f64> = None;
     let mut run_ms: Option<u64> = None;
     let mut warmup_ms: Option<u64> = None;
@@ -120,6 +132,22 @@ fn parse_args() -> Args {
                             .unwrap_or_else(|_| usage_and_exit(&format!("bad peer address {a:?}")))
                     })
                     .collect()
+            }
+            "--job" => job_path = Some(value(&mut i, &flag)),
+            "--engine" => {
+                engine = Some(match value(&mut i, &flag).as_str() {
+                    "scalar" => EngineKind::Scalar,
+                    "exact" => EngineKind::Exact,
+                    "counted" => EngineKind::Counted,
+                    other => usage_and_exit(&format!("bad --engine {other:?}")),
+                })
+            }
+            "--payload-bytes" => {
+                payload_bytes = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --payload-bytes")),
+                )
             }
             "--rate" => {
                 rate = Some(
@@ -228,8 +256,36 @@ fn parse_args() -> Args {
     }
     let slaves = peers.len() - 2;
 
-    // Start from the library defaults; flags override field by field.
-    let mut node = NodeConfig::demo(slaves);
+    // Start from the job file (if given) or the library defaults;
+    // flags override field by field, so the CLI is a thin layer over
+    // the same `JobSpec` every runtime consumes.
+    let mut job_is_replay = false;
+    let mut node = match &job_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| usage_and_exit(&format!("reading --job {path}: {e}")));
+            let mut spec = JobSpec::from_json(&text)
+                .unwrap_or_else(|e| usage_and_exit(&format!("--job {path}: {e}")));
+            job_is_replay = matches!(spec.source, windjoin_cluster::SourceSpec::Replay { .. });
+            if spec.slaves != slaves {
+                eprintln!(
+                    "windjoin-node: --peers implies {slaves} slave(s); overriding the job \
+                     file's {}",
+                    spec.slaves
+                );
+                spec.slaves = slaves;
+                spec.total_slaves = slaves;
+            }
+            spec.to_node_config().unwrap_or_else(|e| usage_and_exit(&e.to_string()))
+        }
+        None => NodeConfig::demo(slaves),
+    };
+    if let Some(e) = engine {
+        node.engine = e;
+    }
+    if let Some(w) = payload_bytes {
+        node.payload_bytes = w;
+    }
     if let Some(ms) = dist_epoch_ms {
         node.params = node.params.with_dist_epoch_us(ms * 1_000);
     }
@@ -246,6 +302,16 @@ fn parse_args() -> Args {
     if let Some(n) = probe_threads {
         node.params.probe_threads = n;
     }
+    if rate.is_some() || keys.is_some() {
+        // Explicit workload flags win over a *synthetic* job source:
+        // drop the override so `rate`/`keys` drive a constant
+        // synthetic source again. A replay tape has no rate or key
+        // distribution to override — reject the ambiguity.
+        if job_is_replay {
+            usage_and_exit("--rate/--keys conflict with a replay-source --job file");
+        }
+        node.source = None;
+    }
     if let Some(r) = rate {
         node.rate = r;
     }
@@ -261,8 +327,12 @@ fn parse_args() -> Args {
     if let Some(ms) = warmup_ms {
         node.warmup = Duration::from_millis(ms);
     }
-    node.adaptive_dod = adaptive_dod;
-    node.capture_outputs = emit_pairs;
+    if adaptive_dod {
+        node.adaptive_dod = true;
+    }
+    if emit_pairs {
+        node.capture_outputs = true;
+    }
     if let Some(ms) = heartbeat_ms {
         node.heartbeat = Duration::from_millis(ms);
     }
@@ -303,7 +373,7 @@ fn main() {
         cfg.handshake_timeout = handshake;
     }
     if let Err(e) = cfg.validate() {
-        usage_and_exit(&e);
+        usage_and_exit(&e.to_string());
     }
 
     let role = cfg.node.role_of(cfg.rank);

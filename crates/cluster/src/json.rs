@@ -1,0 +1,454 @@
+//! A minimal, dependency-free JSON codec for job files.
+//!
+//! The workspace is built offline (no serde), so the `--job job.json`
+//! surface carries its own small reader/writer. The dialect is plain
+//! RFC 8259 JSON with one deliberate restriction: numbers without a
+//! fraction or exponent are kept as exact 64-bit integers (seeds and
+//! timestamps must round-trip losslessly, which `f64` cannot do).
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal (exact).
+    U64(u64),
+    /// A negative integer literal (exact).
+    I64(i64),
+    /// A fractional or exponent-form number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub why: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.why)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed, trailing
+    /// garbage rejected).
+    pub fn parse(src: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { b: src.as_bytes(), i: 0 };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(v) => Some(v),
+            Json::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any numeric form).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::U64(v) => Some(v as f64),
+            Json::I64(v) => Some(v as f64),
+            Json::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialises to compact JSON text.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(f) => {
+                if f.is_finite() {
+                    // Keep a marker so integral floats re-parse as F64
+                    // only when precision allows; `{}` prints the
+                    // shortest roundtrip form.
+                    out.push_str(&format!("{f}"));
+                    if f.fract() == 0.0 && f.abs() < 1e15 && !format!("{f}").contains('.') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no Inf/NaN
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, why: &str) -> JsonError {
+        JsonError { at: self.i, why: why.into() }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek().ok_or_else(|| self.err("unexpected end of input"))? {
+            b'n' => self.lit("null", Json::Null),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'"' => self.string().map(Json::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(self.err(&format!("unexpected character {:?}", other as char))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            let c = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let e = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.i += 1;
+                                    self.eat(b'u')?;
+                                    let lo = self.hex4()?;
+                                    let c =
+                                        0x10000 + ((cp - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                    char::from_u32(c)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            s.push(ch.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c if c < 0x20 => return Err(self.err("raw control character in string")),
+                c if c < 0x80 => s.push(c as char),
+                _ => {
+                    // Re-decode the multi-byte UTF-8 sequence starting
+                    // at i-1 (the input is a &str, so it is valid).
+                    let start = self.i - 1;
+                    let rest = &self.b[start..];
+                    let ch = (1..=rest.len().min(4))
+                        .find_map(|n| {
+                            std::str::from_utf8(&rest[..n]).ok().and_then(|t| t.chars().next())
+                        })
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    self.i = start + ch.len_utf8();
+                    s.push(ch);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.i + 4 > self.b.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.i += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.i += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii");
+        if !fractional {
+            if let Some(stripped) = text.strip_prefix('-') {
+                let v: i64 = stripped
+                    .parse::<i64>()
+                    .map(|v| -v)
+                    .map_err(|_| self.err("integer out of range"))?;
+                return Ok(Json::I64(v));
+            }
+            let v: u64 = text.parse().map_err(|_| self.err("integer out of range"))?;
+            return Ok(Json::U64(v));
+        }
+        let f: f64 = text.parse().map_err(|_| self.err("malformed number"))?;
+        Ok(Json::F64(f))
+    }
+}
+
+/// Builds an object from `(key, value)` pairs (ergonomic constructor
+/// for the job-spec writer).
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for src in ["null", "true", "false", "0", "18446744073709551615", "-42", "0.5", "1e3"] {
+            let v = Json::parse(src).unwrap();
+            let again = Json::parse(&v.to_text()).unwrap();
+            assert_eq!(v, again, "{src}");
+        }
+        assert_eq!(Json::parse("18446744073709551615").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(Json::parse("-42").unwrap(), Json::I64(-42));
+        assert_eq!(Json::parse("1e3").unwrap().as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn structures_roundtrip() {
+        let src = r#"{"a": [1, 2.5, "x\n\"y\""], "b": {"nested": null}, "c": true}"#;
+        let v = Json::parse(src).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("nested"), Some(&Json::Null));
+        let again = Json::parse(&v.to_text()).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let src = r#""café 😀 naïve""#;
+        let v = Json::parse(src).unwrap();
+        assert_eq!(v.as_str(), Some("café 😀 naïve"));
+        assert_eq!(Json::parse(&v.to_text()).unwrap(), v);
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let v = Json::F64(500.0);
+        assert_eq!(v.to_text(), "500.0");
+        assert_eq!(Json::parse("500.0").unwrap(), v);
+        assert_eq!(v.as_f64(), Some(500.0));
+        // And exact integers stay integers.
+        assert_eq!(Json::U64(500).to_text(), "500");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        for src in ["", "{", "[1,", "tru", "\"unterminated", "{\"a\" 1}", "1 2", "{'a':1}"] {
+            assert!(Json::parse(src).is_err(), "{src:?} should fail");
+        }
+    }
+}

@@ -28,6 +28,8 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod json;
 pub mod nodes;
 pub mod procrt;
 pub mod report;
@@ -35,9 +37,16 @@ pub mod runcfg;
 pub mod simrt;
 pub mod threadrt;
 
+pub use api::{
+    Driver, JobFileError, JobSpec, JoinJob, JoinJobBuilder, ReplayTuple, RunError, Runtime,
+    SimDriver, Sink, SinkSpec, Source, SourceArrival, SourceSpec, StreamingSink, TcpDriver,
+    ThreadedDriver,
+};
 pub use nodes::{ChaosKill, NodeConfig, Role};
 pub use procrt::{run_node, NodeOutcome, ProcessConfig};
 pub use report::RunReport;
-pub use runcfg::RunConfig;
+pub use runcfg::{EngineKind, RunConfig};
 pub use simrt::run_sim;
-pub use threadrt::{run_on_transport, run_threaded, ThreadedConfig};
+#[allow(deprecated)]
+pub use threadrt::ThreadedConfig;
+pub use threadrt::{run_on_transport, run_threaded};

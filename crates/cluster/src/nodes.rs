@@ -33,11 +33,15 @@
 //! surviving partitions remain exactly the oracle's, outputs of dead
 //! partitions a sound subset (never a wrong or duplicate pair).
 
+use crate::api::{Source, SourceSpec, StreamingSink};
+use crate::runcfg::EngineKind;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use windjoin_core::probe::ExactEngine;
-use windjoin_core::{GroupState, MasterCore, OutPair, Params, Side, SlaveCore, Tuple, WorkStats};
-use windjoin_gen::{merge_streams, KeyDist, StreamSpec};
+use windjoin_core::probe::{CountedEngine, ExactEngine, ProbeEngine, ScalarEngine};
+use windjoin_core::{
+    GroupState, MasterCore, OutPair, Params, PayloadStore, Residual, SlaveCore, Tuple, WorkStats,
+};
+use windjoin_gen::{KeyDist, RateSchedule};
 use windjoin_metrics::{DelayTracker, TimeSeries};
 use windjoin_net::{Message, NetEvent, TransportEndpoint};
 
@@ -78,6 +82,22 @@ pub struct NodeConfig {
     /// Fault-injection hook for the chaos tests: the selected slave
     /// dies abruptly after processing N batches.
     pub chaos: Option<ChaosKill>,
+    /// Probe engine the slaves run (outputs identical across all
+    /// kinds; `Exact` is the real-time default).
+    pub engine: EngineKind,
+    /// Wire payload width per tuple, bytes. 0 keeps the paper's
+    /// zero-filled 64-byte layout (the bit-identical legacy path); a
+    /// positive width makes real payload bytes flow master → wire →
+    /// slave and reach the residual predicate at probe time.
+    pub payload_bytes: usize,
+    /// Residual predicate composed with the partitioning equi-join.
+    pub residual: Residual,
+    /// Arrival source override; `None` keeps the classic synthetic
+    /// generator pair derived from `rate`/`keys`/`seed`.
+    pub source: Option<SourceSpec>,
+    /// Streaming sink the collector invokes with each incoming output
+    /// batch (in arrival order), in addition to its accounting.
+    pub sink: Option<StreamingSink>,
 }
 
 /// Deterministic fault injection: slave `slave` dies immediately after
@@ -116,7 +136,21 @@ impl NodeConfig {
             heartbeat: Duration::from_millis(500),
             max_missed: 20,
             chaos: None,
+            engine: EngineKind::Exact,
+            payload_bytes: 0,
+            residual: Residual::ALWAYS,
+            source: None,
+            sink: None,
         }
+    }
+
+    /// The arrival source of this run: the explicit override, or the
+    /// classic synthetic pair derived from `rate`/`keys`.
+    pub fn source_spec(&self) -> SourceSpec {
+        self.source.clone().unwrap_or_else(|| SourceSpec::Synthetic {
+            rate: RateSchedule::constant(self.rate),
+            keys: self.keys,
+        })
     }
 
     /// The collector's rank in this topology.
@@ -297,6 +331,7 @@ impl<'a, E: TransportEndpoint> MasterDriver<'a, E> {
                 pid: mv.pid,
                 state: GroupState { buckets: Vec::new() },
                 pending: Vec::new(),
+                payloads: Vec::new(),
             }
             .encode();
             let _ = self.ep.send(1 + mv.to, msg);
@@ -325,20 +360,14 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     // no per-component deep clone.
     let params: Arc<Params> = Arc::new(cfg.params.clone());
     let core = MasterCore::new(Arc::clone(&params), cfg.slaves, cfg.slaves, cfg.seed);
-    let s1 = StreamSpec {
-        rate: windjoin_gen::RateSchedule::constant(cfg.rate),
-        keys: cfg.keys,
-        seed: cfg.seed.wrapping_add(1),
-    }
-    .arrivals(0);
-    let s2 = StreamSpec {
-        rate: windjoin_gen::RateSchedule::constant(cfg.rate),
-        keys: cfg.keys,
-        seed: cfg.seed.wrapping_add(2),
-    }
-    .arrivals(1);
-    let mut gen = merge_streams(vec![s1, s2]);
-    let mut next = gen.next();
+    // One pluggable arrival source per run; the default reproduces the
+    // classic synthetic generator pair byte for byte.
+    let mut src: Box<dyn Source + Send> = cfg.source_spec().open(cfg.seed, cfg.payload_bytes);
+    let mut next = src.next_arrival();
+    // Payload bytes parked between ingest and distribution; each tuple
+    // is distributed exactly once, so sends drain the store.
+    let mut payload_store = PayloadStore::new();
+    let mut pay_scratch: Vec<Vec<u8>> = Vec::new();
 
     let start = Instant::now();
     let td = params.dist_epoch_us;
@@ -375,17 +404,26 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
             // Clamp to the horizon: the ingested arrival set must be a
             // pure function of the seed, not of scheduling jitter.
             let now_us = (start.elapsed().as_micros() as u64).min(run_us_total);
-            while let Some(a) = next {
+            while let Some(a) = next.take() {
                 if a.at_us > now_us {
+                    next = Some(a);
                     break;
                 }
-                let side = if a.stream == 0 { Side::Left } else { Side::Right };
-                md.core.on_arrival(Tuple::new(side, a.at_us, a.key, a.seq));
+                md.core.on_arrival(Tuple::new(a.side, a.at_us, a.key, a.seq));
+                if !a.payload.is_empty() {
+                    payload_store.insert(a.side, a.seq, a.at_us, a.payload);
+                }
                 tuples_in += 1;
-                next = gen.next();
+                next = src.next_arrival();
             }
             for (slave, batch) in md.core.drain_for_slot(slot) {
-                Message::encode_batch_into(&batch, &mut enc_scratch);
+                encode_batch_frame(
+                    cfg,
+                    &batch,
+                    &mut payload_store,
+                    &mut pay_scratch,
+                    &mut enc_scratch,
+                );
                 let _ = ep.send_slice(1 + slave, &enc_scratch);
             }
         }
@@ -438,14 +476,16 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
         md.check_liveness();
     }
     // (1) Ingest every remaining arrival inside the horizon.
-    while let Some(a) = next {
+    while let Some(a) = next.take() {
         if a.at_us > run_us_total {
             break;
         }
-        let side = if a.stream == 0 { Side::Left } else { Side::Right };
-        md.core.on_arrival(Tuple::new(side, a.at_us, a.key, a.seq));
+        md.core.on_arrival(Tuple::new(a.side, a.at_us, a.key, a.seq));
+        if !a.payload.is_empty() {
+            payload_store.insert(a.side, a.seq, a.at_us, a.payload);
+        }
         tuples_in += 1;
-        next = gen.next();
+        next = src.next_arrival();
     }
     // (2) Wait for in-flight partition moves *before* the final drain:
     // `drain_for_slot` withholds tuples of held (moving) partitions,
@@ -465,7 +505,7 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     // planned after the main loop, so nothing re-holds a partition.
     for slot in 0..ng {
         for (slave, batch) in md.core.drain_for_slot(slot) {
-            Message::encode_batch_into(&batch, &mut enc_scratch);
+            encode_batch_frame(cfg, &batch, &mut payload_store, &mut pay_scratch, &mut enc_scratch);
             let _ = ep.send_slice(1 + slave, &enc_scratch);
         }
         while let Some(ev) = ep.try_recv_event() {
@@ -519,13 +559,51 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     }
 }
 
+/// Encodes one distribution batch: the legacy zero-payload frame when
+/// the run carries no payloads (byte-identical to the pre-payload
+/// path), or a payload frame with each tuple's real bytes pulled out
+/// of the master's parking store.
+fn encode_batch_frame(
+    cfg: &NodeConfig,
+    batch: &[Tuple],
+    store: &mut PayloadStore,
+    pays: &mut Vec<Vec<u8>>,
+    enc: &mut Vec<u8>,
+) {
+    if cfg.payload_bytes == 0 {
+        Message::encode_batch_into(batch, enc);
+    } else {
+        pays.clear();
+        pays.extend(
+            batch.iter().map(|t| {
+                store.remove(t.side, t.seq).map(|(_, b)| b.into_vec()).unwrap_or_default()
+            }),
+        );
+        Message::encode_payload_batch_into(batch, pays, cfg.payload_bytes, enc);
+    }
+}
+
 /// Runs slave `index`'s loop on `ep` (rank `index + 1`) until the
 /// master's `Shutdown` (or `Leave`) arrives, beaconing heartbeats and
-/// honouring the chaos fault-injection hook.
+/// honouring the chaos fault-injection hook. Dispatches to the probe
+/// engine the config selects.
 pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) -> SlaveOutcome {
+    match cfg.engine {
+        EngineKind::Scalar => slave_node_with::<ScalarEngine, E>(ep, index, cfg),
+        EngineKind::Exact => slave_node_with::<ExactEngine, E>(ep, index, cfg),
+        EngineKind::Counted => slave_node_with::<CountedEngine, E>(ep, index, cfg),
+    }
+}
+
+fn slave_node_with<Eng: ProbeEngine, E: TransportEndpoint>(
+    ep: &E,
+    index: usize,
+    cfg: &NodeConfig,
+) -> SlaveOutcome {
     let collector_rank = cfg.collector_rank();
     let params: Arc<Params> = Arc::new(cfg.params.clone());
-    let mut core: SlaveCore<ExactEngine> = SlaveCore::new(index, Arc::clone(&params));
+    let mut core: SlaveCore<Eng> = SlaveCore::new(index, Arc::clone(&params));
+    core.set_residual(cfg.residual.clone());
     // Initial round-robin ownership, mirroring the master's map.
     for pid in initial_partitions(&params, cfg.slaves, index) {
         core.create_group(pid);
@@ -537,6 +615,7 @@ pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) 
     // frame-encode buffer all keep their capacity across batches.
     let mut out: Vec<OutPair> = Vec::new();
     let mut batch: Vec<Tuple> = Vec::new();
+    let mut pay_batch: Vec<Vec<u8>> = Vec::new();
     let mut enc_scratch: Vec<u8> = Vec::new();
     let hb = cfg.heartbeat;
     let mut hb_seq = 0u64;
@@ -583,9 +662,19 @@ pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) 
         };
         // Fast path: batches (the per-epoch hot frame) decode into the
         // reused tuple buffer without constructing a `Message`.
-        if Message::decode_batch_into(frame.payload.clone(), &mut batch).expect("slave frame") {
+        let is_batch = if cfg.payload_bytes > 0 {
+            Message::decode_payload_batch_into(frame.payload.clone(), &mut batch, &mut pay_batch)
+                .expect("slave frame")
+        } else {
+            Message::decode_batch_into(frame.payload.clone(), &mut batch).expect("slave frame")
+        };
+        if is_batch {
             let t0 = Instant::now();
-            core.receive_batch_slice(&batch);
+            if cfg.payload_bytes > 0 {
+                core.receive_batch_with_payloads(&batch, &pay_batch);
+            } else {
+                core.receive_batch_slice(&batch);
+            }
             core.process_pending(&mut out, &mut work);
             cpu_us += t0.elapsed().as_micros() as u64;
             core.record_occupancy();
@@ -614,14 +703,17 @@ pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) 
         match Message::decode(frame.payload).expect("slave frame") {
             Message::MoveDirective { pid, to } => {
                 let (state, pending) = core.extract_group(pid, &mut work);
-                let msg = Message::State { pid, state, pending }.encode();
+                // Payloads travel with their partition's window state.
+                let payloads = core.extract_payloads(pid);
+                let msg = Message::State { pid, state, pending, payloads }.encode();
                 let _ = ep.send(1 + to as usize, msg);
             }
             // The recovery-tolerant install: a fresh adoption from the
             // master after a failure, or a regular supplier transfer —
             // an incoming install is authoritative either way.
-            Message::State { pid, state, pending } => {
+            Message::State { pid, state, pending, payloads } => {
                 core.adopt_group(pid, state, pending, &mut work);
+                core.install_payloads(pid, payloads);
                 let _ = ep.send(0, Message::MoveComplete { pid }.encode());
             }
             Message::Leave => {
@@ -667,6 +759,11 @@ pub fn collector_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> Collect
         };
         match Message::decode(frame.payload).expect("collector frame") {
             Message::Outputs(pairs) => {
+                // Streaming delivery first, in arrival order, so a sink
+                // sees results with the lowest added latency.
+                if let Some(sink) = &cfg.sink {
+                    sink.deliver(&pairs);
+                }
                 let emit = start.elapsed().as_micros() as u64;
                 for p in pairs {
                     outputs_total += 1;

@@ -17,6 +17,7 @@
 use crate::nodes::{self, CollectorOutcome, MasterOutcome, NodeConfig, Role, SlaveOutcome};
 use std::net::SocketAddr;
 use std::time::Duration;
+use windjoin_core::ConfigError;
 use windjoin_net::TcpNetwork;
 
 /// One process's slice of a multi-process cluster run.
@@ -50,24 +51,26 @@ impl ProcessConfig {
     }
 
     /// Consistency checks.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.node.params.validate()?;
         if self.node.slaves == 0 {
-            return Err("need at least one slave".into());
+            return Err(ConfigError::NonPositive { field: "node.slaves" });
         }
         if self.peers.len() != self.node.ranks() {
-            return Err(format!(
-                "{} peers but the topology has {} ranks (master + {} slaves + collector)",
-                self.peers.len(),
-                self.node.ranks(),
-                self.node.slaves
-            ));
+            return Err(ConfigError::Topology {
+                why: format!(
+                    "{} peers but the topology has {} ranks (master + {} slaves + collector)",
+                    self.peers.len(),
+                    self.node.ranks(),
+                    self.node.slaves
+                ),
+            });
         }
         if self.rank >= self.peers.len() {
-            return Err(format!("rank {} out of range", self.rank));
+            return Err(ConfigError::Topology { why: format!("rank {} out of range", self.rank) });
         }
         if self.inbox_capacity == 0 {
-            return Err("inbox capacity must be positive".into());
+            return Err(ConfigError::NonPositive { field: "inbox_capacity" });
         }
         Ok(())
     }

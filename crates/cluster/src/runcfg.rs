@@ -1,18 +1,23 @@
 //! Experiment configuration.
 
-use windjoin_core::Params;
+use crate::api::{SourceSpec, StreamingSink};
+use windjoin_core::{ConfigError, Params, Residual};
 use windjoin_gen::{KeyDist, RateSchedule};
 use windjoin_sim::{CostModel, LinkSpec};
 
-/// Which probe engine the simulated slaves run.
+/// Which probe engine the slaves run (every runtime supports all
+/// three; outputs and charged work are identical across them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
-    /// Physical BNLJ scans (`ExactEngine`) — exact *and* slow; for
-    /// small runs and validation.
+    /// The retained tuple-at-a-time reference BNLJ (`ScalarEngine`) —
+    /// the slowest path, kept so equivalence tests can anchor on it.
+    Scalar,
+    /// Physical BNLJ scans via the batched columnar kernel
+    /// (`ExactEngine`) — exact; the real-time runtimes' default.
     Exact,
     /// Indexed discovery with BNLJ-equivalent charging
     /// (`CountedEngine`) — identical outputs and work, tractable at
-    /// paper scale. The default.
+    /// paper scale. The simulator's default.
     Counted,
 }
 
@@ -55,6 +60,18 @@ pub struct RunConfig {
     pub engine: EngineKind,
     /// Collect full output pairs (small runs / tests only).
     pub capture_outputs: bool,
+    /// Residual predicate composed with the equi-join
+    /// ([`Residual::ALWAYS`] reproduces the paper's plain equi-join
+    /// bit-identically). The simulator carries no payload bytes, so
+    /// payload-inspecting predicates see empty payloads here — use the
+    /// threaded or TCP runtime for those.
+    pub residual: Residual,
+    /// Arrival source override; `None` keeps the classic synthetic
+    /// generator pair derived from `rate`/`keys`/`seed`.
+    pub source: Option<SourceSpec>,
+    /// Streaming sink invoked with each emitted output batch, in
+    /// virtual-time order. `None` keeps report-only delivery.
+    pub sink: Option<StreamingSink>,
 }
 
 impl RunConfig {
@@ -76,6 +93,9 @@ impl RunConfig {
             collector_link: LinkSpec::collector_default(),
             engine: EngineKind::Counted,
             capture_outputs: false,
+            residual: Residual::ALWAYS,
+            source: None,
+            sink: None,
         }
     }
 
@@ -95,18 +115,28 @@ impl RunConfig {
     }
 
     /// Basic consistency checks.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.params.validate()?;
         if self.initial_slaves == 0 || self.initial_slaves > self.total_slaves {
-            return Err("initial_slaves must be in [1, total_slaves]".into());
+            return Err(ConfigError::OutOfRange {
+                field: "initial_slaves",
+                constraint: "1 <= initial_slaves <= total_slaves",
+            });
         }
         if self.warmup_us >= self.run_us {
-            return Err("warm-up must end before the run does".into());
+            return Err(ConfigError::Inconsistent {
+                why: format!(
+                    "warm-up ({} us) must end before the run does ({} us)",
+                    self.warmup_us, self.run_us
+                ),
+            });
         }
         if let Some(t) = &self.adaptive_epoch {
             t.validate()?;
             if self.params.ng != 1 {
-                return Err("adaptive epoch currently requires ng = 1".into());
+                return Err(ConfigError::Inconsistent {
+                    why: "adaptive epoch currently requires ng = 1".into(),
+                });
             }
         }
         Ok(())

@@ -22,16 +22,16 @@
 //! Everything observable (join outputs, reorganization decisions,
 //! occupancy metrics) is exact; only time is modelled. See DESIGN.md §3.
 
+use crate::api::{Source, SourceArrival};
 use crate::report::RunReport;
 use crate::runcfg::{EngineKind, RunConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 use windjoin_core::hash::mix64;
-use windjoin_core::probe::{CountedEngine, ExactEngine};
+use windjoin_core::probe::{CountedEngine, ExactEngine, ScalarEngine};
 use windjoin_core::{
-    GroupState, MasterCore, MovePlan, OutPair, ProbeEngine, Side, SlaveCore, Tuple, WorkStats,
+    GroupState, MasterCore, MovePlan, OutPair, ProbeEngine, SlaveCore, Tuple, WorkStats,
 };
-use windjoin_gen::{merge_streams, Arrival, MergedStreams, StreamSpec};
 use windjoin_metrics::{DelayTracker, TimeSeries, UsageSet};
 use windjoin_sim::{Actor, CpuTimeline, CpuWork, Ctx, Link, Sim};
 
@@ -46,6 +46,7 @@ pub fn run_sim(cfg: &RunConfig) -> RunReport {
     match cfg.engine {
         EngineKind::Counted => run_engine::<CountedEngine>(cfg),
         EngineKind::Exact => run_engine::<ExactEngine>(cfg),
+        EngineKind::Scalar => run_engine::<ScalarEngine>(cfg),
     }
 }
 
@@ -101,8 +102,8 @@ struct ClusterSim<E: ProbeEngine> {
     cfg: RunConfig,
     master: MasterCore,
     slaves: Vec<SlaveSim<E>>,
-    gen: MergedStreams,
-    next_arrival: Option<Arrival>,
+    src: Box<dyn Source + Send>,
+    next_arrival: Option<SourceArrival>,
     nic: Link,
     shared: Rc<RefCell<Shared>>,
     scratch: Vec<OutPair>,
@@ -113,20 +114,24 @@ struct ClusterSim<E: ProbeEngine> {
 impl<E: ProbeEngine> ClusterSim<E> {
     fn pull_arrivals(&mut self, now: u64) {
         let mut shared = self.shared.borrow_mut();
-        while let Some(a) = self.next_arrival {
+        while let Some(a) = self.next_arrival.take() {
             if a.at_us > now {
+                self.next_arrival = Some(a);
                 break;
             }
-            let side = if a.stream == 0 { Side::Left } else { Side::Right };
-            self.master.on_arrival(Tuple::new(side, a.at_us, a.key, a.seq));
+            self.master.on_arrival(Tuple::new(a.side, a.at_us, a.key, a.seq));
             shared.tuples_in += 1;
-            self.next_arrival = self.gen.next();
+            self.next_arrival = self.src.next_arrival();
         }
         shared.master_peak_buffer = shared.master_peak_buffer.max(self.master.peak_buffer_bytes());
     }
 
     /// Records outputs emitted at `emit_us`.
     fn emit(&mut self, emit_us: u64) {
+        // Streaming delivery in virtual-time order.
+        if let Some(sink) = &self.cfg.sink {
+            sink.deliver(&self.scratch);
+        }
         let mut shared = self.shared.borrow_mut();
         for p in &self.scratch {
             shared.outputs_total += 1;
@@ -321,9 +326,10 @@ fn run_engine<E: ProbeEngine + 'static>(cfg: &RunConfig) -> RunReport {
         cfg.seed ^ 0x00AD_57E2_0000_0001,
     );
     let mut slaves: Vec<SlaveSim<E>> = (0..cfg.total_slaves)
-        .map(|i| SlaveSim {
-            core: SlaveCore::new(i, std::sync::Arc::clone(&params)),
-            cpu: CpuTimeline::new(),
+        .map(|i| {
+            let mut core = SlaveCore::new(i, std::sync::Arc::clone(&params));
+            core.set_residual(cfg.residual.clone());
+            SlaveSim { core, cpu: CpuTimeline::new() }
         })
         .collect();
     for (slave, pids) in master.initial_assignment() {
@@ -332,12 +338,15 @@ fn run_engine<E: ProbeEngine + 'static>(cfg: &RunConfig) -> RunReport {
         }
     }
 
-    let s1 = StreamSpec { rate: cfg.rate.clone(), keys: cfg.keys, seed: cfg.seed.wrapping_add(1) }
-        .arrivals(0);
-    let s2 = StreamSpec { rate: cfg.rate.clone(), keys: cfg.keys, seed: cfg.seed.wrapping_add(2) }
-        .arrivals(1);
-    let mut gen = merge_streams(vec![s1, s2]);
-    let next_arrival = gen.next();
+    // The source override, or the classic synthetic pair (byte-identical
+    // to the pre-API generator construction). The simulator never
+    // carries wire payloads (RunConfig has no payload width).
+    let src_spec = cfg.source.clone().unwrap_or_else(|| crate::api::SourceSpec::Synthetic {
+        rate: cfg.rate.clone(),
+        keys: cfg.keys,
+    });
+    let mut src = src_spec.open(cfg.seed, 0);
+    let next_arrival = src.next_arrival();
 
     let shared = Rc::new(RefCell::new(Shared {
         delay: DelayTracker::new(cfg.warmup_us),
@@ -361,7 +370,7 @@ fn run_engine<E: ProbeEngine + 'static>(cfg: &RunConfig) -> RunReport {
         cfg: cfg.clone(),
         master,
         slaves,
-        gen,
+        src,
         next_arrival,
         nic: Link::new(cfg.dist_link),
         shared: Rc::clone(&shared),

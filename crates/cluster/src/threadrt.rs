@@ -24,11 +24,15 @@ use windjoin_core::WorkStats;
 use windjoin_metrics::{TimeSeries, UsageSet};
 use windjoin_net::{ChannelNetwork, Transport};
 
-/// Configuration for a threaded run (wall-clock durations).
-///
-/// Alias of the backend-independent [`NodeConfig`]; the historical name
-/// survives because the threaded runtime was the first real-time
-/// driver.
+/// Deprecated alias of the backend-independent [`NodeConfig`]; the
+/// historical name survives one release because the threaded runtime
+/// was the first real-time driver. New code should build jobs through
+/// `windjoin_cluster::api::JoinJob::builder()` (or use [`NodeConfig`]
+/// directly for low-level control).
+#[deprecated(
+    since = "0.2.0",
+    note = "use api::JoinJob::builder() (or NodeConfig directly); this alias will be removed"
+)]
 pub type ThreadedConfig = NodeConfig;
 
 /// Per-inbox frame capacity for the channel backend (also the default
@@ -37,14 +41,14 @@ pub const DEFAULT_INBOX_CAPACITY: usize = 4096;
 
 /// Runs the cluster on real threads over bounded channels; blocks until
 /// completion.
-pub fn run_threaded(cfg: &ThreadedConfig) -> RunReport {
+pub fn run_threaded(cfg: &NodeConfig) -> RunReport {
     let net = ChannelNetwork::new(cfg.ranks(), DEFAULT_INBOX_CAPACITY);
     run_on_transport(cfg, net)
 }
 
 /// Runs the cluster on real threads over any [`Transport`] backend —
 /// one thread per rank, each driving its generic node loop.
-pub fn run_on_transport<T>(cfg: &ThreadedConfig, mut net: T) -> RunReport
+pub fn run_on_transport<T>(cfg: &NodeConfig, mut net: T) -> RunReport
 where
     T: Transport,
     T::Endpoint: 'static,

@@ -14,9 +14,7 @@
 
 use std::collections::HashSet;
 use std::time::Duration;
-use windjoin_cluster::{
-    nodes, run_on_transport, run_threaded, ChaosKill, RunReport, ThreadedConfig,
-};
+use windjoin_cluster::{nodes, run_on_transport, run_threaded, ChaosKill, NodeConfig, RunReport};
 use windjoin_core::hash::partition_of;
 use windjoin_core::{reference_join, OutPair, Side, Tuple};
 use windjoin_gen::{merge_streams, KeyDist, RateSchedule, StreamSpec};
@@ -29,8 +27,8 @@ fn probe_threads_from_env() -> usize {
     std::env::var("WINDJOIN_CHAOS_PROBE_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
 }
 
-fn chaos_cfg() -> ThreadedConfig {
-    let mut cfg = ThreadedConfig::demo(3);
+fn chaos_cfg() -> NodeConfig {
+    let mut cfg = NodeConfig::demo(3);
     cfg.params.sem.w_left_us = 2_000_000;
     cfg.params.sem.w_right_us = 2_000_000;
     cfg.params.probe_threads = probe_threads_from_env();
@@ -48,7 +46,7 @@ fn chaos_cfg() -> ThreadedConfig {
     cfg
 }
 
-fn oracle_pairs(cfg: &ThreadedConfig) -> Vec<OutPair> {
+fn oracle_pairs(cfg: &NodeConfig) -> Vec<OutPair> {
     let spec = |seed| StreamSpec { rate: RateSchedule::constant(cfg.rate), keys: cfg.keys, seed };
     let arrivals: Vec<Tuple> = merge_streams(vec![
         spec(cfg.seed.wrapping_add(1)).arrivals(0),
@@ -66,7 +64,7 @@ fn oracle_pairs(cfg: &ThreadedConfig) -> Vec<OutPair> {
 /// Partitions initially owned by the killed slave — with uniform keys
 /// and low rate there are no suppliers, so no load move ever relocates
 /// a partition and the dead set is exactly the initial assignment.
-fn dead_partitions(cfg: &ThreadedConfig) -> HashSet<u32> {
+fn dead_partitions(cfg: &NodeConfig) -> HashSet<u32> {
     windjoin_cluster::threadrt::initial_partitions(&cfg.params, cfg.slaves, KILLED_SLAVE)
         .into_iter()
         .collect()
@@ -109,7 +107,7 @@ fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T
         .expect("cluster hung after the slave death: kill-safe drain failed")
 }
 
-fn assert_chaos_invariants(cfg: &ThreadedConfig, report: &RunReport) {
+fn assert_chaos_invariants(cfg: &NodeConfig, report: &RunReport) {
     let dead = dead_partitions(cfg);
     let npart = cfg.params.npart;
     assert!(!dead.is_empty());
@@ -266,7 +264,7 @@ fn leave_directive_is_a_clean_goodbye_to_both_sinks() {
 
 /// Equivalent in-process view of the flags passed to `windjoin-node`
 /// below (for the oracle and the dead-partition set).
-fn process_cfg() -> ThreadedConfig {
+fn process_cfg() -> NodeConfig {
     let mut cfg = chaos_cfg();
     cfg.slaves = 2; // 4 ranks: master + 2 slaves + collector
     cfg
@@ -282,7 +280,7 @@ fn artifact_dir() -> std::path::PathBuf {
 /// ports by binding port 0 and retries reservation races itself): rank
 /// 2 (slave 1) crashes after [`KILL_AFTER_BATCHES`] batches. Returns
 /// the collector stdout and the master stderr log.
-fn launch_chaos_cluster(cfg: &ThreadedConfig) -> (String, String) {
+fn launch_chaos_cluster(cfg: &NodeConfig) -> (String, String) {
     use std::process::Command;
     let dir = artifact_dir();
     let out = Command::new(env!("CARGO_BIN_EXE_windjoin-launch"))

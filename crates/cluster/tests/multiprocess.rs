@@ -6,7 +6,7 @@
 
 use std::process::Command;
 use std::time::Duration;
-use windjoin_cluster::{run_threaded, ThreadedConfig};
+use windjoin_cluster::{run_threaded, NodeConfig};
 use windjoin_gen::KeyDist;
 
 const SLAVES: usize = 2;
@@ -18,13 +18,13 @@ const WINDOW_MS: u64 = 2_000;
 
 /// The in-process config equivalent to the flags passed to
 /// `windjoin-node` below (must mirror the binary's parameter mapping).
-fn equivalent_config() -> ThreadedConfig {
+fn equivalent_config() -> NodeConfig {
     let mut params = windjoin_core::Params::default_paper().with_dist_epoch_us(200_000);
     params.sem.w_left_us = WINDOW_MS * 1_000;
     params.sem.w_right_us = WINDOW_MS * 1_000;
     params.reorg_epoch_us = 2_000_000;
     params.npart = 16;
-    let mut cfg = ThreadedConfig::demo(SLAVES);
+    let mut cfg = NodeConfig::demo(SLAVES);
     cfg.params = params;
     cfg.rate = RATE;
     cfg.keys = KeyDist::Uniform { domain: 500 };

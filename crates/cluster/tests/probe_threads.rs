@@ -5,11 +5,11 @@
 //! `windjoin-cluster::nodes` extends to every thread count).
 
 use std::time::Duration;
-use windjoin_cluster::{run_threaded, ThreadedConfig};
+use windjoin_cluster::{run_threaded, NodeConfig};
 use windjoin_core::OutPair;
 
-fn test_cfg(probe_threads: usize) -> ThreadedConfig {
-    let mut cfg = ThreadedConfig::demo(2);
+fn test_cfg(probe_threads: usize) -> NodeConfig {
+    let mut cfg = NodeConfig::demo(2);
     cfg.rate = 400.0;
     cfg.keys = windjoin_gen::KeyDist::Uniform { domain: 300 };
     cfg.run = Duration::from_secs(3);

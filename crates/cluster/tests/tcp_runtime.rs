@@ -6,13 +6,13 @@
 
 use std::collections::HashSet;
 use std::time::Duration;
-use windjoin_cluster::{run_on_transport, run_threaded, RunReport, ThreadedConfig};
+use windjoin_cluster::{run_on_transport, run_threaded, NodeConfig, RunReport};
 use windjoin_core::{reference_join, OutPair, Side, Tuple};
 use windjoin_gen::{merge_streams, KeyDist, RateSchedule, StreamSpec};
 use windjoin_net::TcpNetwork;
 
-fn test_cfg() -> ThreadedConfig {
-    let mut cfg = ThreadedConfig::demo(2);
+fn test_cfg() -> NodeConfig {
+    let mut cfg = NodeConfig::demo(2);
     cfg.rate = 400.0;
     cfg.keys = KeyDist::Uniform { domain: 500 };
     cfg.run = Duration::from_secs(3);
@@ -22,7 +22,7 @@ fn test_cfg() -> ThreadedConfig {
     cfg
 }
 
-fn oracle_pairs(cfg: &ThreadedConfig) -> Vec<OutPair> {
+fn oracle_pairs(cfg: &NodeConfig) -> Vec<OutPair> {
     let spec = |seed| StreamSpec { rate: RateSchedule::constant(cfg.rate), keys: cfg.keys, seed };
     let arrivals: Vec<Tuple> = merge_streams(vec![
         spec(cfg.seed.wrapping_add(1)).arrivals(0),

@@ -5,12 +5,12 @@
 
 use std::collections::HashSet;
 use std::time::Duration;
-use windjoin_cluster::{run_threaded, ThreadedConfig};
+use windjoin_cluster::{run_threaded, NodeConfig};
 use windjoin_core::{reference_join, Side, Tuple};
 use windjoin_gen::{merge_streams, KeyDist, RateSchedule, StreamSpec};
 
-fn test_cfg() -> ThreadedConfig {
-    let mut cfg = ThreadedConfig::demo(2);
+fn test_cfg() -> NodeConfig {
+    let mut cfg = NodeConfig::demo(2);
     cfg.rate = 400.0;
     cfg.keys = KeyDist::Uniform { domain: 500 };
     cfg.run = Duration::from_secs(3);

@@ -156,34 +156,47 @@ impl Params {
     }
 
     /// Validates internal consistency; call after manual field edits.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::ConfigError> {
+        use crate::ConfigError;
         if self.npart == 0 {
-            return Err("npart must be positive".into());
+            return Err(ConfigError::NonPositive { field: "params.npart" });
         }
         if self.tuple_bytes == 0 || self.block_bytes < self.tuple_bytes {
-            return Err("block must hold at least one tuple".into());
+            return Err(ConfigError::OutOfRange {
+                field: "params.block_bytes",
+                constraint: "block must hold at least one tuple",
+            });
         }
         if self.dist_epoch_us == 0 || self.reorg_epoch_us < self.dist_epoch_us {
-            return Err("reorg epoch must be >= distribution epoch".into());
+            return Err(ConfigError::OutOfRange {
+                field: "params.reorg_epoch_us",
+                constraint: "0 < dist_epoch_us <= reorg_epoch_us",
+            });
         }
         if !(0.0..=1.0).contains(&self.th_con)
             || !(0.0..=1.0).contains(&self.th_sup)
             || self.th_con >= self.th_sup
         {
-            return Err("thresholds must satisfy 0 <= Th_con < Th_sup <= 1".into());
+            return Err(ConfigError::OutOfRange {
+                field: "params.th_con",
+                constraint: "0 <= Th_con < Th_sup <= 1",
+            });
         }
         if !(0.0..1.0).contains(&self.beta) || self.beta <= 0.0 {
-            return Err("beta must be in (0, 1)".into());
+            return Err(ConfigError::OutOfRange {
+                field: "params.beta",
+                constraint: "0 < beta < 1",
+            });
         }
         if self.ng == 0 {
-            return Err("ng must be positive".into());
+            return Err(ConfigError::NonPositive { field: "params.ng" });
         }
         if self.probe_threads == 0 {
-            return Err("probe_threads must be at least 1".into());
+            return Err(ConfigError::NonPositive { field: "params.probe_threads" });
         }
         if let Some(t) = &self.tuning {
             if t.theta_blocks == 0 {
-                return Err("theta must be at least one block".into());
+                return Err(ConfigError::NonPositive { field: "params.tuning.theta_blocks" });
             }
         }
         Ok(())

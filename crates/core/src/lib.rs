@@ -54,13 +54,16 @@
 pub mod block;
 pub mod buffer;
 pub mod config;
+pub mod errors;
 pub mod group;
 pub mod hash;
 pub mod master;
 pub mod minigroup;
+pub mod payload;
 pub mod probe;
 pub mod reference;
 pub mod reorg;
+pub mod residual;
 pub mod slave;
 pub mod subgroup;
 pub mod tune_epoch;
@@ -71,12 +74,15 @@ pub mod work;
 pub use block::Block;
 pub use buffer::PartitionedBuffer;
 pub use config::{JoinSemantics, Params, TuningParams};
+pub use errors::ConfigError;
 pub use group::{GroupState, PartitionGroup};
 pub use master::{MasterCore, MasterEvent, MovePlan, RecoveryPlan, ReorgPlan};
 pub use minigroup::MiniGroup;
+pub use payload::{PayloadEntry, PayloadStore};
 pub use probe::{CountedEngine, ExactEngine, ProbeEngine, ScalarEngine};
 pub use reference::reference_join;
 pub use reorg::{classify, decide_dod, decide_membership, pair_moves, DodDecision, NodeClass};
+pub use residual::{MatchCtx, MatchSide, Residual, ResidualPredicate, ResidualSpec};
 pub use slave::SlaveCore;
 pub use subgroup::{master_buffer_bound_bytes, slot_of_slave};
 pub use tune_epoch::EpochTuning;

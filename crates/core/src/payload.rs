@@ -1,0 +1,177 @@
+//! Out-of-band tuple payload storage.
+//!
+//! In-memory [`Tuple`]s stay 32-byte `Copy` values (window state holds
+//! millions); a tuple's payload handle is its identity `(side, seq)`,
+//! and a [`PayloadStore`] resolves handles to bytes wherever payloads
+//! are needed — at the master between ingest and distribution, and at
+//! each slave for residual-predicate evaluation at probe time.
+//!
+//! Stores are pruned by timestamp: a payload is retained exactly as
+//! long as its tuple could still participate in a join (the same
+//! retention horizon the window blocks use), so payload memory is
+//! window-bounded. Runs without payloads never touch a store.
+
+use crate::{Side, Tuple};
+use std::collections::HashMap;
+
+/// `(arrival timestamp, payload bytes)` — what the store keeps per
+/// tuple identity.
+type StoredPayload = (u64, Box<[u8]>);
+
+/// One payload in flight with its tuple identity — the unit shipped
+/// inside partition-group state transfers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PayloadEntry {
+    /// Stream side of the owning tuple.
+    pub side: Side,
+    /// Per-stream sequence number of the owning tuple.
+    pub seq: u64,
+    /// Arrival timestamp of the owning tuple (drives retention).
+    pub t: u64,
+    /// The payload bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A `(side, seq) → payload` map with timestamp-bounded retention.
+#[derive(Debug, Clone, Default)]
+pub struct PayloadStore {
+    map: HashMap<(Side, u64), StoredPayload>,
+}
+
+impl PayloadStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `bytes` for the tuple identified by `(side, seq)`,
+    /// arriving at `t`. A duplicate insert replaces (identities are
+    /// unique per run, so this only happens on recovery re-installs).
+    pub fn insert(&mut self, side: Side, seq: u64, t: u64, bytes: impl Into<Box<[u8]>>) {
+        self.map.insert((side, seq), (t, bytes.into()));
+    }
+
+    /// Stores a transferred entry.
+    pub fn insert_entry(&mut self, e: PayloadEntry) {
+        self.map.insert((e.side, e.seq), (e.t, e.bytes.into()));
+    }
+
+    /// The payload of `(side, seq)`, or the empty slice when none is
+    /// (or is no longer) stored.
+    pub fn get(&self, side: Side, seq: u64) -> &[u8] {
+        self.map.get(&(side, seq)).map(|(_, b)| &b[..]).unwrap_or(&[])
+    }
+
+    /// Removes and returns the payload of one tuple (used by the master
+    /// when a tuple leaves for its slave — each tuple is distributed
+    /// exactly once).
+    pub fn remove(&mut self, side: Side, seq: u64) -> Option<(u64, Box<[u8]>)> {
+        self.map.remove(&(side, seq))
+    }
+
+    /// Extracts the payloads of `tuples` as transferable entries
+    /// (removing them from this store) — the state-mover path: payloads
+    /// travel with their partition-group.
+    pub fn extract_for<'a>(
+        &mut self,
+        tuples: impl IntoIterator<Item = &'a Tuple>,
+    ) -> Vec<PayloadEntry> {
+        let mut out = Vec::new();
+        for t in tuples {
+            if let Some((at, bytes)) = self.map.remove(&(t.side, t.seq)) {
+                out.push(PayloadEntry { side: t.side, seq: t.seq, t: at, bytes: bytes.into() });
+            }
+        }
+        out
+    }
+
+    /// Drops every payload whose tuple timestamp is strictly below
+    /// `cutoff_us` — call with the same retention horizon the window
+    /// uses (`watermark − max window − expiry lag`).
+    pub fn prune_before(&mut self, cutoff_us: u64) {
+        if cutoff_us == 0 || self.map.is_empty() {
+            return;
+        }
+        self.map.retain(|_, (t, _)| *t >= cutoff_us);
+    }
+
+    /// Number of stored payloads.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is stored (the no-payload fast path).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total stored payload bytes (for occupancy diagnostics).
+    pub fn bytes(&self) -> usize {
+        self.map.values().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Drains the whole store into transferable entries, sorted by
+    /// `(side, seq)` so encoded state transfers are deterministic.
+    pub fn into_entries(self) -> Vec<PayloadEntry> {
+        let mut out: Vec<PayloadEntry> = self
+            .map
+            .into_iter()
+            .map(|((side, seq), (t, bytes))| PayloadEntry { side, seq, t, bytes: bytes.into() })
+            .collect();
+        out.sort_unstable_by_key(|e| (e.side, e.seq));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = PayloadStore::new();
+        assert!(s.is_empty());
+        s.insert(Side::Left, 3, 100, vec![1, 2, 3]);
+        s.insert(Side::Right, 3, 200, vec![9]);
+        assert_eq!(s.get(Side::Left, 3), &[1, 2, 3]);
+        assert_eq!(s.get(Side::Right, 3), &[9]);
+        assert_eq!(s.get(Side::Left, 4), &[] as &[u8]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.bytes(), 4);
+        let (t, b) = s.remove(Side::Left, 3).expect("stored");
+        assert_eq!((t, &b[..]), (100, &[1u8, 2, 3][..]));
+        assert!(s.remove(Side::Left, 3).is_none());
+    }
+
+    #[test]
+    fn prune_drops_only_expired() {
+        let mut s = PayloadStore::new();
+        s.insert(Side::Left, 0, 100, vec![1]);
+        s.insert(Side::Left, 1, 200, vec![2]);
+        s.prune_before(200);
+        assert_eq!(s.get(Side::Left, 0), &[] as &[u8]);
+        assert_eq!(s.get(Side::Left, 1), &[2]);
+        // cutoff 0 is the "nothing can be expired yet" fast path.
+        s.prune_before(0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn extract_for_moves_payloads_out() {
+        let mut s = PayloadStore::new();
+        let a = Tuple::new(Side::Left, 10, 7, 0);
+        let b = Tuple::new(Side::Right, 20, 7, 0);
+        let c = Tuple::new(Side::Left, 30, 8, 1); // no payload stored
+        s.insert(a.side, a.seq, a.t, vec![1]);
+        s.insert(b.side, b.seq, b.t, vec![2]);
+        let entries = s.extract_for([&a, &b, &c]);
+        assert_eq!(entries.len(), 2);
+        assert!(s.is_empty());
+        let mut d = PayloadStore::new();
+        for e in entries {
+            d.insert_entry(e);
+        }
+        assert_eq!(d.get(Side::Left, 0), &[1]);
+        assert_eq!(d.get(Side::Right, 0), &[2]);
+    }
+}

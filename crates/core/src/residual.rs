@@ -1,0 +1,259 @@
+//! Residual join predicates: post-match filters composed with the
+//! partitioning equi-join.
+//!
+//! The paper's operator is a pure equi-join on the key attribute `A`.
+//! This module generalises it without breaking hash declustering:
+//! **equality on the key stays the partitioning predicate** (so tuple
+//! routing, window state and the probe engines are untouched), and a
+//! pluggable *residual* predicate filters the equality matches — seeing
+//! both constituents' timestamps, sequence numbers and payload bytes —
+//! before they are emitted. Theta-conditions on payloads and time-band
+//! filters are expressed this way, exactly as index-accelerated stream
+//! joins factor their predicates (equality prefix for routing, residual
+//! for the rest).
+//!
+//! Two layers:
+//!
+//! * [`ResidualSpec`] — a declarative, serialisable description of the
+//!   built-in predicates; what a `JobSpec` carries.
+//! * [`ResidualPredicate`] — the open trait, for programmatic jobs that
+//!   need arbitrary logic; [`Residual::custom`] wraps one.
+//!
+//! [`Residual::ALWAYS`]'s path is free: the slave skips the filter pass
+//! entirely, so equality-only runs stay bit-identical to the
+//! pre-residual engine.
+
+use crate::Side;
+use std::fmt;
+use std::sync::Arc;
+
+/// One constituent of an equality match, as seen by a residual
+/// predicate.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchSide<'a> {
+    /// Arrival timestamp (µs since run start).
+    pub t: u64,
+    /// Per-stream sequence number.
+    pub seq: u64,
+    /// Payload bytes; empty when the run carries no payloads (or the
+    /// payload is no longer retained — payloads live exactly as long as
+    /// their tuple's window state).
+    pub payload: &'a [u8],
+}
+
+/// A full equality match offered to a residual predicate.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchCtx<'a> {
+    /// The shared join-attribute value.
+    pub key: u64,
+    /// The `S1` constituent.
+    pub left: MatchSide<'a>,
+    /// The `S2` constituent.
+    pub right: MatchSide<'a>,
+}
+
+impl MatchCtx<'_> {
+    /// The constituent of `side`.
+    #[inline]
+    pub fn side(&self, side: Side) -> &MatchSide<'_> {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
+    }
+
+    /// Absolute arrival-time gap between the constituents, µs.
+    #[inline]
+    pub fn dt_us(&self) -> u64 {
+        self.left.t.abs_diff(self.right.t)
+    }
+}
+
+/// A pluggable post-match filter.
+///
+/// Implementations must be pure functions of the match (same inputs →
+/// same answer) or the cluster's determinism contract — identical
+/// outputs for every transport, thread count and process layout — no
+/// longer holds.
+pub trait ResidualPredicate: fmt::Debug + Send + Sync {
+    /// Keep this equality match?
+    fn keep(&self, m: &MatchCtx<'_>) -> bool;
+}
+
+/// The built-in, serialisable residual predicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResidualSpec {
+    /// Keep every equality match — the paper's plain equi-join.
+    Always,
+    /// Keep matches whose constituents arrived within `max_dt_us` of
+    /// each other (a *time-band* join: tighter than the windows).
+    TimeBand {
+        /// Maximum |t_left − t_right| in microseconds.
+        max_dt_us: u64,
+    },
+    /// Keep matches whose payloads are byte-identical.
+    PayloadEquals,
+    /// Interpret the first 8 payload bytes of each side as a
+    /// little-endian `u64` (missing bytes read as zero) and keep
+    /// matches whose values differ by at most `max_delta` — a banded
+    /// theta-join on a payload attribute (e.g. price bands).
+    PayloadBandU64 {
+        /// Maximum |value_left − value_right|.
+        max_delta: u64,
+    },
+}
+
+impl ResidualSpec {
+    /// Does this predicate inspect payload bytes? (Payload-blind
+    /// predicates also work on runs — and runtimes — that carry none.)
+    pub fn needs_payload(&self) -> bool {
+        matches!(self, ResidualSpec::PayloadEquals | ResidualSpec::PayloadBandU64 { .. })
+    }
+}
+
+/// First 8 payload bytes as a little-endian u64; absent bytes are zero.
+fn payload_u64(p: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    let n = p.len().min(8);
+    b[..n].copy_from_slice(&p[..n]);
+    u64::from_le_bytes(b)
+}
+
+impl ResidualPredicate for ResidualSpec {
+    fn keep(&self, m: &MatchCtx<'_>) -> bool {
+        match *self {
+            ResidualSpec::Always => true,
+            ResidualSpec::TimeBand { max_dt_us } => m.dt_us() <= max_dt_us,
+            ResidualSpec::PayloadEquals => m.left.payload == m.right.payload,
+            ResidualSpec::PayloadBandU64 { max_delta } => {
+                payload_u64(m.left.payload).abs_diff(payload_u64(m.right.payload)) <= max_delta
+            }
+        }
+    }
+}
+
+/// The residual predicate a slave applies: a built-in spec or a custom
+/// trait object. Cloning is cheap (specs are `Copy`, customs are
+/// `Arc`-shared).
+#[derive(Debug, Clone)]
+pub enum Residual {
+    /// A built-in, serialisable predicate.
+    Spec(ResidualSpec),
+    /// An arbitrary user predicate (programmatic jobs only; cannot be
+    /// written to a job file).
+    Custom(Arc<dyn ResidualPredicate>),
+}
+
+impl Residual {
+    /// The free pass-through predicate.
+    pub const ALWAYS: Residual = Residual::Spec(ResidualSpec::Always);
+
+    /// Wraps a custom predicate.
+    pub fn custom(p: impl ResidualPredicate + 'static) -> Self {
+        Residual::Custom(Arc::new(p))
+    }
+
+    /// True for the pass-through predicate — the slave then skips the
+    /// filter pass entirely (the bit-identical legacy path).
+    pub fn is_always(&self) -> bool {
+        matches!(self, Residual::Spec(ResidualSpec::Always))
+    }
+
+    /// Evaluates the predicate.
+    #[inline]
+    pub fn keep(&self, m: &MatchCtx<'_>) -> bool {
+        match self {
+            Residual::Spec(s) => s.keep(m),
+            Residual::Custom(p) => p.keep(m),
+        }
+    }
+}
+
+impl Default for Residual {
+    fn default() -> Self {
+        Residual::ALWAYS
+    }
+}
+
+impl From<ResidualSpec> for Residual {
+    fn from(s: ResidualSpec) -> Self {
+        Residual::Spec(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(lt: u64, rt: u64, lp: &'a [u8], rp: &'a [u8]) -> MatchCtx<'a> {
+        MatchCtx {
+            key: 7,
+            left: MatchSide { t: lt, seq: 0, payload: lp },
+            right: MatchSide { t: rt, seq: 1, payload: rp },
+        }
+    }
+
+    #[test]
+    fn always_keeps_everything() {
+        assert!(Residual::ALWAYS.keep(&ctx(0, u64::MAX, &[], &[1])));
+        assert!(Residual::ALWAYS.is_always());
+        assert!(!Residual::from(ResidualSpec::PayloadEquals).is_always());
+    }
+
+    #[test]
+    fn time_band_filters_by_gap() {
+        let r = Residual::from(ResidualSpec::TimeBand { max_dt_us: 100 });
+        assert!(r.keep(&ctx(1000, 1100, &[], &[])));
+        assert!(r.keep(&ctx(1100, 1000, &[], &[])));
+        assert!(!r.keep(&ctx(1000, 1101, &[], &[])));
+    }
+
+    #[test]
+    fn payload_equals_compares_bytes() {
+        let r = Residual::from(ResidualSpec::PayloadEquals);
+        assert!(r.keep(&ctx(0, 0, b"abc", b"abc")));
+        assert!(!r.keep(&ctx(0, 0, b"abc", b"abd")));
+        assert!(r.keep(&ctx(0, 0, b"", b"")));
+    }
+
+    #[test]
+    fn payload_band_reads_le_u64_prefix() {
+        let r = Residual::from(ResidualSpec::PayloadBandU64 { max_delta: 5 });
+        let a = 100u64.to_le_bytes();
+        let b = 105u64.to_le_bytes();
+        let c = 106u64.to_le_bytes();
+        assert!(r.keep(&ctx(0, 0, &a, &b)));
+        assert!(!r.keep(&ctx(0, 0, &a, &c)));
+        // Short payloads zero-extend.
+        assert!(r.keep(&ctx(0, 0, &[3], &[4])));
+        assert_eq!(payload_u64(&[1, 0, 0, 0, 0, 0, 0, 0, 99]), 1);
+    }
+
+    #[test]
+    fn custom_predicates_plug_in() {
+        #[derive(Debug)]
+        struct KeyIsEven;
+        impl ResidualPredicate for KeyIsEven {
+            fn keep(&self, m: &MatchCtx<'_>) -> bool {
+                m.key.is_multiple_of(2)
+            }
+        }
+        let r = Residual::custom(KeyIsEven);
+        let mut c = ctx(0, 0, &[], &[]);
+        c.key = 4;
+        assert!(r.keep(&c));
+        c.key = 5;
+        assert!(!r.keep(&c));
+        // Clones share the Arc.
+        let r2 = r.clone();
+        assert!(!r2.keep(&c));
+    }
+
+    #[test]
+    fn needs_payload_is_accurate() {
+        assert!(!ResidualSpec::Always.needs_payload());
+        assert!(!ResidualSpec::TimeBand { max_dt_us: 1 }.needs_payload());
+        assert!(ResidualSpec::PayloadEquals.needs_payload());
+        assert!(ResidualSpec::PayloadBandU64 { max_delta: 1 }.needs_payload());
+    }
+}

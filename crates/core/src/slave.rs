@@ -2,9 +2,10 @@
 //! Fig. 2). Sans-io: the driver feeds batches in and pulls outputs,
 //! occupancy samples and extracted partition states out.
 
+use crate::residual::{MatchCtx, MatchSide};
 use crate::{
     hash::partition_of, GroupState, OutPair, Params, PartitionGroup, PartitionedBuffer,
-    ProbeEngine, Tuple, WorkStats,
+    PayloadEntry, PayloadStore, ProbeEngine, Residual, Side, Tuple, WorkStats,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -19,6 +20,15 @@ pub struct SlaveCore<E: ProbeEngine> {
     buffer: PartitionedBuffer,
     watermark: u64,
     occupancy_samples: Vec<f64>,
+    /// Residual predicate applied to equality matches before emission.
+    /// `Residual::ALWAYS` (the default) skips the filter pass entirely.
+    residual: Residual,
+    /// Per-partition payload stores; populated only on payload-carrying
+    /// runs, pruned with each partition's *local* watermark (the same
+    /// conservative horizon window blocks use, so a partition held
+    /// during a state move never loses payloads its delayed probes may
+    /// still need).
+    payloads: BTreeMap<u32, PayloadStore>,
 }
 
 impl<E: ProbeEngine> SlaveCore<E> {
@@ -36,12 +46,24 @@ impl<E: ProbeEngine> SlaveCore<E> {
             buffer,
             watermark: 0,
             occupancy_samples: Vec::new(),
+            residual: Residual::ALWAYS,
+            payloads: BTreeMap::new(),
         }
     }
 
     /// This slave's identifier (as known to the master).
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Sets the residual predicate applied to equality matches.
+    pub fn set_residual(&mut self, residual: Residual) {
+        self.residual = residual;
+    }
+
+    /// The residual predicate in effect.
+    pub fn residual(&self) -> &Residual {
+        &self.residual
     }
 
     /// Creates an empty partition-group for `pid` (initial assignment).
@@ -77,6 +99,84 @@ impl<E: ProbeEngine> SlaveCore<E> {
         }
     }
 
+    /// [`receive_batch_slice`](Self::receive_batch_slice) for a
+    /// payload-carrying batch: `payloads[i]` belongs to `batch[i]`.
+    /// Payload bytes are stored out of band, keyed by tuple identity,
+    /// in the tuple's partition store — so they travel with the
+    /// partition on state moves and expire with its window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn receive_batch_with_payloads(&mut self, batch: &[Tuple], payloads: &[Vec<u8>]) {
+        assert_eq!(batch.len(), payloads.len(), "payload column misaligned with batch");
+        for (&t, p) in batch.iter().zip(payloads) {
+            let pid = partition_of(t.key, self.params.npart);
+            self.buffer.push(pid, t);
+            if !p.is_empty() {
+                self.payloads.entry(pid).or_default().insert(t.side, t.seq, t.t, p.clone());
+            }
+        }
+    }
+
+    /// The stored payload of one constituent of an equality match
+    /// (empty when the run carries none or it has been pruned). Both
+    /// constituents share the key, hence the partition, hence the store.
+    fn payload_of(&self, key: u64, side: Side, seq: u64) -> &[u8] {
+        match self.payloads.get(&partition_of(key, self.params.npart)) {
+            Some(store) => store.get(side, seq),
+            None => &[],
+        }
+    }
+
+    /// The filter-and-prune pass closing every `process_pending`:
+    /// applies the residual predicate to the matches appended since
+    /// `start`, then prunes each drained partition's payload store with
+    /// that partition's local watermark. Both passes are no-ops on
+    /// plain equi-join runs, keeping the legacy path bit-identical.
+    fn finish_pass(
+        &mut self,
+        out: &mut Vec<OutPair>,
+        start: usize,
+        drained: &[(u32, u64)],
+        work: &mut WorkStats,
+    ) {
+        if !self.residual.is_always() {
+            let mut w = start;
+            for i in start..out.len() {
+                let p = out[i];
+                let ctx = MatchCtx {
+                    key: p.key,
+                    left: MatchSide {
+                        t: p.left.0,
+                        seq: p.left.1,
+                        payload: self.payload_of(p.key, Side::Left, p.left.1),
+                    },
+                    right: MatchSide {
+                        t: p.right.0,
+                        seq: p.right.1,
+                        payload: self.payload_of(p.key, Side::Right, p.right.1),
+                    },
+                };
+                if self.residual.keep(&ctx) {
+                    out[w] = p;
+                    w += 1;
+                }
+            }
+            work.residual_dropped += (out.len() - w) as u64;
+            out.truncate(w);
+        }
+        if !self.payloads.is_empty() {
+            let horizon = self.params.sem.w_left_us.max(self.params.sem.w_right_us)
+                + self.params.expiry_lag_us;
+            for &(pid, local_watermark) in drained {
+                if let Some(store) = self.payloads.get_mut(&pid) {
+                    store.prune_before(local_watermark.saturating_sub(horizon));
+                }
+            }
+        }
+    }
+
     /// Processes everything buffered: per partition (ascending id),
     /// inserts tuples in arrival order — probing, sealing, expiring and
     /// fine-tuning as it goes — then flushes and expires each touched
@@ -106,12 +206,15 @@ impl<E: ProbeEngine> SlaveCore<E> {
     /// Panics if tuples are buffered for a partition this slave does not
     /// own — a protocol violation by the driver/master.
     pub fn process_pending(&mut self, out: &mut Vec<OutPair>, work: &mut WorkStats) {
+        let start = out.len();
         let pids = self.buffer.non_empty_partitions();
         let threads = self.params.probe_threads.min(pids.len());
         if threads > 1 {
-            self.process_pending_parallel(&pids, threads, out, work);
+            let drained = self.process_pending_parallel(&pids, threads, out, work);
+            self.finish_pass(out, start, &drained, work);
             return;
         }
+        let mut drained: Vec<(u32, u64)> = Vec::with_capacity(pids.len());
         for pid in pids {
             let tuples = self.buffer.drain_partition(pid);
             let group = self.groups.get_mut(&pid).unwrap_or_else(|| {
@@ -125,7 +228,9 @@ impl<E: ProbeEngine> SlaveCore<E> {
             self.watermark = self.watermark.max(local_watermark);
             group.flush_all(out, work);
             group.expire_and_tune(local_watermark, out, work);
+            drained.push((pid, local_watermark));
         }
+        self.finish_pass(out, start, &drained, work);
     }
 
     /// The worker-pool drain: one job per non-empty partition, claimed
@@ -138,7 +243,7 @@ impl<E: ProbeEngine> SlaveCore<E> {
         threads: usize,
         out: &mut Vec<OutPair>,
         work: &mut WorkStats,
-    ) {
+    ) -> Vec<(u32, u64)> {
         struct Job<'a, E: ProbeEngine> {
             tuples: Vec<Tuple>,
             group: &'a mut PartitionGroup<E>,
@@ -190,12 +295,15 @@ impl<E: ProbeEngine> SlaveCore<E> {
             }
         });
 
-        for slot in jobs {
+        let mut drained: Vec<(u32, u64)> = Vec::with_capacity(jobs.len());
+        for (slot, &pid) in jobs.into_iter().zip(pids) {
             let job = slot.into_inner().expect("workers finished");
             out.extend_from_slice(&job.out);
             work.add(&job.work);
             self.watermark = self.watermark.max(job.watermark);
+            drained.push((pid, job.watermark));
         }
+        drained
     }
 
     /// Records one buffer-occupancy sample (driver calls this at the end
@@ -227,6 +335,26 @@ impl<E: ProbeEngine> SlaveCore<E> {
         let pending = self.buffer.drain_partition(pid);
         work.tuples_moved += pending.len() as u64;
         (group.extract_state(work), pending)
+    }
+
+    /// Extracts partition `pid`'s payload store as transferable entries
+    /// — call alongside [`extract_group`](Self::extract_group) so
+    /// payloads travel with their partition's window state. Empty on
+    /// payload-free runs.
+    pub fn extract_payloads(&mut self, pid: u32) -> Vec<PayloadEntry> {
+        self.payloads.remove(&pid).map(PayloadStore::into_entries).unwrap_or_default()
+    }
+
+    /// Installs transferred payload entries for partition `pid` — the
+    /// receiving half of [`extract_payloads`](Self::extract_payloads).
+    pub fn install_payloads(&mut self, pid: u32, entries: Vec<PayloadEntry>) {
+        if entries.is_empty() {
+            return;
+        }
+        let store = self.payloads.entry(pid).or_default();
+        for e in entries {
+            store.insert_entry(e);
+        }
     }
 
     /// Installs a transferred partition (§IV-C). Pending tuples carried
@@ -271,8 +399,10 @@ impl<E: ProbeEngine> SlaveCore<E> {
         if replaced {
             // Buffered tuples of the stale ownership era die with it —
             // the master already charged that era as lost, and a clean
-            // cut keeps "what survived" easy to reason about.
+            // cut keeps "what survived" easy to reason about. Their
+            // payloads go the same way.
             let _ = self.buffer.drain_partition(pid);
+            let _ = self.payloads.remove(&pid);
         }
         self.install_group(pid, state, pending, work);
         replaced
@@ -537,6 +667,91 @@ mod tests {
         let mut out = Vec::new();
         let mut work = WorkStats::default();
         s.process_pending(&mut out, &mut work);
+    }
+
+    #[test]
+    fn residual_filter_drops_matches_and_counts_them() {
+        use crate::ResidualSpec;
+        let mut s = slave_with_all_partitions();
+        s.set_residual(ResidualSpec::TimeBand { max_dt_us: 50 }.into());
+        s.receive_batch(vec![
+            Tuple::new(Side::Left, 100, 5, 0),
+            Tuple::new(Side::Right, 140, 5, 0), // dt = 40: kept
+            Tuple::new(Side::Right, 200, 5, 1), // dt = 100: dropped
+        ]);
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        s.process_pending(&mut out, &mut work);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].right, (140, 0));
+        assert_eq!(work.residual_dropped, 1);
+        assert_eq!(work.emitted, 2, "engine-level emission is pre-filter");
+    }
+
+    #[test]
+    fn payloads_reach_the_residual_predicate_and_survive_moves() {
+        use crate::ResidualSpec;
+        let p = small_params();
+        let key = 5u64;
+        let pid = partition_of(key, p.npart);
+        let run = |move_first: bool| {
+            let mut a: SlaveCore<CountedEngine> = SlaveCore::new(0, p.clone());
+            for g in 0..p.npart {
+                a.create_group(g);
+            }
+            a.set_residual(ResidualSpec::PayloadEquals.into());
+            // Two stored left tuples, one matching payload.
+            a.receive_batch_with_payloads(
+                &[Tuple::new(Side::Left, 100, key, 0), Tuple::new(Side::Left, 110, key, 1)],
+                &[b"aa".to_vec(), b"bb".to_vec()],
+            );
+            let mut out = Vec::new();
+            let mut work = WorkStats::default();
+            a.process_pending(&mut out, &mut work);
+            assert!(out.is_empty());
+
+            let mut target = if move_first {
+                // Move the partition (state + payloads) to a new slave.
+                let (state, pending) = a.extract_group(pid, &mut work);
+                let entries = a.extract_payloads(pid);
+                assert_eq!(entries.len(), 2);
+                let mut b: SlaveCore<CountedEngine> = SlaveCore::new(1, p.clone());
+                b.set_residual(ResidualSpec::PayloadEquals.into());
+                b.install_group(pid, state, pending, &mut work);
+                b.install_payloads(pid, entries);
+                b
+            } else {
+                a
+            };
+            target.receive_batch_with_payloads(
+                &[Tuple::new(Side::Right, 200, key, 0)],
+                &[b"bb".to_vec()],
+            );
+            target.process_pending(&mut out, &mut work);
+            (out, work)
+        };
+        for move_first in [false, true] {
+            let (out, work) = run(move_first);
+            assert_eq!(out.len(), 1, "move_first={move_first}");
+            assert_eq!(out[0].left, (110, 1), "only the payload-equal pair survives");
+            assert_eq!(work.residual_dropped, 1);
+        }
+    }
+
+    #[test]
+    fn payload_stores_prune_with_the_window() {
+        let mut s = slave_with_all_partitions(); // 1 s windows, no lag
+        s.receive_batch_with_payloads(&[Tuple::new(Side::Left, 1_000, 5, 0)], &[vec![7u8; 16]]);
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        s.process_pending(&mut out, &mut work);
+        let pid = partition_of(5, s.params().npart);
+        assert_eq!(s.payload_of(5, Side::Left, 0), &[7u8; 16][..]);
+        // Advance the same partition far past the window.
+        s.receive_batch_with_payloads(&[Tuple::new(Side::Right, 100_000_000, 5, 0)], &[vec![1]]);
+        s.process_pending(&mut out, &mut work);
+        assert_eq!(s.payload_of(5, Side::Left, 0), &[] as &[u8], "expired payload pruned");
+        assert_eq!(s.extract_payloads(pid).len(), 1, "the fresh payload survives");
     }
 
     #[test]

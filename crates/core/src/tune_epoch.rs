@@ -47,15 +47,24 @@ impl Default for EpochTuning {
 
 impl EpochTuning {
     /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::ConfigError> {
         if self.min_us == 0 || self.min_us > self.max_us {
-            return Err("need 0 < min_us <= max_us".into());
+            return Err(crate::ConfigError::OutOfRange {
+                field: "epoch_tuning.min_us",
+                constraint: "0 < min_us <= max_us",
+            });
         }
         if self.comm_low >= self.comm_high || self.comm_low.is_nan() || self.comm_high.is_nan() {
-            return Err("need comm_low < comm_high".into());
+            return Err(crate::ConfigError::OutOfRange {
+                field: "epoch_tuning.comm_low",
+                constraint: "comm_low < comm_high",
+            });
         }
         if self.step <= 1.0 {
-            return Err("step must exceed 1".into());
+            return Err(crate::ConfigError::OutOfRange {
+                field: "epoch_tuning.step",
+                constraint: "step > 1",
+            });
         }
         Ok(())
     }

@@ -28,6 +28,10 @@ pub struct WorkStats {
     /// horizon (max window + expiry lag) at failure time — everything
     /// older had already expired and was never going to join again.
     pub tuples_lost: u64,
+    /// Equality matches the residual predicate rejected. Always zero on
+    /// plain equi-join runs (`Residual::ALWAYS` skips the filter pass),
+    /// so legacy `WorkStats` comparisons stay bit-identical.
+    pub residual_dropped: u64,
 }
 
 impl WorkStats {
@@ -41,6 +45,7 @@ impl WorkStats {
         self.tuples_moved += other.tuples_moved;
         self.groups_lost += other.groups_lost;
         self.tuples_lost += other.tuples_lost;
+        self.residual_dropped += other.residual_dropped;
     }
 
     /// True when nothing was counted.

@@ -50,6 +50,17 @@ impl RateSchedule {
     pub fn max_rate(&self) -> f64 {
         self.steps.iter().map(|s| s.1).fold(0.0, f64::max)
     }
+
+    /// The underlying `(from_us, rate)` steps — for serialising a
+    /// schedule into a job description.
+    pub fn as_steps(&self) -> &[(u64, f64)] {
+        &self.steps
+    }
+
+    /// True when the schedule is a single constant rate.
+    pub fn is_constant(&self) -> bool {
+        self.steps.len() == 1
+    }
 }
 
 /// An infinite iterator of Poisson arrival times (microseconds).

@@ -2,16 +2,29 @@
 //! binary codec so the threaded runtime exchanges machine-independent
 //! bytes end to end (§IV-B), not Rust objects.
 
-use crate::wire::{decode_batch, decode_batch_into, encode_batch_into, Tagging, WireError};
+use crate::wire::{
+    decode_batch, decode_batch_into, decode_batch_payload_into, encode_batch_into,
+    encode_batch_payload_into, Tagging, WireError,
+};
 use bytes::{Buf, BufMut, Bytes};
 use windjoin_core::group::BucketState;
-use windjoin_core::{GroupState, OutPair, Side, Tuple};
+use windjoin_core::{GroupState, OutPair, PayloadEntry, Side, Tuple};
 
 /// Everything that travels between nodes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Master → slave: the epoch's merged tuple batch (§IV-B).
     Batch(Vec<Tuple>),
+    /// Master → slave: a payload-carrying batch — `payloads[i]` belongs
+    /// to `tuples[i]`, every payload exactly `width` bytes on the wire.
+    PayloadBatch {
+        /// The merged batch.
+        tuples: Vec<Tuple>,
+        /// Aligned payload column.
+        payloads: Vec<Vec<u8>>,
+        /// Fixed per-tuple payload width, bytes.
+        width: u32,
+    },
     /// Slave → master: average buffer occupancy over the closing
     /// reorganization epoch (§IV-C).
     Occupancy(f64),
@@ -31,6 +44,10 @@ pub enum Message {
         state: GroupState,
         /// Pending buffered tuples travelling with the state.
         pending: Vec<Tuple>,
+        /// Payload entries of the moved tuples (empty on payload-free
+        /// runs — the frame then encodes byte-identically to the
+        /// pre-payload format).
+        payloads: Vec<PayloadEntry>,
     },
     /// Consumer → master: the move of `pid` finished; release its tuples.
     MoveComplete {
@@ -74,6 +91,9 @@ const K_HEARTBEAT: u8 = 8;
 const K_LEAVE: u8 = 9;
 const K_GOODBYE: u8 = 10;
 const K_DEAD: u8 = 11;
+const K_PBATCH: u8 = 12;
+/// A `State` frame with a trailing payload-entry section.
+const K_STATE_P: u8 = 13;
 
 fn put_tuples(buf: &mut Vec<u8>, tuples: &[Tuple]) {
     // Reserve the length slot, encode in place, patch the length —
@@ -111,6 +131,46 @@ fn put_pair(buf: &mut Vec<u8>, p: &OutPair) {
     buf.put_u64_le(p.right.1);
 }
 
+fn put_payload_entries(buf: &mut Vec<u8>, entries: &[PayloadEntry]) {
+    buf.put_u32_le(entries.len() as u32);
+    for e in entries {
+        buf.put_u8(e.side.index() as u8);
+        buf.put_u64_le(e.seq);
+        buf.put_u64_le(e.t);
+        buf.put_u32_le(e.bytes.len() as u32);
+        buf.put_slice(&e.bytes);
+    }
+}
+
+fn get_payload_entries(buf: &mut Bytes) -> Result<Vec<PayloadEntry>, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    // Untrusted count: each entry needs >= 21 bytes.
+    let mut entries = Vec::with_capacity(n.min(buf.remaining() / 21));
+    for _ in 0..n {
+        if buf.remaining() < 21 {
+            return Err(WireError::Truncated);
+        }
+        let side = match buf.get_u8() {
+            0 => Side::Left,
+            1 => Side::Right,
+            other => return Err(WireError::BadSide(other)),
+        };
+        let seq = buf.get_u64_le();
+        let t = buf.get_u64_le();
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        let mut bytes = vec![0u8; len];
+        buf.copy_to_slice(&mut bytes);
+        entries.push(PayloadEntry { side, seq, t, bytes });
+    }
+    Ok(entries)
+}
+
 fn get_pair(buf: &mut Bytes) -> Result<OutPair, WireError> {
     if buf.remaining() < 40 {
         return Err(WireError::Truncated);
@@ -137,6 +197,9 @@ impl Message {
         buf.clear();
         match self {
             Message::Batch(tuples) => Self::encode_batch_into(tuples, buf),
+            Message::PayloadBatch { tuples, payloads, width } => {
+                Self::encode_payload_batch_into(tuples, payloads, *width as usize, buf)
+            }
             Message::Occupancy(f) => {
                 buf.put_u8(K_OCC);
                 buf.put_f64_le(*f);
@@ -146,8 +209,11 @@ impl Message {
                 buf.put_u32_le(*pid);
                 buf.put_u32_le(*to);
             }
-            Message::State { pid, state, pending } => {
-                buf.put_u8(K_STATE);
+            Message::State { pid, state, pending, payloads } => {
+                // Payload-free transfers keep the pre-payload frame
+                // byte-for-byte; payload-carrying ones append an entry
+                // section under a distinct kind byte.
+                buf.put_u8(if payloads.is_empty() { K_STATE } else { K_STATE_P });
                 buf.put_u32_le(*pid);
                 buf.put_u32_le(state.buckets.len() as u32);
                 for b in &state.buckets {
@@ -159,6 +225,9 @@ impl Message {
                     put_tuples(buf, &b.right);
                 }
                 put_tuples(buf, pending);
+                if !payloads.is_empty() {
+                    put_payload_entries(buf, payloads);
+                }
             }
             Message::MoveComplete { pid } => {
                 buf.put_u8(K_DONE);
@@ -191,6 +260,61 @@ impl Message {
         buf.clear();
         buf.put_u8(K_BATCH);
         put_tuples(buf, tuples);
+    }
+
+    /// Encodes a [`Message::PayloadBatch`] frame straight from aligned
+    /// tuple/payload slices (no `Message` construction, no buffer
+    /// allocation) — the payload-carrying counterpart of
+    /// [`Message::encode_batch_into`].
+    pub fn encode_payload_batch_into(
+        tuples: &[Tuple],
+        payloads: &[Vec<u8>],
+        width: usize,
+        buf: &mut Vec<u8>,
+    ) {
+        buf.clear();
+        buf.put_u8(K_PBATCH);
+        let slot = buf.len();
+        buf.put_u32_le(0);
+        let body_start = buf.len();
+        encode_batch_payload_into(tuples, payloads, width, buf);
+        let body_len = (buf.len() - body_start) as u32;
+        buf[slot..slot + 4].copy_from_slice(&body_len.to_le_bytes());
+    }
+
+    /// Fast-path decode of a [`Message::PayloadBatch`] frame into
+    /// reused vectors (cleared first). `Ok(false)` when the frame is
+    /// some other kind — including a plain [`Message::Batch`], which
+    /// decodes with empty payloads so a mixed stream still drains
+    /// through one call site.
+    pub fn decode_payload_batch_into(
+        mut buf: Bytes,
+        out: &mut Vec<Tuple>,
+        payloads: &mut Vec<Vec<u8>>,
+    ) -> Result<bool, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        match buf.chunk()[0] {
+            K_PBATCH => {
+                buf.advance(1);
+                let body = take_tuple_block(&mut buf)?;
+                out.clear();
+                payloads.clear();
+                decode_batch_payload_into(body, out, payloads)?;
+                Ok(true)
+            }
+            K_BATCH => {
+                buf.advance(1);
+                let body = take_tuple_block(&mut buf)?;
+                out.clear();
+                payloads.clear();
+                decode_batch_into(body, out)?;
+                payloads.resize(out.len(), Vec::new());
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
     }
 
     /// Encodes a [`Message::Outputs`] frame straight from a pair slice
@@ -229,6 +353,12 @@ impl Message {
         }
         match buf.get_u8() {
             K_BATCH => Ok(Message::Batch(get_tuples(&mut buf)?)),
+            K_PBATCH => {
+                let body = take_tuple_block(&mut buf)?;
+                let (mut tuples, mut payloads) = (Vec::new(), Vec::new());
+                let width = decode_batch_payload_into(body, &mut tuples, &mut payloads)?;
+                Ok(Message::PayloadBatch { tuples, payloads, width: width as u32 })
+            }
             K_OCC => {
                 if buf.remaining() < 8 {
                     return Err(WireError::Truncated);
@@ -241,7 +371,7 @@ impl Message {
                 }
                 Ok(Message::MoveDirective { pid: buf.get_u32_le(), to: buf.get_u32_le() })
             }
-            K_STATE => {
+            kind @ (K_STATE | K_STATE_P) => {
                 if buf.remaining() < 8 {
                     return Err(WireError::Truncated);
                 }
@@ -263,7 +393,9 @@ impl Message {
                     buckets.push(BucketState { pattern, depth, left, right });
                 }
                 let pending = get_tuples(&mut buf)?;
-                Ok(Message::State { pid, state: GroupState { buckets }, pending })
+                let payloads =
+                    if kind == K_STATE_P { get_payload_entries(&mut buf)? } else { Vec::new() };
+                Ok(Message::State { pid, state: GroupState { buckets }, pending, payloads })
             }
             K_DONE => {
                 if buf.remaining() < 4 {
@@ -341,6 +473,21 @@ mod tests {
                 ],
             },
             pending: vec![Tuple::new(Side::Left, 10, 11, 12)],
+            payloads: Vec::new(),
+        });
+        roundtrip(Message::State {
+            pid: 10,
+            state: GroupState { buckets: Vec::new() },
+            pending: vec![Tuple::new(Side::Right, 1, 2, 3)],
+            payloads: vec![
+                PayloadEntry { side: Side::Left, seq: 3, t: 1, bytes: b"pay".to_vec() },
+                PayloadEntry { side: Side::Right, seq: 9, t: 7, bytes: Vec::new() },
+            ],
+        });
+        roundtrip(Message::PayloadBatch {
+            tuples: vec![Tuple::new(Side::Left, 1, 2, 3), Tuple::new(Side::Right, 4, 5, 6)],
+            payloads: vec![vec![1, 2, 3, 4], vec![0, 0, 0, 9]],
+            width: 4,
         });
         roundtrip(Message::MoveComplete { pid: 4 });
         roundtrip(Message::Outputs(vec![OutPair { key: 1, left: (2, 3), right: (4, 5) }]));
@@ -350,6 +497,48 @@ mod tests {
         roundtrip(Message::Leave);
         roundtrip(Message::Goodbye);
         roundtrip(Message::Dead { slave: 3 });
+    }
+
+    #[test]
+    fn payload_free_state_frame_is_byte_identical_to_legacy() {
+        // The pre-payload decoder knew nothing of K_STATE_P; an empty
+        // payload set must therefore encode under the old kind byte.
+        let m = Message::State {
+            pid: 1,
+            state: GroupState { buckets: Vec::new() },
+            pending: Vec::new(),
+            payloads: Vec::new(),
+        };
+        assert_eq!(m.encode()[0], K_STATE);
+        let with = Message::State {
+            pid: 1,
+            state: GroupState { buckets: Vec::new() },
+            pending: Vec::new(),
+            payloads: vec![PayloadEntry { side: Side::Left, seq: 0, t: 0, bytes: vec![1] }],
+        };
+        assert_eq!(with.encode()[0], K_STATE_P);
+    }
+
+    #[test]
+    fn payload_batch_fast_path_accepts_both_batch_kinds() {
+        let tuples = vec![Tuple::new(Side::Left, 1, 2, 3)];
+        let (mut t, mut p, mut buf) = (Vec::new(), Vec::new(), Vec::new());
+
+        Message::encode_payload_batch_into(&tuples, &[b"abcd".to_vec()], 4, &mut buf);
+        assert!(
+            Message::decode_payload_batch_into(Bytes::from(buf.clone()), &mut t, &mut p).unwrap()
+        );
+        assert_eq!(t, tuples);
+        assert_eq!(p, vec![b"abcd".to_vec()]);
+
+        Message::encode_batch_into(&tuples, &mut buf);
+        assert!(Message::decode_payload_batch_into(Bytes::from(buf), &mut t, &mut p).unwrap());
+        assert_eq!(t, tuples);
+        assert_eq!(p, vec![Vec::<u8>::new()], "legacy batches decode with empty payloads");
+
+        // Non-batch frames fall through.
+        assert!(!Message::decode_payload_batch_into(Message::Shutdown.encode(), &mut t, &mut p)
+            .unwrap());
     }
 
     #[test]

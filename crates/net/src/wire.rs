@@ -29,8 +29,15 @@ use windjoin_core::{Side, Tuple};
 /// Wire size of one tuple (Table I).
 pub const TUPLE_WIRE_BYTES: usize = 64;
 
+/// Bytes of a wire tuple that are *not* payload: timestamp, key,
+/// sequence number and side (the fixed prefix of the layout above).
+pub const TUPLE_HEADER_BYTES: usize = 25;
+
 const HEADER_BYTES: usize = 1 + 4;
 const PUNCT_BYTES: usize = 1 + 4;
+/// Scheme byte of payload-carrying batches (stream-tagged; the payload
+/// width travels in the batch header).
+const PAYLOAD_SCHEME: u8 = 2;
 
 /// Stream-identification scheme for merged batches (§IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,6 +207,83 @@ pub fn decode_batch_into(mut buf: Bytes, out: &mut Vec<Tuple>) -> Result<(), Wir
     Ok(())
 }
 
+/// Encodes a payload-carrying batch: `[scheme=2][count u32][width u32]`
+/// followed by one `25 + width`-byte record per tuple (the 25-byte
+/// fixed prefix of the 64-byte layout, then exactly `width` payload
+/// bytes — truncated or zero-padded from `payloads[i]`). Unlike the
+/// zero-filled legacy layout, the payload region carries **real
+/// bytes**, and its width is the job's payload width rather than a
+/// fixed 39.
+///
+/// # Panics
+///
+/// Panics if `payloads` is not aligned with `tuples`.
+pub fn encode_batch_payload_into(
+    tuples: &[Tuple],
+    payloads: &[Vec<u8>],
+    width: usize,
+    buf: &mut impl BufMut,
+) {
+    assert_eq!(tuples.len(), payloads.len(), "payload column misaligned with batch");
+    buf.put_u8(PAYLOAD_SCHEME);
+    buf.put_u32_le(tuples.len() as u32);
+    buf.put_u32_le(width as u32);
+    for (t, p) in tuples.iter().zip(payloads) {
+        buf.put_u64_le(t.t);
+        buf.put_u64_le(t.key);
+        buf.put_u64_le(t.seq);
+        buf.put_u8(t.side.index() as u8);
+        let n = p.len().min(width);
+        buf.put_slice(&p[..n]);
+        buf.put_bytes(0, width - n);
+    }
+}
+
+/// Decodes a batch produced by [`encode_batch_payload_into`],
+/// appending tuples and their (exactly-`width`) payloads to the
+/// caller's reused vectors. Returns the payload width.
+pub fn decode_batch_payload_into(
+    mut buf: Bytes,
+    out: &mut Vec<Tuple>,
+    payloads: &mut Vec<Vec<u8>>,
+) -> Result<usize, WireError> {
+    if buf.remaining() < HEADER_BYTES + 4 {
+        return Err(WireError::Truncated);
+    }
+    let scheme = buf.get_u8();
+    if scheme != PAYLOAD_SCHEME {
+        return Err(WireError::BadTagScheme(scheme));
+    }
+    let count = buf.get_u32_le() as usize;
+    let width = buf.get_u32_le() as usize;
+    let record = TUPLE_HEADER_BYTES + width;
+    // Untrusted counts: never size allocations beyond the bytes present.
+    out.reserve(count.min(buf.remaining() / record.max(1)));
+    for _ in 0..count {
+        if buf.remaining() < record {
+            return Err(WireError::Truncated);
+        }
+        let t = buf.get_u64_le();
+        let key = buf.get_u64_le();
+        let seq = buf.get_u64_le();
+        let side = match buf.get_u8() {
+            0 => Side::Left,
+            1 => Side::Right,
+            other => return Err(WireError::BadSide(other)),
+        };
+        let mut p = vec![0u8; width];
+        buf.copy_to_slice(&mut p);
+        out.push(Tuple { t, key, seq, side });
+        payloads.push(p);
+    }
+    Ok(width)
+}
+
+/// Exact encoded size of a payload-carrying batch.
+pub fn encoded_payload_batch_bytes(ntuples: usize, width: usize) -> usize {
+    HEADER_BYTES + 4 + ntuples * (TUPLE_HEADER_BYTES + width)
+}
+
 /// Exact encoded size of a batch under a tagging scheme (for link-cost
 /// accounting in the drivers).
 pub fn encoded_batch_bytes(tuples: &[Tuple], tagging: Tagging) -> usize {
@@ -277,6 +361,55 @@ mod tests {
         let cut = b.slice(0..b.len() - 1);
         assert_eq!(decode_batch(cut), Err(WireError::Truncated));
         assert_eq!(decode_batch(Bytes::new()), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn payload_batches_roundtrip_real_bytes() {
+        let tuples = sample();
+        let payloads: Vec<Vec<u8>> = vec![
+            b"abcd".to_vec(),              // exact width
+            b"longer-than-width".to_vec(), // truncated
+            b"x".to_vec(),                 // zero-padded
+            Vec::new(),                    // all zeros
+        ];
+        let mut buf = BytesMut::new();
+        encode_batch_payload_into(&tuples, &payloads, 4, &mut buf);
+        assert_eq!(buf.len(), encoded_payload_batch_bytes(tuples.len(), 4));
+        let (mut t2, mut p2) = (Vec::new(), Vec::new());
+        let width = decode_batch_payload_into(buf.freeze(), &mut t2, &mut p2).unwrap();
+        assert_eq!(width, 4);
+        assert_eq!(t2, tuples);
+        assert_eq!(p2[0], b"abcd");
+        assert_eq!(p2[1], b"long");
+        assert_eq!(p2[2], b"x\0\0\0");
+        assert_eq!(p2[3], b"\0\0\0\0");
+    }
+
+    #[test]
+    fn payload_batch_truncation_and_bad_bytes_are_detected() {
+        let mut buf = BytesMut::new();
+        encode_batch_payload_into(&sample(), &vec![Vec::new(); 4], 8, &mut buf);
+        let b = buf.freeze();
+        let cut = b.slice(0..b.len() - 1);
+        let (mut t, mut p) = (Vec::new(), Vec::new());
+        assert_eq!(decode_batch_payload_into(cut, &mut t, &mut p), Err(WireError::Truncated));
+        // A legacy batch is not a payload batch.
+        let legacy = encode_batch(&sample(), Tagging::StreamTag);
+        let (mut t, mut p) = (Vec::new(), Vec::new());
+        assert_eq!(
+            decode_batch_payload_into(legacy, &mut t, &mut p),
+            Err(WireError::BadTagScheme(0))
+        );
+    }
+
+    #[test]
+    fn zero_width_payload_batch_roundtrips() {
+        let mut buf = BytesMut::new();
+        encode_batch_payload_into(&sample(), &vec![Vec::new(); 4], 0, &mut buf);
+        let (mut t, mut p) = (Vec::new(), Vec::new());
+        decode_batch_payload_into(buf.freeze(), &mut t, &mut p).unwrap();
+        assert_eq!(t, sample());
+        assert!(p.iter().all(Vec::is_empty));
     }
 
     #[test]

@@ -1,43 +1,49 @@
 //! Network-monitoring scenario (one of the paper's §I motivations):
-//! correlate packet summaries observed at two taps to find flows seen at
-//! both within a short window — e.g. ingress/egress correlation.
+//! correlate packet summaries observed at two taps to find flows seen
+//! at both within a short window — e.g. ingress/egress correlation.
 //!
 //! Stream S1 = flow records from tap A, stream S2 = flow records from
 //! tap B; the join attribute is the flow id. A small set of elephant
-//! flows dominates (Zipf), so the fine-grained partition tuning matters:
-//! hot flows split into mini-partition-groups instead of bloating one
-//! scan.
+//! flows dominates (Zipf), so the fine-grained partition tuning
+//! matters: hot flows split into mini-partition-groups instead of
+//! bloating one scan. On top of the equi-join, a `TimeBand` residual
+//! keeps only *near-simultaneous* sightings — tighter than the window,
+//! without touching the partitioning.
 //!
 //! ```text
 //! cargo run --release --example network_monitor
 //! ```
 
 use std::time::Duration;
-use windjoin::cluster::{run_threaded, ThreadedConfig};
-use windjoin::core::Params;
+use windjoin::api::{JoinJob, Runtime};
+use windjoin::core::ResidualSpec;
 use windjoin::gen::KeyDist;
 
 fn main() {
-    // 3 s correlation window: flows must appear at both taps within 3 s.
-    let mut params = Params::default_paper().with_window_secs(3).with_dist_epoch_us(100_000);
-    params.reorg_epoch_us = 1_000_000;
-    params.npart = 24;
+    let job = JoinJob::builder()
+        .runtime(Runtime::Threaded)
+        .slaves(3)
+        .npart(24)
+        .window(Duration::from_secs(3)) // flows must appear at both taps within 3 s
+        .dist_epoch(Duration::from_millis(100))
+        .reorg_epoch(Duration::from_secs(1))
+        .rate(800.0) // flow records per second per tap
+        .keys(KeyDist::Zipf { s: 1.1, domain: 50_000 }) // elephant flows
+        .residual(ResidualSpec::TimeBand { max_dt_us: 500_000 }) // within 0.5 s
+        .seed(2024)
+        .run(Duration::from_secs(6))
+        .warmup(Duration::from_secs(2))
+        .build()
+        .expect("valid job");
 
-    let mut cfg = ThreadedConfig::demo(3);
-    cfg.params = params;
-    cfg.rate = 800.0; // flow records per second per tap
-    cfg.keys = KeyDist::Zipf { s: 1.1, domain: 50_000 }; // elephant flows
-    cfg.seed = 2024;
-    cfg.run = Duration::from_secs(6);
-    cfg.warmup = Duration::from_secs(2);
-
-    println!("correlating two 800 rec/s taps over a 3 s window on 3 slaves...");
-    let report = run_threaded(&cfg);
+    println!("correlating two 800 rec/s taps (3 s window, 0.5 s band) on 3 slaves...");
+    let report = job.run().expect("cluster run");
 
     let secs = report.window_s();
     println!();
     println!("flow records processed  : {}", report.tuples_in);
     println!("cross-tap correlations  : {}", report.outputs_total);
+    println!("outside the 0.5 s band  : {}", report.work.residual_dropped);
     println!("correlation rate        : {:.0} matches/s", report.outputs as f64 / secs);
     println!("avg detection latency   : {:.1} ms", report.avg_delay_s() * 1e3);
     println!(
@@ -45,5 +51,6 @@ fn main() {
         report.delay.quantile_s(0.99).unwrap_or(0.0) * 1e3
     );
     assert!(report.outputs_total > 0);
+    assert!(report.work.residual_dropped > 0, "the time band filtered something");
     println!("\nok: cross-tap flow correlation ran end to end.");
 }

@@ -1,22 +1,29 @@
-//! Quickstart: a real in-process cluster (1 master, 2 slave threads,
-//! 1 collector) joining two Poisson streams for a few seconds.
+//! Quickstart: describe the join once with `JoinJob::builder()`, run a
+//! real in-process cluster (1 master, 2 slave threads, 1 collector)
+//! joining two Poisson streams for a few seconds.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use std::time::Duration;
-use windjoin::cluster::{run_threaded, ThreadedConfig};
+use windjoin::api::{JoinJob, Runtime};
 
 fn main() {
-    // A laptop-friendly configuration: 5 s windows, 200 ms distribution
-    // epochs, 500 tuples/s per stream, b-model-skewed join keys.
-    let mut cfg = ThreadedConfig::demo(2);
-    cfg.run = Duration::from_secs(5);
-    cfg.warmup = Duration::from_secs(1);
+    // A laptop-friendly job: 5 s windows, 200 ms distribution epochs,
+    // 500 tuples/s per stream, b-model-skewed join keys (the builder's
+    // demo defaults) — on the threaded runtime. Switching to
+    // `Runtime::Sim` or `Runtime::Tcp` is a one-line change.
+    let job = JoinJob::builder()
+        .runtime(Runtime::Threaded)
+        .slaves(2)
+        .run(Duration::from_secs(5))
+        .warmup(Duration::from_secs(1))
+        .build()
+        .expect("valid job");
 
-    println!("running a 2-slave threaded cluster for {:?}...", cfg.run);
-    let report = run_threaded(&cfg);
+    println!("running a 2-slave threaded cluster for 5 s...");
+    let report = job.run().expect("cluster run");
 
     println!();
     println!("tuples generated       : {}", report.tuples_in);

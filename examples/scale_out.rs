@@ -1,27 +1,43 @@
 //! Adaptive degree-of-declustering demo (§V-A): the arrival rate steps
 //! up and back down; the master grows the active slave set while
 //! suppliers outnumber consumers and shrinks it when every node idles.
+//! Same `JoinJob` surface as every other example — only the runtime
+//! (`Sim`) and the rate schedule differ.
 //!
 //! ```text
 //! cargo run --release --example scale_out
 //! ```
 
-use windjoin::cluster::{run_sim, RunConfig};
+use std::time::Duration;
+use windjoin::api::{JoinJob, Runtime};
+use windjoin::core::Params;
 use windjoin::gen::{KeyDist, RateSchedule};
 
 fn main() {
-    let mut cfg = RunConfig::paper_default(1).scaled_down(180, 10, 20);
-    cfg.total_slaves = 6; // provisioned pool the master may draw from
-    cfg.initial_slaves = 1;
-    cfg.adaptive_dod = true;
-    cfg.keys = KeyDist::Uniform { domain: 100_000 };
-    cfg.params.reorg_epoch_us = 5_000_000;
-    // Load profile: quiet → burst → quiet.
-    cfg.rate = RateSchedule::steps(vec![(0, 500.0), (40_000_000, 8_000.0), (120_000_000, 500.0)]);
+    let job = JoinJob::builder()
+        .runtime(Runtime::Sim)
+        .params(Params::default_paper()) // Table I, then scaled down below
+        .slaves(1) // initially active
+        .total_slaves(6) // provisioned pool the master may draw from
+        .adaptive_dod(true)
+        .keys(KeyDist::Uniform { domain: 100_000 })
+        // Load profile: quiet → burst → quiet.
+        .rate_schedule(RateSchedule::steps(vec![
+            (0, 500.0),
+            (40_000_000, 8_000.0),
+            (120_000_000, 500.0),
+        ]))
+        .window(Duration::from_secs(20))
+        .reorg_epoch(Duration::from_secs(5))
+        .seed(0xC1_05_7E_12) // the classic RunConfig::paper_default seed
+        .run(Duration::from_secs(180))
+        .warmup(Duration::from_secs(10))
+        .build()
+        .expect("valid job");
 
     println!("rate profile: 500 t/s -> 8000 t/s (t=40s) -> 500 t/s (t=120s)");
     println!("provisioned slaves: 6, initially active: 1, adaptive declustering ON\n");
-    let report = run_sim(&cfg);
+    let report = job.run().expect("simulated run");
 
     println!("degree of declustering over time (sampled each reorg epoch):");
     for (t_us, degree) in report.dod_trace.iter_means() {

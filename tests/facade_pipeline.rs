@@ -89,4 +89,8 @@ fn facade_reexports_are_wired() {
     let _ = windjoin::cluster::RunConfig::paper_default(2);
     let _ = windjoin::net::TUPLE_WIRE_BYTES;
     let _ = windjoin::baselines::AtrParams { segment_us: 1 };
+    // The unified job API rides on the facade too.
+    let job = windjoin::api::JoinJob::builder().build().expect("demo defaults are valid");
+    let _ = job.spec.to_json();
+    let _ = windjoin::core::ResidualSpec::Always;
 }

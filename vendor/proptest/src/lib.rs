@@ -295,7 +295,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         len: std::ops::Range<usize>,
