@@ -295,6 +295,42 @@ impl fmt::Debug for StreamingSink {
 }
 
 // ---------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------
+
+/// A cooperative cancellation handle for a running job.
+///
+/// Clone the token, attach one copy to the job
+/// ([`JoinJobBuilder::cancel`]) and keep the other; calling
+/// [`CancelToken::cancel`] from any thread makes the master stop
+/// ingesting, truncate the horizon to "now" and run its normal
+/// deterministic flush — a cancelled job still shuts the cluster down
+/// cleanly and reports whatever it produced up to the cancel point.
+///
+/// Only the real-time runtimes observe the token: the simulator runs
+/// in virtual time (a paper-scale run completes in seconds of wall
+/// clock), so cancelling a `Runtime::Sim` job is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Fires the token. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------
 // The job spec
 // ---------------------------------------------------------------------
 
@@ -466,6 +502,7 @@ impl JobSpec {
             residual: Residual::Spec(self.residual),
             source: Some(self.source.clone()),
             sink: None,
+            cancel: None,
         })
     }
 
@@ -507,6 +544,7 @@ pub struct JoinJob {
     pub spec: JobSpec,
     custom_residual: Option<Residual>,
     streaming: Option<StreamingSink>,
+    cancel: Option<CancelToken>,
 }
 
 impl JoinJob {
@@ -518,7 +556,7 @@ impl JoinJob {
     /// A job wrapping an existing spec (no attachments).
     pub fn from_spec(spec: JobSpec) -> Result<JoinJob, ConfigError> {
         spec.validate()?;
-        Ok(JoinJob { spec, custom_residual: None, streaming: None })
+        Ok(JoinJob { spec, custom_residual: None, streaming: None, cancel: None })
     }
 
     /// The residual predicate in effect (custom overrides spec).
@@ -529,6 +567,24 @@ impl JoinJob {
     /// The attached streaming sink, if any.
     pub fn streaming(&self) -> Option<&StreamingSink> {
         self.streaming.as_ref()
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Attaches (or replaces) a streaming sink on an existing job —
+    /// how a service wires an already-validated spec to a live client.
+    pub fn with_streaming(mut self, sink: impl Sink + 'static) -> JoinJob {
+        self.streaming = Some(StreamingSink::new(sink));
+        self
+    }
+
+    /// Attaches (or replaces) a cancellation token on an existing job.
+    pub fn with_cancel(mut self, token: CancelToken) -> JoinJob {
+        self.cancel = Some(token);
+        self
     }
 
     /// Runs the job on its selected [`Runtime`], blocking until the
@@ -624,6 +680,7 @@ fn node_config_with_attachments(job: &JoinJob) -> Result<NodeConfig, ConfigError
     let mut cfg = job.spec.to_node_config()?;
     cfg.residual = job.residual();
     cfg.sink = job.streaming.clone();
+    cfg.cancel = job.cancel.clone();
     Ok(cfg)
 }
 
@@ -637,6 +694,7 @@ pub struct JoinJobBuilder {
     engine_set: bool,
     custom_residual: Option<Residual>,
     streaming: Option<StreamingSink>,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for JoinJobBuilder {
@@ -646,6 +704,7 @@ impl Default for JoinJobBuilder {
             engine_set: false,
             custom_residual: None,
             streaming: None,
+            cancel: None,
         }
     }
 }
@@ -830,6 +889,14 @@ impl JoinJobBuilder {
         self
     }
 
+    /// Attaches a cancellation token: firing it mid-run makes the
+    /// master truncate the horizon and flush cleanly (real-time
+    /// runtimes; the simulator ignores it). Keep a clone to fire.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Validates and produces the job.
     pub fn build(mut self) -> Result<JoinJob, ConfigError> {
         if !self.engine_set {
@@ -843,6 +910,7 @@ impl JoinJobBuilder {
             spec: self.spec,
             custom_residual: self.custom_residual,
             streaming: self.streaming,
+            cancel: self.cancel,
         })
     }
 }
@@ -939,14 +1007,38 @@ fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, JobFileError> {
     field(v, key)?.as_str().ok_or_else(|| JobFileError::Field(format!("{key:?} must be a string")))
 }
 
+/// Rejects unknown object fields: a typo in a hand-edited job file
+/// (`"slave"` for `"slaves"`) must be an error, not a silently ignored
+/// key that leaves the default in place.
+fn check_known(v: &Json, ctx: &str, known: &[&str]) -> Result<(), JobFileError> {
+    if let Json::Obj(fields) = v {
+        for (k, _) in fields {
+            if !known.contains(&k.as_str()) {
+                return Err(JobFileError::Field(format!("unknown field {k:?} in {ctx}")));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn keys_from_json(v: &Json) -> Result<KeyDist, JobFileError> {
     match get_str(v, "kind")? {
-        "uniform" => Ok(KeyDist::Uniform { domain: get_u64(v, "domain")? }),
+        "uniform" => {
+            check_known(v, "keys", &["kind", "domain"])?;
+            Ok(KeyDist::Uniform { domain: get_u64(v, "domain")? })
+        }
         "bmodel" => {
+            check_known(v, "keys", &["kind", "bias", "domain"])?;
             Ok(KeyDist::BModel { bias: get_f64(v, "bias")?, domain: get_u64(v, "domain")? })
         }
-        "zipf" => Ok(KeyDist::Zipf { s: get_f64(v, "s")?, domain: get_u64(v, "domain")? }),
-        "constant" => Ok(KeyDist::Constant { key: get_u64(v, "key")? }),
+        "zipf" => {
+            check_known(v, "keys", &["kind", "s", "domain"])?;
+            Ok(KeyDist::Zipf { s: get_f64(v, "s")?, domain: get_u64(v, "domain")? })
+        }
+        "constant" => {
+            check_known(v, "keys", &["kind", "key"])?;
+            Ok(KeyDist::Constant { key: get_u64(v, "key")? })
+        }
         other => Err(JobFileError::Field(format!("unknown key distribution {other:?}"))),
     }
 }
@@ -1077,7 +1169,8 @@ impl JobSpec {
     }
 
     /// Parses and validates a job file produced by [`JobSpec::to_json`]
-    /// (or written by hand).
+    /// (or written by hand). Unknown fields are rejected — a typo never
+    /// silently falls back to a default.
     pub fn from_json(text: &str) -> Result<JobSpec, JobFileError> {
         let v = Json::parse(text).map_err(JobFileError::Json)?;
         match v.get("schema").and_then(Json::as_str) {
@@ -1088,13 +1181,59 @@ impl JobSpec {
                 )))
             }
         }
+        check_known(
+            &v,
+            "job",
+            &[
+                "schema",
+                "runtime",
+                "slaves",
+                "total_slaves",
+                "run_us",
+                "warmup_us",
+                "seed",
+                "engine",
+                "adaptive_dod",
+                "payload_bytes",
+                "residual",
+                "source",
+                "sink",
+                "heartbeat_us",
+                "max_missed",
+                "params",
+            ],
+        )?;
         let pj = field(&v, "params")?;
+        check_known(
+            pj,
+            "params",
+            &[
+                "w_left_us",
+                "w_right_us",
+                "npart",
+                "tuple_bytes",
+                "block_bytes",
+                "tuning",
+                "dist_epoch_us",
+                "reorg_epoch_us",
+                "slave_buffer_bytes",
+                "th_con",
+                "th_sup",
+                "beta",
+                "ng",
+                "expiry_lag_us",
+                "probe_threads",
+            ],
+        )?;
         let tuning = match field(pj, "tuning")? {
             Json::Null => None,
-            t => Some(TuningParams {
-                theta_blocks: get_u64(t, "theta_blocks")? as usize,
-                max_depth: get_u64(t, "max_depth")? as u8,
-            }),
+            t => {
+                check_known(t, "tuning", &["theta_blocks", "max_depth"])?;
+                Some(TuningParams {
+                    theta_blocks: get_u64(t, "theta_blocks")? as usize,
+                    max_depth: get_u64(t, "max_depth")? as u8,
+                })
+            }
         };
         let params = Params {
             sem: windjoin_core::JoinSemantics {
@@ -1134,10 +1273,20 @@ impl JobSpec {
         };
         let rj = field(&v, "residual")?;
         let residual = match get_str(rj, "kind")? {
-            "always" => ResidualSpec::Always,
-            "time_band" => ResidualSpec::TimeBand { max_dt_us: get_u64(rj, "max_dt_us")? },
-            "payload_equals" => ResidualSpec::PayloadEquals,
+            "always" => {
+                check_known(rj, "residual", &["kind"])?;
+                ResidualSpec::Always
+            }
+            "time_band" => {
+                check_known(rj, "residual", &["kind", "max_dt_us"])?;
+                ResidualSpec::TimeBand { max_dt_us: get_u64(rj, "max_dt_us")? }
+            }
+            "payload_equals" => {
+                check_known(rj, "residual", &["kind"])?;
+                ResidualSpec::PayloadEquals
+            }
             "payload_band_u64" => {
+                check_known(rj, "residual", &["kind", "max_delta"])?;
                 ResidualSpec::PayloadBandU64 { max_delta: get_u64(rj, "max_delta")? }
             }
             other => return Err(JobFileError::Field(format!("unknown residual {other:?}"))),
@@ -1145,6 +1294,7 @@ impl JobSpec {
         let sj = field(&v, "source")?;
         let source = match get_str(sj, "kind")? {
             "synthetic" => {
+                check_known(sj, "source", &["kind", "rate", "keys"])?;
                 let steps = field(sj, "rate")?
                     .as_arr()
                     .ok_or_else(|| JobFileError::Field("\"rate\" must be an array".into()))?
@@ -1186,11 +1336,13 @@ impl JobSpec {
                 }
             }
             "replay" => {
+                check_known(sj, "source", &["kind", "tuples"])?;
                 let tuples = field(sj, "tuples")?
                     .as_arr()
                     .ok_or_else(|| JobFileError::Field("\"tuples\" must be an array".into()))?
                     .iter()
                     .map(|t| {
+                        check_known(t, "replay tuple", &["side", "at_us", "key", "payload_hex"])?;
                         let side = match get_str(t, "side")? {
                             "left" => Side::Left,
                             "right" => Side::Right,

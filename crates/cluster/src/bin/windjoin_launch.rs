@@ -25,8 +25,11 @@
 //!   -- ...                  everything after `--` goes to every rank
 //! ```
 //!
-//! Exit status 0 when the cluster completed (a chaos-killed rank's
-//! expected death is not a failure); the collector's stdout is echoed.
+//! Exit status 0 only when the whole cluster completed: any rank that
+//! exits nonzero fails the launch (and is retried / reported), with two
+//! chaos twists — a `--kill-rank` victim's death is expected, and a
+//! victim that *survives* is itself a failure. The collector's stdout
+//! is echoed on success.
 
 use std::io::Write;
 use std::net::TcpListener;
@@ -193,23 +196,36 @@ fn launch_once(args: &Args, bin: &str) -> Result<String, String> {
 
     let collector_out = collector.wait_with_output().expect("collector wait");
     let mut errors = String::new();
+    let dump_log = |errors: &mut String, rank: usize| {
+        if let Some(dir) = &args.log_dir {
+            if let Ok(log) = std::fs::read_to_string(format!("{dir}/rank{rank}.log")) {
+                errors.push_str(&log);
+            }
+        }
+    };
     for (rank, child) in others.into_iter().enumerate() {
         let out = child.wait_with_output().expect("rank wait");
         // A chaos-killed rank is *supposed* to die hard; anything else
-        // must exit cleanly.
+        // must exit cleanly — and a chaos victim that survives means
+        // the kill never fired, which is just as much a test failure.
         if !out.status.success() && args.kill_rank != Some(rank) {
             errors.push_str(&format!("rank {rank} failed ({}):\n", out.status));
             errors.push_str(&String::from_utf8_lossy(&out.stderr));
-            if let Some(dir) = &args.log_dir {
-                if let Ok(log) = std::fs::read_to_string(format!("{dir}/rank{rank}.log")) {
-                    errors.push_str(&log);
-                }
-            }
+            dump_log(&mut errors, rank);
+        } else if out.status.success() && args.kill_rank == Some(rank) {
+            errors.push_str(&format!(
+                "rank {rank} was marked --kill-rank but exited cleanly \
+                 (--die-after-batches {} never fired):\n",
+                args.die_after_batches
+            ));
+            errors.push_str(&String::from_utf8_lossy(&out.stderr));
+            dump_log(&mut errors, rank);
         }
     }
     if !collector_out.status.success() {
         errors.push_str(&format!("collector failed ({}):\n", collector_out.status));
         errors.push_str(&String::from_utf8_lossy(&collector_out.stderr));
+        dump_log(&mut errors, args.ranks - 1);
     }
     if !errors.is_empty() {
         return Err(errors);

@@ -1,0 +1,67 @@
+//! `windjoin-serve` — the long-running multi-query join service.
+//!
+//! Binds a TCP listener and serves job submissions until killed:
+//!
+//! ```text
+//! windjoin-serve [--listen ADDR] [--max-jobs N] [--max-partitions N]
+//!
+//! --listen ADDR        bind address; port 0 asks the kernel  [127.0.0.1:0]
+//! --max-jobs N         concurrent job cap                    [4]
+//! --max-partitions N   total hash-partition budget           [256]
+//! ```
+//!
+//! Prints `windjoin-serve: listening on ADDR` to stdout once ready (the
+//! line scripts should wait for), then serves forever. Submit jobs with
+//! `windjoin-submit` or any [`windjoin_cluster::serve`] client.
+
+use windjoin_cluster::serve::{AdmissionLimits, Server};
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("windjoin-serve: {msg}");
+    eprintln!("usage: windjoin-serve [--listen ADDR] [--max-jobs N] [--max-partitions N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut limits = AdmissionLimits::default();
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = || {
+            i += 1;
+            argv.get(i).cloned().unwrap_or_else(|| usage_and_exit(&format!("{flag} needs a value")))
+        };
+        match flag {
+            "--listen" => listen = value(),
+            "--max-jobs" => {
+                limits.max_jobs = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--max-jobs expects an integer"));
+            }
+            "--max-partitions" => {
+                limits.max_partitions = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--max-partitions expects an integer"));
+            }
+            "--help" | "-h" => usage_and_exit("serve join jobs over TCP"),
+            other => usage_and_exit(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let server = Server::start(listen.as_str(), limits)
+        .unwrap_or_else(|e| usage_and_exit(&format!("cannot bind {listen}: {e}")));
+    println!("windjoin-serve: listening on {}", server.local_addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "windjoin-serve: admission budget {} jobs / {} partitions",
+        limits.max_jobs, limits.max_partitions
+    );
+    loop {
+        std::thread::park();
+    }
+}

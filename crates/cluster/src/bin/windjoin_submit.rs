@@ -1,0 +1,134 @@
+//! `windjoin-submit` — submit one job to a running `windjoin-serve`.
+//!
+//! ```text
+//! windjoin-submit --connect ADDR (--sql QUERY | --job FILE)
+//!                 [--cancel-after-ms N] [--emit-pairs]
+//!
+//! --connect ADDR       the server's listen address
+//! --sql QUERY          submit this SQL text
+//! --job FILE           submit the JobSpec JSON in FILE
+//! --cancel-after-ms N  request CANCEL N ms after admission
+//! --emit-pairs         print every streamed join pair
+//! ```
+//!
+//! Prints results in the `windjoin-node` collector format so the same
+//! scripts can scrape either (`outputs_total N`, `checksum HEX`, one
+//! `pair key lt lseq rt rseq` line per result with `--emit-pairs`, plus
+//! `cancelled true|false`). Exits 1 on rejection or failure.
+
+use std::time::Duration;
+use windjoin_cluster::serve::{Response, ServeClient, ServeError};
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("windjoin-submit: {msg}");
+    eprintln!(
+        "usage: windjoin-submit --connect ADDR (--sql QUERY | --job FILE) \
+         [--cancel-after-ms N] [--emit-pairs]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("windjoin-submit: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut connect: Option<String> = None;
+    let mut sql: Option<String> = None;
+    let mut job_file: Option<String> = None;
+    let mut cancel_after: Option<Duration> = None;
+    let mut emit_pairs = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = || {
+            i += 1;
+            argv.get(i).cloned().unwrap_or_else(|| usage_and_exit(&format!("{flag} needs a value")))
+        };
+        match flag {
+            "--connect" => connect = Some(value()),
+            "--sql" => sql = Some(value()),
+            "--job" => job_file = Some(value()),
+            "--cancel-after-ms" => {
+                let ms: u64 = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--cancel-after-ms expects an integer"));
+                cancel_after = Some(Duration::from_millis(ms));
+            }
+            "--emit-pairs" => emit_pairs = true,
+            "--help" | "-h" => usage_and_exit("submit a job to windjoin-serve"),
+            other => usage_and_exit(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let connect = connect.unwrap_or_else(|| usage_and_exit("--connect is required"));
+    if sql.is_some() == job_file.is_some() {
+        usage_and_exit("exactly one of --sql or --job is required");
+    }
+
+    let mut client = ServeClient::connect(connect.as_str())
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {connect}: {e}")));
+
+    let submitted = match (&sql, &job_file) {
+        (Some(text), None) => client.submit_sql(text),
+        (None, Some(path)) => {
+            let json = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let spec = windjoin_cluster::JobSpec::from_json(&json)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            client.submit_spec(&spec)
+        }
+        _ => unreachable!("validated above"),
+    };
+    let job = match submitted {
+        Ok(job) => job,
+        Err(ServeError::Rejected { reason, detail }) => {
+            fail(&format!("rejected ({reason:?}): {detail}"))
+        }
+        Err(e) => fail(&e.to_string()),
+    };
+    eprintln!("windjoin-submit: job {job} admitted");
+
+    // Drive the stream by hand (rather than run_to_completion) so the
+    // cancel deadline can fire between frames.
+    let deadline = cancel_after.map(|d| std::time::Instant::now() + d);
+    let mut cancel_sent = false;
+    let summary = loop {
+        if let Some(t) = deadline {
+            if !cancel_sent && std::time::Instant::now() >= t {
+                let (state, outputs) =
+                    client.cancel(job).unwrap_or_else(|e| fail(&format!("cancel: {e}")));
+                eprintln!("windjoin-submit: cancel acknowledged ({state:?}, {outputs} outputs)");
+                cancel_sent = true;
+            }
+        }
+        let event = match client.next_event_timeout(Duration::from_millis(50)) {
+            Ok(Some(r)) => r,
+            Ok(None) => continue,
+            Err(e) => fail(&e.to_string()),
+        };
+        match event {
+            Response::Outputs { pairs, .. } => {
+                if emit_pairs {
+                    for p in &pairs {
+                        println!(
+                            "pair {} {} {} {} {}",
+                            p.key, p.left.0, p.left.1, p.right.0, p.right.1
+                        );
+                    }
+                }
+            }
+            Response::Done { summary, .. } => break summary,
+            Response::Failed { detail, .. } => fail(&format!("job failed: {detail}")),
+            other => fail(&format!("unexpected frame {other:?}")),
+        }
+    };
+
+    println!("outputs_total {}", summary.outputs_total);
+    println!("checksum {:016x}", summary.output_checksum);
+    println!("cancelled {}", summary.cancelled);
+}

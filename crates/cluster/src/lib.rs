@@ -34,13 +34,15 @@ pub mod nodes;
 pub mod procrt;
 pub mod report;
 pub mod runcfg;
+pub mod serve;
 pub mod simrt;
+pub mod sql;
 pub mod threadrt;
 
 pub use api::{
-    Driver, JobFileError, JobSpec, JoinJob, JoinJobBuilder, ReplayTuple, RunError, Runtime,
-    SimDriver, Sink, SinkSpec, Source, SourceArrival, SourceSpec, StreamingSink, TcpDriver,
-    ThreadedDriver,
+    CancelToken, Driver, JobFileError, JobSpec, JoinJob, JoinJobBuilder, ReplayTuple, RunError,
+    Runtime, SimDriver, Sink, SinkSpec, Source, SourceArrival, SourceSpec, StreamingSink,
+    TcpDriver, ThreadedDriver,
 };
 pub use nodes::{ChaosKill, NodeConfig, Role};
 pub use procrt::{run_node, NodeOutcome, ProcessConfig};

@@ -98,6 +98,11 @@ pub struct NodeConfig {
     /// Streaming sink the collector invokes with each incoming output
     /// batch (in arrival order), in addition to its accounting.
     pub sink: Option<StreamingSink>,
+    /// Cooperative cancellation: when the token fires the master stops
+    /// ingesting, truncates the horizon to "now" and runs the normal
+    /// deterministic flush, so a cancelled run still shuts down cleanly
+    /// and reports what it produced. `None` runs to the full horizon.
+    pub cancel: Option<crate::api::CancelToken>,
 }
 
 /// Deterministic fault injection: slave `slave` dies immediately after
@@ -141,6 +146,7 @@ impl NodeConfig {
             residual: Residual::ALWAYS,
             source: None,
             sink: None,
+            cancel: None,
         }
     }
 
@@ -382,8 +388,13 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     let mut next_reorg = tr;
     let mut epoch = 0u64;
     let mut md = MasterDriver::new(ep, cfg, core);
+    // Cooperative cancellation: polled between event-service slices (a
+    // few ms of latency at most), it truncates the run to "now" and
+    // falls through to the identical deterministic flush below.
+    let cancelled = || cfg.cancel.as_ref().is_some_and(|c| c.is_cancelled());
+    let mut cancel_hit = false;
 
-    loop {
+    'run: loop {
         for slot in 0..ng {
             let slot_at = epoch * td + windjoin_core::subgroup::slot_offset_us(slot, ng, td);
             if slot_at >= run_us_total {
@@ -391,6 +402,10 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
             }
             // Service incoming events until the slot time.
             loop {
+                if cancelled() {
+                    cancel_hit = true;
+                    break 'run;
+                }
                 let now_us = start.elapsed().as_micros() as u64;
                 if now_us >= slot_at {
                     break;
@@ -455,21 +470,34 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
             }
             next_reorg += tr;
         }
+        if cancelled() {
+            cancel_hit = true;
+            break;
+        }
         if now_us >= run_us_total {
             break;
         }
     }
 
     // ---- Deterministic final flush -----------------------------------
+    // A cancelled run flushes at the truncated horizon ("now"): every
+    // arrival already ingested still reaches a slave and every derivable
+    // pair still reaches the collector — the output set is simply that
+    // of a shorter run.
+    let flush_us_total = if cancel_hit {
+        (start.elapsed().as_micros() as u64).min(run_us_total)
+    } else {
+        run_us_total
+    };
     // (0) Let the wall clock reach the horizon first: the flush ingests
     // arrivals stamped up to `run`, and emission must never precede a
     // tuple's logical arrival time.
     loop {
         let now_us = start.elapsed().as_micros() as u64;
-        if now_us >= run_us_total {
+        if now_us >= flush_us_total {
             break;
         }
-        let budget = Duration::from_micros((run_us_total - now_us).min(2_000));
+        let budget = Duration::from_micros((flush_us_total - now_us).min(2_000));
         if let Ok(Some(ev)) = ep.recv_event_timeout(budget) {
             md.on_event(ev);
         }
@@ -477,7 +505,7 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     }
     // (1) Ingest every remaining arrival inside the horizon.
     while let Some(a) = next.take() {
-        if a.at_us > run_us_total {
+        if a.at_us > flush_us_total {
             break;
         }
         md.core.on_arrival(Tuple::new(a.side, a.at_us, a.key, a.seq));

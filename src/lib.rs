@@ -61,10 +61,19 @@
 //! (outputs and `WorkStats`) to the pre-API direct paths, enforced by the
 //! `job_api` equivalence tests.
 //!
+//! A job can also be written as **SQL text** ([`sql`]) and submitted to a
+//! long-running **multi-query service** ([`serve`]) that runs many
+//! concurrent jobs under an admission budget and streams each job's
+//! results back over TCP — see the README's "Serving" section.
+//!
 //! ## Crate map
 //!
 //! * [`api`] — the unified job surface: `JoinJob`, `JobSpec`, `Runtime`,
 //!   `Driver`, sources, sinks (re-export of `windjoin_cluster::api`).
+//! * [`sql`] — the streaming-SQL front end: parse
+//!   `SELECT ... JOIN ... WITHIN ...` into a validated `JobSpec`.
+//! * [`serve`] — the `windjoin-serve` service layer: wire protocol,
+//!   server, admission control and the blocking client.
 //! * [`core`] — the paper's contribution: the windowed-join module with
 //!   fine-grained partition tuning, the master/slave/collector protocol
 //!   state machines, residual predicates and payload stores.
@@ -84,6 +93,8 @@
 pub use windjoin_baselines as baselines;
 pub use windjoin_cluster as cluster;
 pub use windjoin_cluster::api;
+pub use windjoin_cluster::serve;
+pub use windjoin_cluster::sql;
 pub use windjoin_core as core;
 pub use windjoin_exthash as exthash;
 pub use windjoin_gen as gen;
