@@ -487,6 +487,7 @@ impl JobSpec {
         Ok(NodeConfig {
             params: self.params.clone(),
             slaves: self.slaves,
+            masters: 1,
             rate,
             keys,
             seed: self.seed,
@@ -496,7 +497,9 @@ impl JobSpec {
             capture_outputs: self.sink == SinkSpec::Capture,
             heartbeat: Duration::from_micros(self.heartbeat_us),
             max_missed: self.max_missed,
-            chaos: None,
+            checkpoint_every: 0,
+            chaos: Vec::new(),
+            chaos_master: None,
             engine: self.engine,
             payload_bytes: self.payload_bytes,
             residual: Residual::Spec(self.residual),

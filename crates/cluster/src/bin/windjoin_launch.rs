@@ -11,7 +11,8 @@
 //! ```text
 //! windjoin-launch --ranks N [options] [-- node flags...]
 //!
-//!   --ranks N               cluster size: master + N-2 slaves + collector
+//!   --ranks N               cluster size: masters + slaves + collector
+//!   --masters M             master ranks (0..M; odd counts) [1]
 //!   --job PATH              serialised JobSpec every rank loads (same as
 //!                           passing `-- --job PATH`); when the file's
 //!                           `slaves` matches, --ranks may be omitted
@@ -19,8 +20,14 @@
 //!   --out PATH              also write the collector stdout to PATH
 //!   --log-dir DIR           capture each rank's stderr to DIR/rank<r>.log
 //!                           (dumped to stderr when the launch fails)
-//!   --kill-rank R           chaos: pass --die-after-batches to rank R
-//!   --die-after-batches N   batches rank R processes before crashing [6]
+//!   --kill-rank R           chaos: crash rank R mid-run — a slave rank
+//!                           gets --die-after-batches, a master rank
+//!                           --die-after-epochs (needs --masters >= 3
+//!                           so a standby can take over)
+//!   --die-after-batches N   batches a victim slave processes before
+//!                           crashing [6]
+//!   --die-after-epochs N    epochs a victim master leads before
+//!                           crashing [3]
 //!   --retries K             full-launch retries on port races [3]
 //!   -- ...                  everything after `--` goes to every rank
 //! ```
@@ -28,8 +35,9 @@
 //! Exit status 0 only when the whole cluster completed: any rank that
 //! exits nonzero fails the launch (and is retried / reported), with two
 //! chaos twists — a `--kill-rank` victim's death is expected, and a
-//! victim that *survives* is itself a failure. The collector's stdout
-//! is echoed on success.
+//! victim that *survives* is itself a failure. (Kill rank 0 for the
+//! master case: it boots as leader, so the kill deterministically
+//! fires.) The collector's stdout is echoed on success.
 
 use std::io::Write;
 use std::net::TcpListener;
@@ -37,21 +45,23 @@ use std::process::{Command, Stdio};
 
 struct Args {
     ranks: usize,
+    masters: usize,
     job: Option<String>,
     bin: Option<String>,
     out: Option<String>,
     log_dir: Option<String>,
     kill_rank: Option<usize>,
     die_after_batches: u64,
+    die_after_epochs: u64,
     retries: usize,
     passthrough: Vec<String>,
 }
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("windjoin-launch: {msg}");
-    eprintln!("usage: windjoin-launch --ranks N [--bin PATH] [--out PATH] [--log-dir DIR]");
-    eprintln!("                       [--kill-rank R [--die-after-batches N]] [--retries K]");
-    eprintln!("                       [-- node flags...]");
+    eprintln!("usage: windjoin-launch --ranks N [--masters M] [--bin PATH] [--out PATH]");
+    eprintln!("                       [--log-dir DIR] [--kill-rank R [--die-after-batches N]");
+    eprintln!("                       [--die-after-epochs N]] [--retries K] [-- node flags...]");
     std::process::exit(2);
 }
 
@@ -59,12 +69,14 @@ fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut args = Args {
         ranks: 0,
+        masters: 1,
         job: None,
         bin: None,
         out: None,
         log_dir: None,
         kill_rank: None,
         die_after_batches: 6,
+        die_after_epochs: 3,
         retries: 3,
         passthrough: Vec::new(),
     };
@@ -79,6 +91,10 @@ fn parse_args() -> Args {
             "--ranks" => {
                 args.ranks =
                     value(&mut i, &flag).parse().unwrap_or_else(|_| usage_and_exit("bad --ranks"))
+            }
+            "--masters" => {
+                args.masters =
+                    value(&mut i, &flag).parse().unwrap_or_else(|_| usage_and_exit("bad --masters"))
             }
             "--job" => args.job = Some(value(&mut i, &flag)),
             "--bin" => args.bin = Some(value(&mut i, &flag)),
@@ -95,6 +111,11 @@ fn parse_args() -> Args {
                 args.die_after_batches = value(&mut i, &flag)
                     .parse()
                     .unwrap_or_else(|_| usage_and_exit("bad --die-after-batches"))
+            }
+            "--die-after-epochs" => {
+                args.die_after_epochs = value(&mut i, &flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("bad --die-after-epochs"))
             }
             "--retries" => {
                 args.retries =
@@ -116,21 +137,39 @@ fn parse_args() -> Args {
                 &std::fs::read_to_string(job)
                     .unwrap_or_else(|e| usage_and_exit(&format!("reading --job {job}: {e}"))),
             ) {
-                Ok(spec) => args.ranks = spec.slaves + 2,
+                Ok(spec) => args.ranks = spec.slaves + args.masters + 1,
                 Err(e) => usage_and_exit(&format!("--job {job}: {e}")),
             }
         }
         args.passthrough.insert(0, "--job".into());
         args.passthrough.insert(1, job.clone());
     }
-    if args.ranks < 3 {
-        usage_and_exit("--ranks must be >= 3 (master, >=1 slave, collector)");
+    if args.masters == 0 {
+        usage_and_exit("--masters must be >= 1");
+    }
+    if args.masters > 1 {
+        // Every rank must agree on the topology; inject the flag once
+        // here instead of requiring it on the node command line.
+        args.passthrough.insert(0, "--masters".into());
+        args.passthrough.insert(1, args.masters.to_string());
+    }
+    if args.ranks < args.masters + 2 {
+        usage_and_exit("--ranks must be >= masters + 2 (masters, >=1 slave, collector)");
     }
     if let Some(r) = args.kill_rank {
-        if r == 0 || r + 1 >= args.ranks {
-            usage_and_exit("--kill-rank must name a slave rank");
+        if r + 1 >= args.ranks {
+            usage_and_exit("--kill-rank must name a master or slave rank, not the collector");
         }
-        if args.die_after_batches == 0 {
+        if r < args.masters {
+            // Killing a master only makes sense when a standby majority
+            // can take over; quorum of 2 cannot survive any death.
+            if args.masters < 3 {
+                usage_and_exit("--kill-rank on a master needs --masters >= 3 for failover");
+            }
+            if args.die_after_epochs == 0 {
+                usage_and_exit("--die-after-epochs must be >= 1");
+            }
+        } else if args.die_after_batches == 0 {
             usage_and_exit("--die-after-batches must be >= 1");
         }
     }
@@ -185,7 +224,11 @@ fn launch_once(args: &Args, bin: &str) -> Result<String, String> {
             .stdout(if rank + 1 == args.ranks { Stdio::piped() } else { Stdio::null() })
             .stderr(stderr_for(rank));
         if args.kill_rank == Some(rank) {
-            cmd.args(["--die-after-batches", &args.die_after_batches.to_string()]);
+            if rank < args.masters {
+                cmd.args(["--die-after-epochs", &args.die_after_epochs.to_string()]);
+            } else {
+                cmd.args(["--die-after-batches", &args.die_after_batches.to_string()]);
+            }
         }
         cmd.spawn().unwrap_or_else(|e| usage_and_exit(&format!("spawning {bin}: {e}")))
     };
@@ -213,10 +256,13 @@ fn launch_once(args: &Args, bin: &str) -> Result<String, String> {
             errors.push_str(&String::from_utf8_lossy(&out.stderr));
             dump_log(&mut errors, rank);
         } else if out.status.success() && args.kill_rank == Some(rank) {
+            let (kf, kv) = if rank < args.masters {
+                ("--die-after-epochs", args.die_after_epochs)
+            } else {
+                ("--die-after-batches", args.die_after_batches)
+            };
             errors.push_str(&format!(
-                "rank {rank} was marked --kill-rank but exited cleanly \
-                 (--die-after-batches {} never fired):\n",
-                args.die_after_batches
+                "rank {rank} was marked --kill-rank but exited cleanly ({kf} {kv} never fired):\n",
             ));
             errors.push_str(&String::from_utf8_lossy(&out.stderr));
             dump_log(&mut errors, rank);

@@ -1,16 +1,20 @@
 //! `windjoin-node` — one rank of a multi-process windjoin cluster.
 //!
-//! Every rank of the topology (master = rank 0, slaves = ranks
-//! `1..=n`, collector = rank `n+1`) runs one instance of this binary
+//! Every rank of the topology (masters = ranks `0..m`, slaves = ranks
+//! `m..m+n`, collector = rank `m+n`) runs one instance of this binary
 //! with the **same** `--peers` list and workload flags; the processes
 //! handshake into a full TCP mesh and then execute the paper's
-//! master/slave/collector protocol over real sockets.
+//! master/slave/collector protocol over real sockets. With
+//! `--masters 1` (the default) this is the classic Fig. 1 topology;
+//! higher odd counts add hot-standby masters with a quorum-replicated
+//! decision log and leader election.
 //!
 //! ```text
 //! windjoin-node --rank <R> --peers <addr0,addr1,...> [workload flags]
 //!
 //! topology     --rank N            this process's rank
 //!              --peers A,B,...     listen address of every rank, by rank
+//!              --masters N         master ranks (use odd counts) [1]
 //! job file     --job PATH          load a serialised JobSpec (the JSON
 //!                                  written by JobSpec::to_json); all
 //!                                  other workload flags override its
@@ -33,8 +37,12 @@
 //! liveness     --heartbeat-ms N    slave beacon interval; 0 off [500]
 //!              --max-missed N      silent beacons before a slave is
 //!                                  declared dead; 0 off     [20]
+//! robustness   --checkpoint-every N  slaves snapshot owned partitions
+//!                                  to a buddy every N batches; 0 off [0]
 //! chaos        --die-after-batches N  (slave ranks only) crash this
 //!                                  process after processing N batches
+//!              --die-after-epochs N  (master ranks only) crash this
+//!                                  process while leading epoch N
 //! transport    --capacity N        inbox frames             [4096]
 //!              --handshake-ms N    mesh dial window         [30000]
 //! output       --emit-pairs       collector prints every join pair
@@ -48,7 +56,7 @@
 use std::net::SocketAddr;
 use std::time::Duration;
 use windjoin_cluster::{
-    run_node, ChaosKill, EngineKind, JobSpec, NodeConfig, NodeOutcome, ProcessConfig,
+    run_node, ChaosKill, EngineKind, JobSpec, MasterKill, NodeConfig, NodeOutcome, ProcessConfig,
 };
 use windjoin_gen::KeyDist;
 
@@ -65,7 +73,7 @@ fn usage_and_exit(msg: &str) -> ! {
     eprintln!("windjoin-node: {msg}");
     eprintln!("usage: windjoin-node --rank <R> --peers <addr0,addr1,...> [flags]");
     eprintln!("run with the same --peers and workload flags on every rank;");
-    eprintln!("rank 0 is the master, ranks 1..=n slaves, rank n+1 the collector.");
+    eprintln!("ranks 0..m are masters, m..m+n slaves, rank m+n the collector.");
     std::process::exit(2);
 }
 
@@ -106,7 +114,10 @@ fn parse_args() -> Args {
     let mut adaptive_dod = false;
     let mut heartbeat_ms: Option<u64> = None;
     let mut max_missed: Option<u32> = None;
+    let mut masters: Option<usize> = None;
+    let mut checkpoint_every: Option<u64> = None;
     let mut die_after_batches: Option<u64> = None;
+    let mut die_after_epochs: Option<u64> = None;
     let mut capacity: Option<usize> = None;
     let mut handshake_ms: Option<u64> = None;
     let mut emit_pairs = false;
@@ -223,11 +234,32 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| usage_and_exit("bad --max-missed")),
                 )
             }
+            "--masters" => {
+                masters = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --masters")),
+                )
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --checkpoint-every")),
+                )
+            }
             "--die-after-batches" => {
                 die_after_batches = Some(
                     value(&mut i, &flag)
                         .parse()
                         .unwrap_or_else(|_| usage_and_exit("bad --die-after-batches")),
+                )
+            }
+            "--die-after-epochs" => {
+                die_after_epochs = Some(
+                    value(&mut i, &flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("bad --die-after-epochs")),
                 )
             }
             "--capacity" => {
@@ -251,10 +283,16 @@ fn parse_args() -> Args {
     }
 
     let Some(rank) = rank else { usage_and_exit("--rank is required") };
-    if peers.len() < 3 {
-        usage_and_exit("--peers needs at least 3 addresses (master, ≥1 slave, collector)");
+    let masters = masters.unwrap_or(1);
+    if masters == 0 {
+        usage_and_exit("--masters must be >= 1");
     }
-    let slaves = peers.len() - 2;
+    if peers.len() < masters + 2 {
+        usage_and_exit(
+            "--peers needs at least masters + 2 addresses (masters, ≥1 slave, collector)",
+        );
+    }
+    let slaves = peers.len() - masters - 1;
 
     // Start from the job file (if given) or the library defaults;
     // flags override field by field, so the CLI is a thin layer over
@@ -339,8 +377,12 @@ fn parse_args() -> Args {
     if let Some(n) = max_missed {
         node.max_missed = n;
     }
+    node.masters = masters;
+    if let Some(n) = checkpoint_every {
+        node.checkpoint_every = n;
+    }
     if let Some(n) = die_after_batches {
-        if rank == 0 || rank + 1 >= peers.len() {
+        if rank < masters || rank + 1 >= peers.len() {
             usage_and_exit("--die-after-batches applies to slave ranks only");
         }
         if n == 0 {
@@ -350,7 +392,14 @@ fn parse_args() -> Args {
         }
         // The chaos kill applies to *this* process: a real crash via
         // process exit, pinned to a protocol point for determinism.
-        node.chaos = Some(ChaosKill { slave: rank - 1, after_batches: n, exit_process: true });
+        node.chaos =
+            vec![ChaosKill { slave: rank - masters, after_batches: n, exit_process: true }];
+    }
+    if let Some(n) = die_after_epochs {
+        if rank >= masters {
+            usage_and_exit("--die-after-epochs applies to master ranks only");
+        }
+        node.chaos_master = Some(MasterKill { master: rank, after_epochs: n, exit_process: true });
     }
 
     Args {
@@ -392,16 +441,23 @@ fn main() {
     };
     match outcome {
         NodeOutcome::Master(m) => {
-            eprintln!(
-                "master done: {} tuples ingested, {} partition moves, final degree {}",
-                m.tuples_in, m.moves, m.final_degree
-            );
-            if !m.dead_slaves.is_empty() || !m.loss.is_zero() {
-                // Machine-readable failure accounting (chaos CI greps it).
+            if m.led_shutdown {
                 eprintln!(
-                    "master loss: dead_slaves {:?} groups_lost {} tuples_lost {}",
-                    m.dead_slaves, m.loss.groups_lost, m.loss.tuples_lost
+                    "master done: {} tuples ingested, {} partition moves, final degree {} \
+                     (term {})",
+                    m.tuples_in, m.moves, m.final_degree, m.term
                 );
+                if !m.dead_slaves.is_empty() || !m.loss.is_zero() {
+                    // Machine-readable failure accounting (chaos CI greps it).
+                    eprintln!(
+                        "master loss: dead_slaves {:?} groups_lost {} tuples_lost {}",
+                        m.dead_slaves, m.loss.groups_lost, m.loss.tuples_lost
+                    );
+                }
+            } else {
+                // A standby that never led (or a deposed leader) defers
+                // the run's accounting to whoever led the shutdown.
+                eprintln!("standby master done at term {}", m.term);
             }
         }
         NodeOutcome::Slave(s) => {

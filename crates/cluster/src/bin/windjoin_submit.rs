@@ -14,7 +14,9 @@
 //! Prints results in the `windjoin-node` collector format so the same
 //! scripts can scrape either (`outputs_total N`, `checksum HEX`, one
 //! `pair key lt lseq rt rseq` line per result with `--emit-pairs`, plus
-//! `cancelled true|false`). Exits 1 on rejection or failure.
+//! `cancelled true|false` and the loss accounting: `tuples_lost N`,
+//! `groups_lost N`, `dead_slaves N`). Exits 1 on rejection, and on a
+//! `FAILED` frame prints the server's reason and exits 1.
 
 use std::time::Duration;
 use windjoin_cluster::serve::{Response, ServeClient, ServeError};
@@ -100,7 +102,7 @@ fn main() {
     let summary = loop {
         if let Some(t) = deadline {
             if !cancel_sent && std::time::Instant::now() >= t {
-                let (state, outputs) =
+                let (state, outputs, _) =
                     client.cancel(job).unwrap_or_else(|e| fail(&format!("cancel: {e}")));
                 eprintln!("windjoin-submit: cancel acknowledged ({state:?}, {outputs} outputs)");
                 cancel_sent = true;
@@ -131,4 +133,11 @@ fn main() {
     println!("outputs_total {}", summary.outputs_total);
     println!("checksum {:016x}", summary.output_checksum);
     println!("cancelled {}", summary.cancelled);
+
+    // A final STATUS round-trip surfaces the job's loss accounting
+    // (zero unless a slave died mid-run and its state was abandoned).
+    let (_, _, loss) = client.status(job).unwrap_or_else(|e| fail(&format!("final status: {e}")));
+    println!("tuples_lost {}", loss.tuples_lost);
+    println!("groups_lost {}", loss.groups_lost);
+    println!("dead_slaves {}", loss.dead_slaves);
 }

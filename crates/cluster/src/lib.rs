@@ -44,7 +44,7 @@ pub use api::{
     Runtime, SimDriver, Sink, SinkSpec, Source, SourceArrival, SourceSpec, StreamingSink,
     TcpDriver, ThreadedDriver,
 };
-pub use nodes::{ChaosKill, NodeConfig, Role};
+pub use nodes::{ChaosKill, MasterKill, NodeConfig, Role};
 pub use procrt::{run_node, NodeOutcome, ProcessConfig};
 pub use report::RunReport;
 pub use runcfg::{EngineKind, RunConfig};

@@ -4,8 +4,12 @@
 //! over in-process channels (threaded runtime, one thread per node) or
 //! real TCP sockets (process runtime, one OS process per node).
 //!
-//! Rank layout (Fig. 1's topology): rank 0 is the master, ranks
-//! `1..=n` the slaves, rank `n+1` the collector.
+//! Rank layout: ranks `0..m` are the masters (rank 0 boots as leader,
+//! the rest as hot standbys), ranks `m..m+n` the slaves, rank `m+n`
+//! the collector. With `masters == 1` this reduces exactly to the
+//! classic Fig. 1 topology (master 0, slaves `1..=n`, collector
+//! `n+1`) and the wire traffic is byte-identical to the pre-replication
+//! protocol.
 //!
 //! ## Determinism contract
 //!
@@ -23,15 +27,33 @@
 //! ## Failure model
 //!
 //! Node loss is a protocol event, not a hang. Slaves beacon
-//! [`Message::Heartbeat`] at [`NodeConfig::heartbeat`]; the master
-//! declares a slave dead on a transport [`NetEvent::PeerDown`] or after
-//! [`NodeConfig::max_missed`] silent beacon intervals, re-homes its
-//! partition-groups onto live slaves as fresh adoptions
-//! ([`MasterCore::on_slave_down`]) and accounts the abandoned window
-//! state as a window-bounded loss. The drain is kill-safe: the run
-//! terminates when every **live** slave has flushed — outputs of
-//! surviving partitions remain exactly the oracle's, outputs of dead
-//! partitions a sound subset (never a wrong or duplicate pair).
+//! [`Message::Heartbeat`] at [`NodeConfig::heartbeat`]; the leading
+//! master declares a slave dead on a transport [`NetEvent::PeerDown`]
+//! or after [`NodeConfig::max_missed`] silent beacon intervals,
+//! re-homes its partition-groups onto live slaves
+//! ([`MasterCore::on_slave_down`]) and — unless a buddy checkpoint
+//! covers the partition — accounts the abandoned window state as a
+//! window-bounded loss.
+//!
+//! With `masters > 1` the control plane itself is replicated: every
+//! state transition the leader decides (slave deaths, readmissions,
+//! reorganisation plans) is appended to a quorum-acked decision log
+//! ([`windjoin_core::ControlLog`]) and mirrored by the standbys into
+//! their own [`MasterCore`] replicas *before* its side effects are
+//! released. Every leader→slave/collector frame travels inside a
+//! term-stamped [`Message::Sealed`] envelope, so receivers drop
+//! frames from a deposed leader. When the leader dies, the standbys
+//! run a rank-staggered, Raft-flavoured election
+//! ([`windjoin_core::Election`]); the winner re-opens the arrival
+//! source, re-ingests from sequence zero and re-drains — the slaves'
+//! per-partition delivery guards make the redelivery idempotent, so a
+//! leader death with all slaves surviving loses *nothing*.
+//!
+//! With `checkpoint_every > 0` each slave periodically snapshots its
+//! owned partition-groups to a buddy slave; a partition whose owner
+//! dies is then *restored* from the buddy's checkpoint and the master
+//! replays the tail past the recorded watermarks instead of charging
+//! the window as `tuples_lost`.
 
 use crate::api::{Source, SourceSpec, StreamingSink};
 use crate::runcfg::EngineKind;
@@ -39,7 +61,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use windjoin_core::probe::{CountedEngine, ExactEngine, ProbeEngine, ScalarEngine};
 use windjoin_core::{
-    GroupState, MasterCore, OutPair, Params, PayloadStore, Residual, SlaveCore, Tuple, WorkStats,
+    CheckpointStore, ControlLog, Decision, Election, GroupState, MasterCore, OutPair, Params,
+    PartitionCheckpoint, PayloadStore, Residual, RestorePlan, SlaveCore, Tuple, WorkStats,
 };
 use windjoin_gen::{KeyDist, RateSchedule};
 use windjoin_metrics::{DelayTracker, TimeSeries};
@@ -55,6 +78,11 @@ pub struct NodeConfig {
     pub params: Params,
     /// Number of slave nodes.
     pub slaves: usize,
+    /// Number of master ranks. 1 (the default) is the classic
+    /// single-master topology; 3+ adds hot standbys with a replicated
+    /// decision log and leader election. Use an odd count — a majority
+    /// quorum of 2 masters cannot survive any failure.
+    pub masters: usize,
     /// Per-stream arrival rate, tuples/s.
     pub rate: f64,
     /// Join-attribute distribution.
@@ -79,9 +107,17 @@ pub struct NodeConfig {
     /// between frames from a slave (a distribution epoch), or a busy
     /// node gets declared dead spuriously.
     pub max_missed: u32,
-    /// Fault-injection hook for the chaos tests: the selected slave
+    /// Snapshot owned partition-groups to a buddy slave every N
+    /// processed batches; 0 disables checkpointing. A covered partition
+    /// whose owner dies restores from the checkpoint plus a replayed
+    /// tail instead of being charged as lost.
+    pub checkpoint_every: u64,
+    /// Fault-injection hooks for the chaos tests: each selected slave
     /// dies abruptly after processing N batches.
-    pub chaos: Option<ChaosKill>,
+    pub chaos: Vec<ChaosKill>,
+    /// Fault-injection hook for the failover chaos tests: the selected
+    /// master dies abruptly while leading.
+    pub chaos_master: Option<MasterKill>,
     /// Probe engine the slaves run (outputs identical across all
     /// kinds; `Exact` is the real-time default).
     pub engine: EngineKind,
@@ -110,12 +146,27 @@ pub struct NodeConfig {
 /// flush, exactly like a crash at that protocol point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChaosKill {
-    /// The victim's slave index (0-based; rank `slave + 1`).
+    /// The victim's slave index (0-based; rank `masters + slave`).
     pub slave: usize,
     /// How many batch frames to process before dying (batches arrive
     /// once per distribution-epoch slot, so this pins the injection
     /// point in protocol time, not wall-clock time).
     pub after_batches: u64,
+    /// Die by `std::process::exit` (multi-process runtime) instead of
+    /// returning from the node loop (threaded runtime).
+    pub exit_process: bool,
+}
+
+/// Deterministic fault injection for the control plane: master
+/// `master` dies abruptly once it has led through protocol epoch
+/// `after_epochs` — no handover, exactly a leader crash. A standby that
+/// never leads never fires its kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterKill {
+    /// The victim's master index (also its rank).
+    pub master: usize,
+    /// The distribution-epoch count at which to die while leading.
+    pub after_epochs: u64,
     /// Die by `std::process::exit` (multi-process runtime) instead of
     /// returning from the node loop (threaded runtime).
     pub exit_process: bool,
@@ -131,6 +182,7 @@ impl NodeConfig {
         NodeConfig {
             params,
             slaves,
+            masters: 1,
             rate: 500.0,
             keys: KeyDist::BModel { bias: 0.7, domain: 100_000 },
             seed: 7,
@@ -140,7 +192,9 @@ impl NodeConfig {
             capture_outputs: false,
             heartbeat: Duration::from_millis(500),
             max_missed: 20,
-            chaos: None,
+            checkpoint_every: 0,
+            chaos: Vec::new(),
+            chaos_master: None,
             engine: EngineKind::Exact,
             payload_bytes: 0,
             residual: Residual::ALWAYS,
@@ -159,42 +213,57 @@ impl NodeConfig {
         })
     }
 
-    /// The collector's rank in this topology.
-    pub fn collector_rank(&self) -> usize {
-        self.slaves + 1
+    /// True when the control plane is replicated (standby masters,
+    /// sealed frames, quorum-logged decisions).
+    pub fn robust(&self) -> bool {
+        self.masters > 1
     }
 
-    /// Total ranks: master + slaves + collector.
+    /// The rank of slave `slave` in this topology.
+    pub fn slave_rank(&self, slave: usize) -> usize {
+        self.masters + slave
+    }
+
+    /// The collector's rank in this topology.
+    pub fn collector_rank(&self) -> usize {
+        self.masters + self.slaves
+    }
+
+    /// Total ranks: masters + slaves + collector.
     pub fn ranks(&self) -> usize {
-        self.slaves + 2
+        self.masters + self.slaves + 1
     }
 
     /// The role a rank plays.
     pub fn role_of(&self, rank: usize) -> Role {
-        if rank == 0 {
-            Role::Master
-        } else if rank <= self.slaves {
-            Role::Slave(rank - 1)
+        if rank < self.masters {
+            Role::Master(rank)
+        } else if rank < self.masters + self.slaves {
+            Role::Slave(rank - self.masters)
         } else if rank == self.collector_rank() {
             Role::Collector
         } else {
-            panic!("rank {rank} out of range for {} slaves", self.slaves)
+            panic!(
+                "rank {rank} out of range for {} master(s) and {} slave(s)",
+                self.masters, self.slaves
+            )
         }
     }
 }
 
-/// What a rank does in the Fig. 1 topology.
+/// What a rank does in the topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
-    /// Rank 0: buffers arrivals, distributes batches, plans reorgs.
-    Master,
-    /// Ranks `1..=n`: run the join module over owned partition groups.
+    /// Ranks `0..m`: buffer arrivals, distribute batches, plan reorgs.
+    /// Index 0 boots as leader, the rest as hot standbys.
+    Master(usize),
+    /// Ranks `m..m+n`: run the join module over owned partition groups.
     Slave(usize),
-    /// Rank `n+1`: gathers join outputs and production delays.
+    /// Rank `m+n`: gathers join outputs and production delays.
     Collector,
 }
 
-/// What the master learned over a run.
+/// What a master learned over a run.
 #[derive(Debug)]
 pub struct MasterOutcome {
     /// Peak buffered bytes across the run.
@@ -212,6 +281,11 @@ pub struct MasterOutcome {
     pub loss: WorkStats,
     /// Slaves that were dead when the run ended, ascending.
     pub dead_slaves: Vec<usize>,
+    /// The election term this master ended the run in.
+    pub term: u64,
+    /// True when this master led the final shutdown — the rank whose
+    /// outcome describes the run (exactly one per completed run).
+    pub led_shutdown: bool,
 }
 
 /// What one slave accumulated over a run.
@@ -248,53 +322,202 @@ pub fn initial_partitions(params: &Params, slaves: usize, slave: usize) -> Vec<u
     (0..params.npart).filter(|p| (*p as usize) % slaves == slave).collect()
 }
 
-/// The master's event handling and liveness bookkeeping, shared by the
-/// main loop and every flush phase so a slave death is handled
-/// identically wherever it surfaces.
+/// The master's event handling, liveness bookkeeping and control-log
+/// plumbing, shared by the standby loop, the leader's main loop and
+/// every flush phase so a slave death is handled identically wherever
+/// it surfaces.
 struct MasterDriver<'a, E: TransportEndpoint> {
     ep: &'a E,
     cfg: &'a NodeConfig,
     core: MasterCore,
+    midx: usize,
+    log: ControlLog,
+    election: Election,
     occ_samples: Vec<Vec<f64>>,
     /// Wall clock of the last frame seen per slave (heartbeat monitor).
     last_heard: Vec<Instant>,
     /// Slaves that announced a clean `Goodbye` (never readmitted).
     departed: Vec<bool>,
+    /// `MoveComplete` acks that raced ahead of the `AppendEntry`
+    /// carrying the decision that created their pending move (standby
+    /// path; retried after every applied decision).
+    stray_acks: Vec<(u32, usize)>,
+    /// Slave teardown notices observed while standing by; declared
+    /// through the normal path upon promotion.
+    peer_down_pending: Vec<usize>,
+    /// Highest commit point the old leader advertised (MasterHeartbeat)
+    /// — entries beyond it get their effects (re)issued at promotion.
+    seen_commit: u64,
 }
 
 impl<'a, E: TransportEndpoint> MasterDriver<'a, E> {
-    fn new(ep: &'a E, cfg: &'a NodeConfig, core: MasterCore) -> Self {
+    fn new(ep: &'a E, cfg: &'a NodeConfig, core: MasterCore, midx: usize) -> Self {
         MasterDriver {
             ep,
             cfg,
             core,
+            midx,
+            log: ControlLog::new(cfg.masters, midx),
+            election: Election::new(cfg.masters, midx),
             occ_samples: vec![Vec::new(); cfg.slaves],
             last_heard: vec![Instant::now(); cfg.slaves],
             departed: vec![false; cfg.slaves],
+            stray_acks: Vec::new(),
+            peer_down_pending: Vec::new(),
+            seen_commit: 0,
         }
     }
 
-    /// Handles one transport event (frame or peer teardown).
+    /// Sends a control frame to a slave or the collector, wrapped in a
+    /// term-stamped [`Message::Sealed`] envelope when the control plane
+    /// is replicated (so stale-leader frames are discarded downstream).
+    fn send_ctrl(&self, rank: usize, msg: Message) {
+        let bytes = if self.cfg.robust() {
+            Message::Sealed { term: self.election.term, inner: Box::new(msg) }.encode()
+        } else {
+            msg.encode()
+        };
+        let _ = self.ep.send(rank, bytes);
+    }
+
+    /// Leader beacon: announces the current term and commit point to
+    /// the standbys (election suppression), the slaves (leader
+    /// discovery after failover) and the collector (term tracking).
+    fn beacon(&self) {
+        if !self.cfg.robust() {
+            return;
+        }
+        let msg =
+            Message::MasterHeartbeat { term: self.election.term, commit: self.log.committed() }
+                .encode();
+        for m in 0..self.cfg.masters {
+            if m != self.midx {
+                let _ = self.ep.send(m, msg.clone());
+            }
+        }
+        for s in 0..self.cfg.slaves {
+            let _ = self.ep.send(self.cfg.slave_rank(s), msg.clone());
+        }
+        let _ = self.ep.send(self.cfg.collector_rank(), msg.clone());
+    }
+
+    /// Appends a decision to the replicated log and broadcasts it to
+    /// the standbys. Its side effects stay withheld until the entry is
+    /// quorum-acked (with a single master: immediately) and drained via
+    /// [`Self::drain_committed`].
+    fn replicate(&mut self, d: Decision) {
+        let term = self.election.term;
+        let index = self.log.append(term, d.clone());
+        if self.cfg.robust() {
+            let msg = Message::AppendEntry { term, index, decision: d }.encode();
+            for m in 0..self.cfg.masters {
+                if m != self.midx {
+                    let _ = self.ep.send(m, msg.clone());
+                }
+            }
+        }
+    }
+
+    /// Releases the side effects of every newly quorum-committed
+    /// decision, in log order, and returns the decisions so the caller
+    /// can run the tail replay for committed restores.
+    fn drain_committed(&mut self) -> Vec<Decision> {
+        let ds = self.log.take_committed();
+        for d in &ds {
+            self.perform_effects(d);
+        }
+        ds
+    }
+
+    /// The outbound side effects of one committed decision. Idempotent
+    /// at the receivers, so a freshly promoted leader may re-issue the
+    /// effects of entries the old leader may not have gotten to.
+    fn perform_effects(&mut self, d: &Decision) {
+        match d {
+            Decision::SlaveDown { slave, adoptions, restores, .. } => {
+                // Tell the collector not to wait for this slave's flush
+                // marker — a wedged-but-connected slave produces no
+                // transport teardown the collector could observe.
+                self.send_ctrl(self.cfg.collector_rank(), Message::Dead { slave: *slave as u32 });
+                for mv in adoptions {
+                    // A fresh (empty) install through the ordinary
+                    // state-move path; the adopter's MoveComplete
+                    // releases the hold.
+                    self.send_ctrl(
+                        self.cfg.slave_rank(mv.to),
+                        Message::State {
+                            pid: mv.pid,
+                            state: GroupState { buckets: Vec::new() },
+                            pending: Vec::new(),
+                            payloads: Vec::new(),
+                        },
+                    );
+                }
+                for r in restores {
+                    self.send_ctrl(self.cfg.slave_rank(r.holder), Message::Restore { pid: r.pid });
+                }
+            }
+            Decision::Reorg { moves, .. } => {
+                for mv in moves {
+                    self.send_ctrl(
+                        self.cfg.slave_rank(mv.from),
+                        Message::MoveDirective { pid: mv.pid, to: mv.to as u32 },
+                    );
+                }
+            }
+            Decision::Readmit { .. } => {}
+        }
+    }
+
+    /// Retries buffered `MoveComplete` acks that arrived before the
+    /// decision creating their pending move (standby path).
+    fn retry_stray_acks(&mut self) {
+        let pending = std::mem::take(&mut self.stray_acks);
+        for (pid, slave) in pending {
+            if !self.core.on_move_complete(pid, slave) {
+                self.stray_acks.push((pid, slave));
+            }
+        }
+    }
+
+    /// Handles one transport event while leading.
     fn on_event(&mut self, ev: NetEvent) {
+        let masters = self.cfg.masters;
         let frame = match ev {
-            NetEvent::PeerDown(rank) if rank >= 1 && rank <= self.cfg.slaves => {
-                self.declare_down(rank - 1, "connection torn down");
+            NetEvent::PeerDown(rank) if rank >= masters && rank < masters + self.cfg.slaves => {
+                self.declare_down(rank - masters, "connection torn down");
                 return;
             }
-            // The collector going down is not recoverable (results have
-            // nowhere to go) but must not wedge the protocol: slaves'
-            // output sends simply start failing.
+            // A standby or the collector going down does not stop the
+            // leader: log appends simply stop reaching that standby
+            // (the quorum may still hold), and slaves' output sends
+            // toward a dead collector start failing on their own.
             NetEvent::PeerDown(_) => return,
             NetEvent::Frame(f) => f,
         };
-        let slave = frame.from.checked_sub(1).expect("no frames from ourselves");
+        if frame.from < masters {
+            match Message::decode(frame.payload) {
+                Ok(Message::AppendAck { term, index }) if term == self.election.term => {
+                    self.log.record_ack(frame.from, index);
+                }
+                // Stale acks, vote traffic for settled elections and
+                // beacons from deposed leaders carry no information for
+                // a sitting leader. (Our failure model is leader crash,
+                // not partition: a live leader is never deposed.)
+                Ok(_) | Err(_) => {}
+            }
+            return;
+        }
+        let slave = frame.from - masters;
         assert!(slave < self.cfg.slaves, "master got a frame from the collector");
         self.last_heard[slave] = Instant::now();
         // Any frame from a slave we declared dead by heartbeat timeout
         // proves it alive after all: park it for readmission at the
-        // next reorganization epoch.
+        // next reorganization epoch, and replicate the readmission so
+        // the standbys' membership view stays in lockstep.
         if !self.core.is_live(slave) && !self.departed[slave] && self.core.on_slave_up(slave) {
             eprintln!("master: slave {slave} is back; readmitting at the next reorg epoch");
+            self.replicate(Decision::Readmit { slave });
         }
         match Message::decode(frame.payload).expect("master frame") {
             Message::Occupancy(f) => self.occ_samples[slave].push(f),
@@ -304,6 +527,9 @@ impl<'a, E: TransportEndpoint> MasterDriver<'a, E> {
                 let _ = self.core.on_move_complete(pid, slave);
             }
             Message::Heartbeat { .. } => {}
+            Message::CkptNote { pid, seen_left, seen_right } => {
+                let _ = self.core.note_checkpoint(pid, slave, seen_left, seen_right);
+            }
             Message::Goodbye => {
                 self.departed[slave] = true;
                 self.declare_down(slave, "clean goodbye");
@@ -312,36 +538,30 @@ impl<'a, E: TransportEndpoint> MasterDriver<'a, E> {
         }
     }
 
-    /// Declares `slave` dead and issues the fresh adoptions that re-home
-    /// its partition-groups onto live slaves.
+    /// Declares `slave` dead: runs the recovery planner and replicates
+    /// the outcome. The re-homing frames (fresh adoptions, checkpoint
+    /// restores, the collector's `Dead` notice) are released when the
+    /// decision commits.
     fn declare_down(&mut self, slave: usize, why: &str) {
         if !self.core.is_live(slave) {
             return;
         }
         let plan = self.core.on_slave_down(slave);
-        // Tell the collector not to wait for this slave's flush marker —
-        // a wedged-but-connected slave produces no transport teardown
-        // the collector could observe on its own.
-        let _ =
-            self.ep.send(self.cfg.collector_rank(), Message::Dead { slave: slave as u32 }.encode());
         eprintln!(
-            "master: slave {slave} down ({why}); re-homing {} partition-group(s), \
-             <= {} window tuple(s) lost",
+            "master: slave {slave} down ({why}); restoring {} partition-group(s) from \
+             checkpoints, re-homing {} fresh, <= {} window tuple(s) lost",
+            plan.restores.len(),
             plan.adoptions.len(),
             plan.lost.tuples_lost
         );
-        for mv in plan.adoptions {
-            // A fresh (empty) install through the ordinary state-move
-            // path; the adopter's MoveComplete releases the hold.
-            let msg = Message::State {
-                pid: mv.pid,
-                state: GroupState { buckets: Vec::new() },
-                pending: Vec::new(),
-                payloads: Vec::new(),
-            }
-            .encode();
-            let _ = self.ep.send(1 + mv.to, msg);
-        }
+        self.replicate(Decision::SlaveDown {
+            slave,
+            clean: self.departed[slave],
+            adoptions: plan.adoptions,
+            restores: plan.restores,
+            groups_lost: plan.lost.groups_lost,
+            tuples_lost: plan.lost.tuples_lost,
+        });
     }
 
     /// Declares every slave silent past the heartbeat deadline dead.
@@ -356,38 +576,369 @@ impl<'a, E: TransportEndpoint> MasterDriver<'a, E> {
             }
         }
     }
+
+    fn outcome(
+        &self,
+        dod_trace: TimeSeries,
+        moves: u64,
+        tuples_in: u64,
+        led_shutdown: bool,
+    ) -> MasterOutcome {
+        let dead_slaves: Vec<usize> =
+            (0..self.cfg.slaves).filter(|&s| !self.core.is_live(s) && !self.departed[s]).collect();
+        MasterOutcome {
+            peak_buffer_bytes: self.core.peak_buffer_bytes(),
+            final_degree: self.core.degree(),
+            dod_trace,
+            moves,
+            tuples_in,
+            loss: self.core.loss(),
+            dead_slaves,
+            term: self.election.term,
+            led_shutdown,
+        }
+    }
 }
 
-/// Runs the master loop on `ep` (rank 0) until the configured horizon,
-/// then flushes deterministically and shuts the cluster down.
+/// How a standby's watch ended.
+enum StandbyExit {
+    /// Won an election: take over as leader.
+    Promoted,
+    /// The leader wound the run down; exit as a follower.
+    Finished,
+}
+
+/// The master beacon/election interval: the configured heartbeat, or a
+/// 200 ms default when slave beaconing is disabled (elections need a
+/// clock even then).
+fn master_beat(cfg: &NodeConfig) -> Duration {
+    if cfg.heartbeat.is_zero() {
+        Duration::from_millis(200)
+    } else {
+        cfg.heartbeat
+    }
+}
+
+/// Runs master rank 0's loop on `ep` until the configured horizon, then
+/// flushes deterministically and shuts the cluster down.
 pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutcome {
-    let run_us_total = duration_us(cfg.run);
-    // One shared `Params` for the whole node; the core holds the `Arc`,
-    // no per-component deep clone.
+    master_node_at(ep, 0, cfg)
+}
+
+/// Runs master rank `midx`'s loop on `ep`: rank 0 boots as leader and
+/// drives the run; higher ranks stand by — mirroring the decision log,
+/// watching the leader's beacons — and take over through an election if
+/// it dies.
+pub fn master_node_at<E: TransportEndpoint>(
+    ep: &E,
+    midx: usize,
+    cfg: &NodeConfig,
+) -> MasterOutcome {
+    assert!(midx < cfg.masters, "master index out of range");
+    let start = Instant::now();
     let params: Arc<Params> = Arc::new(cfg.params.clone());
     let core = MasterCore::new(Arc::clone(&params), cfg.slaves, cfg.slaves, cfg.seed);
+    let mut md = MasterDriver::new(ep, cfg, core, midx);
+    let beat = master_beat(cfg);
+    if midx != 0 {
+        match standby(&mut md, beat) {
+            StandbyExit::Finished => {
+                return md.outcome(TimeSeries::new(cfg.params.reorg_epoch_us), 0, 0, false);
+            }
+            StandbyExit::Promoted => {
+                eprintln!("master {midx}: leader silent; promoted at term {}", md.election.term);
+                // Heal replica divergence: re-broadcast the whole log.
+                // A standby that missed the old leader's final entries
+                // accepts the gap-fill; the rest reject duplicates.
+                let term = md.election.term;
+                for idx in 0..md.log.len() {
+                    if let Some(d) = md.log.decision_at(idx) {
+                        let msg =
+                            Message::AppendEntry { term, index: idx, decision: d.clone() }.encode();
+                        for m in 0..cfg.masters {
+                            if m != midx {
+                                let _ = ep.send(m, msg.clone());
+                            }
+                        }
+                    }
+                }
+                // Fast-forward the commit point over the mirrored
+                // prefix. The cluster already saw the effects of
+                // everything the old leader advertised as committed;
+                // entries past that point may have died with it, so
+                // their effects are (re)issued — the slave-side
+                // handlers are idempotent for exactly this case. No
+                // tail replay is needed here: the re-ingest below
+                // redelivers everything a restore would replay.
+                for idx in 0..md.log.len() {
+                    for m in 0..cfg.masters {
+                        md.log.record_ack(m, idx);
+                    }
+                }
+                let mirrored = md.log.take_committed();
+                let skip = md.seen_commit as usize;
+                for d in mirrored.iter().skip(skip) {
+                    md.perform_effects(d);
+                }
+                // Slaves whose connections tore down while we stood by
+                // get declared through the normal replicated path now.
+                let pending = std::mem::take(&mut md.peer_down_pending);
+                for s in pending {
+                    md.declare_down(s, "connection torn down before failover");
+                }
+            }
+        }
+    }
+    lead(md, start, beat)
+}
+
+/// The standby watch: mirror the leader's log into a replica core, ack
+/// every entry, answer vote requests — and campaign when the leader
+/// goes silent past this rank's staggered deadline.
+fn standby<E: TransportEndpoint>(md: &mut MasterDriver<'_, E>, beat: Duration) -> StandbyExit {
+    let cfg = md.cfg;
+    let masters = cfg.masters;
+    let base = beat * (4 + md.election.stagger());
+    let mut deadline = Instant::now() + base;
+    loop {
+        let wait = deadline
+            .saturating_duration_since(Instant::now())
+            .min(Duration::from_millis(50))
+            .max(Duration::from_millis(1));
+        let ev = match md.ep.recv_event_timeout(wait) {
+            Ok(ev) => ev,
+            Err(_) => return StandbyExit::Finished,
+        };
+        match ev {
+            None => {}
+            Some(NetEvent::PeerDown(rank))
+                if rank < masters && md.election.leader == Some(rank) =>
+            {
+                // The leader's transport tearing down is the fast path
+                // to candidacy: no need to wait out the silence window.
+                let fast = beat * (1 + md.election.stagger());
+                deadline = deadline.min(Instant::now() + fast);
+            }
+            Some(NetEvent::PeerDown(rank)) if rank < masters => {}
+            Some(NetEvent::PeerDown(rank)) if rank < masters + cfg.slaves => {
+                md.peer_down_pending.push(rank - masters);
+            }
+            Some(NetEvent::PeerDown(_)) => {}
+            Some(NetEvent::Frame(frame)) if frame.from < masters => {
+                match Message::decode(frame.payload) {
+                    Ok(Message::MasterHeartbeat { term, commit }) => {
+                        if md.election.on_leader_heartbeat(frame.from, term) {
+                            md.seen_commit = md.seen_commit.max(commit);
+                            deadline = Instant::now() + base;
+                        }
+                    }
+                    Ok(Message::AppendEntry { term, index, decision }) => {
+                        if md.election.on_leader_heartbeat(frame.from, term) {
+                            deadline = Instant::now() + base;
+                            if md.log.append_replica(term, index, decision.clone()) {
+                                // Apply eagerly: the replica core must
+                                // mirror the leader's transitions before
+                                // the leader releases their effects.
+                                md.core.apply_decision(&decision);
+                                md.retry_stray_acks();
+                                let ack = Message::AppendAck { term, index }.encode();
+                                let _ = md.ep.send(frame.from, ack);
+                            }
+                        }
+                    }
+                    Ok(Message::VoteRequest { term, last_index }) => {
+                        let my_log = md.log.len();
+                        let granted =
+                            md.election.on_vote_request(frame.from, term, last_index, my_log);
+                        let vote = Message::Vote { term: md.election.term, granted }.encode();
+                        let _ = md.ep.send(frame.from, vote);
+                        if granted {
+                            // Give the candidate a full window to win
+                            // before campaigning ourselves.
+                            deadline = Instant::now() + base;
+                        }
+                    }
+                    Ok(Message::Vote { term, granted }) => {
+                        if md.election.on_vote(frame.from, term, granted) {
+                            return StandbyExit::Promoted;
+                        }
+                    }
+                    Ok(Message::Shutdown) => return StandbyExit::Finished,
+                    Ok(_) | Err(_) => {}
+                }
+            }
+            Some(NetEvent::Frame(frame)) if frame.from < masters + cfg.slaves => {
+                let slave = frame.from - masters;
+                md.last_heard[slave] = Instant::now();
+                match Message::decode(frame.payload) {
+                    // Acks are not in the log (they are slave-observed
+                    // facts, not leader decisions): apply directly, and
+                    // buffer the ones whose decision has not arrived.
+                    Ok(Message::MoveComplete { pid }) => {
+                        if !md.core.on_move_complete(pid, slave) {
+                            md.stray_acks.push((pid, slave));
+                        }
+                    }
+                    Ok(Message::CkptNote { pid, seen_left, seen_right }) => {
+                        let _ = md.core.note_checkpoint(pid, slave, seen_left, seen_right);
+                    }
+                    Ok(Message::Goodbye) => md.departed[slave] = true,
+                    // Heartbeats refresh `last_heard` above; occupancy
+                    // is planning input only the leader uses.
+                    Ok(_) | Err(_) => {}
+                }
+            }
+            Some(NetEvent::Frame(_)) => {}
+        }
+        if Instant::now() >= deadline {
+            let term = md.election.start_candidacy();
+            if md.election.is_leader() {
+                return StandbyExit::Promoted;
+            }
+            let req = Message::VoteRequest { term, last_index: md.log.len() }.encode();
+            for m in 0..masters {
+                if m != md.midx {
+                    let _ = md.ep.send(m, req.clone());
+                }
+            }
+            // Re-campaign after another full window if the vote splits.
+            deadline = Instant::now() + base;
+        }
+    }
+}
+
+/// Drains newly committed decisions, releasing their side effects and
+/// running the bounded tail replay for committed checkpoint restores.
+fn commit_and_replay<E: TransportEndpoint>(
+    md: &mut MasterDriver<'_, E>,
+    ingested_max_at: u64,
+    ingested_next: [u64; 2],
+) {
+    for d in md.drain_committed() {
+        if let Decision::SlaveDown { restores, .. } = &d {
+            replay_restores(
+                md.ep,
+                md.cfg,
+                md.election.term,
+                restores,
+                ingested_max_at,
+                ingested_next,
+            );
+        }
+    }
+}
+
+/// Replays the post-checkpoint tail of each restored partition to its
+/// holder: a fresh scan of the deterministic arrival source, filtered
+/// to tuples already ingested (`seq < ingested_next`, `at_us <=
+/// ingested_max_at`) at or past the checkpoint's per-side watermarks.
+/// The holder's delivery guards drop anything the replay double-covers.
+fn replay_restores<E: TransportEndpoint>(
+    ep: &E,
+    cfg: &NodeConfig,
+    term: u64,
+    restores: &[RestorePlan],
+    ingested_max_at: u64,
+    ingested_next: [u64; 2],
+) {
+    let npart = cfg.params.npart;
+    let mut enc: Vec<u8> = Vec::new();
+    let mut sealed: Vec<u8> = Vec::new();
+    for r in restores {
+        let holder_rank = cfg.slave_rank(r.holder);
+        let mut src = cfg.source_spec().open(cfg.seed, cfg.payload_bytes);
+        let mut tail: Vec<Tuple> = Vec::new();
+        let mut pays: Vec<Vec<u8>> = Vec::new();
+        let mut flush = |tail: &mut Vec<Tuple>, pays: &mut Vec<Vec<u8>>| {
+            if tail.is_empty() {
+                return;
+            }
+            if cfg.payload_bytes == 0 {
+                Message::encode_batch_into(tail, &mut enc);
+            } else {
+                Message::encode_payload_batch_into(tail, pays, cfg.payload_bytes, &mut enc);
+            }
+            if cfg.robust() {
+                Message::seal_into(term, &enc, &mut sealed);
+                let _ = ep.send_slice(holder_rank, &sealed);
+            } else {
+                let _ = ep.send_slice(holder_rank, &enc);
+            }
+            tail.clear();
+            pays.clear();
+        };
+        while let Some(a) = src.next_arrival() {
+            if a.at_us > ingested_max_at {
+                break;
+            }
+            let side = a.side as usize;
+            if a.seq >= ingested_next[side] {
+                continue; // not yet ingested; flows through the normal drain
+            }
+            let floor = if side == 0 { r.seen_left } else { r.seen_right };
+            if a.seq < floor {
+                continue; // already reflected in the checkpoint
+            }
+            if windjoin_core::hash::partition_of(a.key, npart) != r.pid {
+                continue;
+            }
+            tail.push(Tuple::new(a.side, a.at_us, a.key, a.seq));
+            if cfg.payload_bytes > 0 {
+                pays.push(a.payload);
+            }
+            if tail.len() >= 512 {
+                flush(&mut tail, &mut pays);
+            }
+        }
+        flush(&mut tail, &mut pays);
+    }
+}
+
+/// The leader loop: ingest, distribute, reorganise, flush. Entered by
+/// rank 0 at boot and by a promoted standby after winning an election —
+/// the promoted path re-opens the arrival source and re-ingests from
+/// sequence zero, relying on the slaves' delivery guards to drop
+/// everything the dead leader already delivered.
+fn lead<E: TransportEndpoint>(
+    mut md: MasterDriver<'_, E>,
+    start: Instant,
+    beat: Duration,
+) -> MasterOutcome {
+    let cfg = md.cfg;
+    let robust = cfg.robust();
+    let run_us_total = duration_us(cfg.run);
+    let td = cfg.params.dist_epoch_us;
+    let tr = cfg.params.reorg_epoch_us;
+    let ng = cfg.params.ng;
     // One pluggable arrival source per run; the default reproduces the
-    // classic synthetic generator pair byte for byte.
+    // classic synthetic generator pair byte for byte. A promoted leader
+    // opens its own instance and rescans from zero.
     let mut src: Box<dyn Source + Send> = cfg.source_spec().open(cfg.seed, cfg.payload_bytes);
     let mut next = src.next_arrival();
     // Payload bytes parked between ingest and distribution; each tuple
     // is distributed exactly once, so sends drain the store.
     let mut payload_store = PayloadStore::new();
     let mut pay_scratch: Vec<Vec<u8>> = Vec::new();
-
-    let start = Instant::now();
-    let td = params.dist_epoch_us;
-    let tr = params.reorg_epoch_us;
-    let ng = params.ng;
     // Reused frame-encode scratch: batch sends are allocation-free over
     // TCP (`send_slice` writes straight from this buffer).
     let mut enc_scratch: Vec<u8> = Vec::new();
+    let mut sealed_scratch: Vec<u8> = Vec::new();
     let mut dod_trace = TimeSeries::new(tr);
     let mut moves = 0u64;
     let mut tuples_in = 0u64;
-    let mut next_reorg = tr;
-    let mut epoch = 0u64;
-    let mut md = MasterDriver::new(ep, cfg, core);
+    // Ingest watermarks bounding a restore's tail replay: the highest
+    // arrival timestamp ingested and the next-expected seq per side.
+    let mut ingested_max_at = 0u64;
+    let mut ingested_next = [0u64; 2];
+    // A promoted leader resumes at the current protocol epoch (the
+    // catch-up re-ingest drains past slots in one rapid burst) and at
+    // the next whole reorg boundary; a boot leader starts at zero.
+    let boot_us = start.elapsed().as_micros() as u64;
+    let mut epoch = boot_us / td;
+    let mut next_reorg = (boot_us / tr + 1) * tr;
+    let md_ref = &mut md;
+    let mut last_mh = Instant::now();
+    md_ref.beacon();
     // Cooperative cancellation: polled between event-service slices (a
     // few ms of latency at most), it truncates the run to "now" and
     // falls through to the identical deterministic flush below.
@@ -411,10 +962,15 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
                     break;
                 }
                 let budget = Duration::from_micros((slot_at - now_us).min(2_000));
-                if let Ok(Some(ev)) = ep.recv_event_timeout(budget) {
-                    md.on_event(ev);
+                if let Ok(Some(ev)) = md_ref.ep.recv_event_timeout(budget) {
+                    md_ref.on_event(ev);
                 }
-                md.check_liveness();
+                md_ref.check_liveness();
+                commit_and_replay(md_ref, ingested_max_at, ingested_next);
+                if robust && last_mh.elapsed() >= beat {
+                    md_ref.beacon();
+                    last_mh = Instant::now();
+                }
             }
             // Clamp to the horizon: the ingested arrival set must be a
             // pure function of the seed, not of scheduling jitter.
@@ -424,14 +980,16 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
                     next = Some(a);
                     break;
                 }
-                md.core.on_arrival(Tuple::new(a.side, a.at_us, a.key, a.seq));
+                md_ref.core.on_arrival(Tuple::new(a.side, a.at_us, a.key, a.seq));
+                ingested_max_at = a.at_us;
+                ingested_next[a.side as usize] = a.seq + 1;
                 if !a.payload.is_empty() {
                     payload_store.insert(a.side, a.seq, a.at_us, a.payload);
                 }
                 tuples_in += 1;
                 next = src.next_arrival();
             }
-            for (slave, batch) in md.core.drain_for_slot(slot) {
+            for (slave, batch) in md_ref.core.drain_for_slot(slot) {
                 encode_batch_frame(
                     cfg,
                     &batch,
@@ -439,35 +997,55 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
                     &mut pay_scratch,
                     &mut enc_scratch,
                 );
-                let _ = ep.send_slice(1 + slave, &enc_scratch);
+                let rank = cfg.slave_rank(slave);
+                if robust {
+                    Message::seal_into(md_ref.election.term, &enc_scratch, &mut sealed_scratch);
+                    let _ = md_ref.ep.send_slice(rank, &sealed_scratch);
+                } else {
+                    let _ = md_ref.ep.send_slice(rank, &enc_scratch);
+                }
             }
         }
         epoch += 1;
+        if let Some(k) = cfg.chaos_master {
+            if k.master == md_ref.midx && epoch >= k.after_epochs {
+                // Chaos injection: the leader dies abruptly at a fixed
+                // protocol point — no handover, exactly a crash.
+                eprintln!("master {}: chaos kill while leading epoch {epoch}", md_ref.midx);
+                if k.exit_process {
+                    std::process::exit(137);
+                }
+                return md_ref.outcome(dod_trace, moves, tuples_in, false);
+            }
+        }
         let now_us = epoch * td;
         // Reorganise while ingest remains. The cutoff derives from the
         // remaining arrival stream, not a wall-clock guard band: the
         // deterministic flush below waits for in-flight state moves
-        // before shutdown anyway, and the old `now + 2*t_r < run` guard
-        // silently disabled every reorg on runs shorter than two reorg
-        // epochs.
+        // before shutdown anyway.
         let ingest_remaining = next.as_ref().is_some_and(|a| a.at_us <= run_us_total);
         if now_us >= next_reorg && ingest_remaining {
-            for s in md.core.active_slaves() {
-                let samples = std::mem::take(&mut md.occ_samples[s]);
+            for s in md_ref.core.active_slaves() {
+                let samples = std::mem::take(&mut md_ref.occ_samples[s]);
                 let avg = if samples.is_empty() {
                     0.0
                 } else {
                     samples.iter().sum::<f64>() / samples.len() as f64
                 };
-                md.core.on_occupancy(s, avg);
+                md_ref.core.on_occupancy(s, avg);
             }
-            let plan = md.core.plan_reorg(cfg.adaptive_dod);
+            let plan = md_ref.core.plan_reorg(cfg.adaptive_dod);
             moves += plan.moves.len() as u64;
-            dod_trace.record(now_us, md.core.degree() as f64);
-            for mv in plan.moves {
-                let msg = Message::MoveDirective { pid: mv.pid, to: mv.to as u32 }.encode();
-                let _ = ep.send(1 + mv.from, msg);
-            }
+            dod_trace.record(now_us, md_ref.core.degree() as f64);
+            md_ref.replicate(Decision::Reorg {
+                moves: plan.moves,
+                activated: plan.activated,
+                deactivated: plan.deactivated,
+            });
+            // With a single master the decision commits instantly and
+            // the move directives go out right here; with standbys they
+            // go out when the quorum acks (next event-service slice).
+            commit_and_replay(md_ref, ingested_max_at, ingested_next);
             next_reorg += tr;
         }
         if cancelled() {
@@ -498,17 +1076,24 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
             break;
         }
         let budget = Duration::from_micros((flush_us_total - now_us).min(2_000));
-        if let Ok(Some(ev)) = ep.recv_event_timeout(budget) {
-            md.on_event(ev);
+        if let Ok(Some(ev)) = md_ref.ep.recv_event_timeout(budget) {
+            md_ref.on_event(ev);
         }
-        md.check_liveness();
+        md_ref.check_liveness();
+        commit_and_replay(md_ref, ingested_max_at, ingested_next);
+        if robust && last_mh.elapsed() >= beat {
+            md_ref.beacon();
+            last_mh = Instant::now();
+        }
     }
     // (1) Ingest every remaining arrival inside the horizon.
     while let Some(a) = next.take() {
         if a.at_us > flush_us_total {
             break;
         }
-        md.core.on_arrival(Tuple::new(a.side, a.at_us, a.key, a.seq));
+        md_ref.core.on_arrival(Tuple::new(a.side, a.at_us, a.key, a.seq));
+        ingested_max_at = a.at_us;
+        ingested_next[a.side as usize] = a.seq + 1;
         if !a.payload.is_empty() {
             payload_store.insert(a.side, a.seq, a.at_us, a.payload);
         }
@@ -523,28 +1108,40 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     // moves are cancelled or re-issued at live adopters, and the wait
     // ends when the *live* cluster has acked.
     let move_deadline = Instant::now() + Duration::from_secs(10);
-    while !md.core.pending_moves().is_empty() && Instant::now() < move_deadline {
-        if let Ok(Some(ev)) = ep.recv_event_timeout(Duration::from_millis(20)) {
-            md.on_event(ev);
+    while !md_ref.core.pending_moves().is_empty() && Instant::now() < move_deadline {
+        if let Ok(Some(ev)) = md_ref.ep.recv_event_timeout(Duration::from_millis(20)) {
+            md_ref.on_event(ev);
         }
-        md.check_liveness();
+        md_ref.check_liveness();
+        commit_and_replay(md_ref, ingested_max_at, ingested_next);
+        if robust && last_mh.elapsed() >= beat {
+            md_ref.beacon();
+            last_mh = Instant::now();
+        }
     }
     // (3) Drain every slot so no batch stays buffered. No reorg is
     // planned after the main loop, so nothing re-holds a partition.
     for slot in 0..ng {
-        for (slave, batch) in md.core.drain_for_slot(slot) {
+        for (slave, batch) in md_ref.core.drain_for_slot(slot) {
             encode_batch_frame(cfg, &batch, &mut payload_store, &mut pay_scratch, &mut enc_scratch);
-            let _ = ep.send_slice(1 + slave, &enc_scratch);
+            let rank = cfg.slave_rank(slave);
+            if robust {
+                Message::seal_into(md_ref.election.term, &enc_scratch, &mut sealed_scratch);
+                let _ = md_ref.ep.send_slice(rank, &sealed_scratch);
+            } else {
+                let _ = md_ref.ep.send_slice(rank, &enc_scratch);
+            }
         }
-        while let Some(ev) = ep.try_recv_event() {
-            md.on_event(ev);
+        while let Some(ev) = md_ref.ep.try_recv_event() {
+            md_ref.on_event(ev);
         }
+        commit_and_replay(md_ref, ingested_max_at, ingested_next);
     }
     // (3b) Whatever is still buffered now can never be delivered — a
     // stalled adoption kept its partition held past the deadline, or a
     // total-death episode left partitions with no live owner. Charge it
     // as lost instead of dropping it silently.
-    let undelivered = md.core.account_undelivered();
+    let undelivered = md_ref.core.account_undelivered();
     if !undelivered.is_zero() {
         eprintln!(
             "master: {} buffered tuple(s) undeliverable at shutdown (stalled \
@@ -554,37 +1151,32 @@ pub fn master_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> MasterOutc
     }
     // (4) Now the cluster may wind down: every live slave gets the
     // shutdown marker (dead ones have nobody listening).
-    for s in md.core.live_slaves() {
-        let _ = ep.send(1 + s, Message::Shutdown.encode());
+    for s in md_ref.core.live_slaves() {
+        md_ref.send_ctrl(cfg.slave_rank(s), Message::Shutdown);
     }
     // Drain stragglers so slaves never block on a full master inbox.
-    while let Ok(Some(ev)) = ep.recv_event_timeout(Duration::from_millis(50)) {
+    while let Ok(Some(ev)) = md_ref.ep.recv_event_timeout(Duration::from_millis(50)) {
         match ev {
-            NetEvent::Frame(frame) => {
-                let slave = frame.from - 1;
+            NetEvent::Frame(frame) if frame.from >= cfg.masters => {
+                let slave = frame.from - cfg.masters;
                 match Message::decode(frame.payload) {
                     Ok(Message::MoveComplete { pid }) => {
-                        let _ = md.core.on_move_complete(pid, slave);
+                        let _ = md_ref.core.on_move_complete(pid, slave);
                     }
-                    Ok(Message::Goodbye) => md.departed[slave] = true,
+                    Ok(Message::Goodbye) => md_ref.departed[slave] = true,
                     _ => {}
                 }
             }
-            NetEvent::PeerDown(_) => {}
+            NetEvent::Frame(_) | NetEvent::PeerDown(_) => {}
         }
     }
-
-    let dead_slaves: Vec<usize> =
-        (0..cfg.slaves).filter(|&s| !md.core.is_live(s) && !md.departed[s]).collect();
-    MasterOutcome {
-        peak_buffer_bytes: md.core.peak_buffer_bytes(),
-        final_degree: md.core.degree(),
-        dod_trace,
-        moves,
-        tuples_in,
-        loss: md.core.loss(),
-        dead_slaves,
+    // The run is over; release the standbys.
+    for m in 0..cfg.masters {
+        if m != md_ref.midx {
+            let _ = md_ref.ep.send(m, Message::Shutdown.encode());
+        }
     }
+    md.outcome(dod_trace, moves, tuples_in, true)
 }
 
 /// Encodes one distribution batch: the legacy zero-payload frame when
@@ -611,9 +1203,19 @@ fn encode_batch_frame(
     }
 }
 
-/// Runs slave `index`'s loop on `ep` (rank `index + 1`) until the
-/// master's `Shutdown` (or `Leave`) arrives, beaconing heartbeats and
-/// honouring the chaos fault-injection hook. Dispatches to the probe
+/// Broadcasts a control frame to every master rank not known dead.
+fn send_masters<E: TransportEndpoint>(ep: &E, master_down: &[bool], msg: &Message) {
+    let bytes = msg.encode();
+    for (m, down) in master_down.iter().enumerate() {
+        if !down {
+            let _ = ep.send(m, bytes.clone());
+        }
+    }
+}
+
+/// Runs slave `index`'s loop on `ep` (rank `masters + index`) until the
+/// leader's `Shutdown` (or `Leave`) arrives, beaconing heartbeats and
+/// honouring the chaos fault-injection hooks. Dispatches to the probe
 /// engine the config selects.
 pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) -> SlaveOutcome {
     match cfg.engine {
@@ -623,15 +1225,24 @@ pub fn slave_node<E: TransportEndpoint>(ep: &E, index: usize, cfg: &NodeConfig) 
     }
 }
 
-fn slave_node_with<Eng: ProbeEngine, E: TransportEndpoint>(
+fn slave_node_with<Eng: ProbeEngine + Clone, E: TransportEndpoint>(
     ep: &E,
     index: usize,
     cfg: &NodeConfig,
 ) -> SlaveOutcome {
+    let masters = cfg.masters;
+    let robust = cfg.robust();
     let collector_rank = cfg.collector_rank();
     let params: Arc<Params> = Arc::new(cfg.params.clone());
     let mut core: SlaveCore<Eng> = SlaveCore::new(index, Arc::clone(&params));
     core.set_residual(cfg.residual.clone());
+    // Replicated control planes redeliver (a promoted leader re-ingests
+    // from zero) and checkpoint restores replay tails: both rely on the
+    // per-partition delivery guards to stay exactly-once.
+    let dedupe_on = robust || cfg.checkpoint_every > 0;
+    if dedupe_on {
+        core.enable_dedupe();
+    }
     // Initial round-robin ownership, mirroring the master's map.
     for pid in initial_partitions(&params, cfg.slaves, index) {
         core.create_group(pid);
@@ -649,13 +1260,26 @@ fn slave_node_with<Eng: ProbeEngine, E: TransportEndpoint>(
     let mut hb_seq = 0u64;
     let mut last_beacon = Instant::now();
     let mut batches_seen = 0u64;
-    let chaos = cfg.chaos.filter(|c| c.slave == index);
+    // Leader tracking: sealed frames and MasterHeartbeat beacons carry
+    // the term; anything below the highest seen is a deposed leader's.
+    let mut leader = 0usize;
+    let mut cur_term = 0u64;
+    let mut master_down = vec![false; masters];
+    // The buddy shelf: checkpoints this slave stores for its neighbour.
+    let mut ckpt_store = CheckpointStore::new();
+    let chaos = cfg.chaos.iter().copied().find(|c| c.slave == index);
     loop {
         // Liveness beacon: sent on schedule even when no frames arrive,
-        // so the master distinguishes "idle" from "dead".
+        // so the masters distinguish "idle" from "dead". Every master
+        // rank gets it — a standby's liveness view must be warm when it
+        // takes over.
         if !hb.is_zero() && last_beacon.elapsed() >= hb {
             Message::Heartbeat { seq: hb_seq }.encode_into(&mut enc_scratch);
-            let _ = ep.send_slice(0, &enc_scratch);
+            for (m, down) in master_down.iter().enumerate() {
+                if !down {
+                    let _ = ep.send_slice(m, &enc_scratch);
+                }
+            }
             hb_seq += 1;
             last_beacon = Instant::now();
         }
@@ -675,12 +1299,20 @@ fn slave_node_with<Eng: ProbeEngine, E: TransportEndpoint>(
         comm_us += recv_started.elapsed().as_micros() as u64;
         let frame = match ev {
             None => continue, // beacon tick
-            Some(NetEvent::PeerDown(0)) => {
-                // The master is gone: no further work can ever arrive.
-                // Announce a clean departure so the collector counts
-                // this slave as flushed instead of hanging on it.
-                let _ = ep.send(collector_rank, Message::Goodbye.encode());
-                break;
+            Some(NetEvent::PeerDown(rank)) if rank < masters => {
+                master_down[rank] = true;
+                if master_down.iter().all(|&d| d) {
+                    // Every master is gone: no further work can ever
+                    // arrive. Announce a clean departure so the
+                    // collector counts this slave as flushed instead of
+                    // hanging on it.
+                    let _ = ep.send(collector_rank, Message::Goodbye.encode());
+                    break;
+                }
+                // The leader (or a standby) died but the control plane
+                // survives: hold position and wait for the next
+                // leader's beacon.
+                continue;
             }
             // A peer slave or the collector tearing down is not this
             // node's problem: state sends toward it will error and the
@@ -688,13 +1320,29 @@ fn slave_node_with<Eng: ProbeEngine, E: TransportEndpoint>(
             Some(NetEvent::PeerDown(_)) => continue,
             Some(NetEvent::Frame(f)) => f,
         };
+        // Unwrap the term-stamped envelope on leader frames, dropping
+        // anything from a deposed leader (zero-copy fast path: batches
+        // never materialise a `Message`).
+        let mut payload = frame.payload;
+        if robust && frame.from < masters {
+            if let Some((term, inner)) = Message::unseal(&payload) {
+                if term < cur_term {
+                    continue;
+                }
+                if term > cur_term {
+                    cur_term = term;
+                    leader = frame.from;
+                }
+                payload = inner;
+            }
+        }
         // Fast path: batches (the per-epoch hot frame) decode into the
         // reused tuple buffer without constructing a `Message`.
         let is_batch = if cfg.payload_bytes > 0 {
-            Message::decode_payload_batch_into(frame.payload.clone(), &mut batch, &mut pay_batch)
+            Message::decode_payload_batch_into(payload.clone(), &mut batch, &mut pay_batch)
                 .expect("slave frame")
         } else {
-            Message::decode_batch_into(frame.payload.clone(), &mut batch).expect("slave frame")
+            Message::decode_batch_into(payload.clone(), &mut batch).expect("slave frame")
         };
         if is_batch {
             let t0 = Instant::now();
@@ -713,8 +1361,32 @@ fn slave_node_with<Eng: ProbeEngine, E: TransportEndpoint>(
             }
             let occ = core.take_avg_occupancy();
             Message::Occupancy(occ).encode_into(&mut enc_scratch);
-            let _ = ep.send_slice(0, &enc_scratch);
+            let _ = ep.send_slice(leader, &enc_scratch);
             batches_seen += 1;
+            // Checkpoint owned partitions to the buddy *before* the
+            // chaos-kill check: at `checkpoint_every == 1` every fully
+            // processed batch is covered, so a crash right here loses
+            // nothing.
+            if cfg.checkpoint_every > 0
+                && cfg.slaves > 1
+                && batches_seen.is_multiple_of(cfg.checkpoint_every)
+            {
+                let buddy_rank = cfg.slave_rank((index + 1) % cfg.slaves);
+                for pid in core.owned_partitions() {
+                    if let Some((state, pending, payloads)) = core.snapshot_group(pid) {
+                        let (seen_left, seen_right) = core.seen_of(pid);
+                        let msg = Message::Checkpoint {
+                            pid,
+                            seen_left,
+                            seen_right,
+                            state,
+                            pending,
+                            payloads,
+                        };
+                        let _ = ep.send(buddy_rank, msg.encode());
+                    }
+                }
+            }
             if let Some(c) = chaos {
                 if batches_seen == c.after_batches {
                     // Chaos injection: die abruptly at a fixed protocol
@@ -728,25 +1400,91 @@ fn slave_node_with<Eng: ProbeEngine, E: TransportEndpoint>(
             }
             continue;
         }
-        match Message::decode(frame.payload).expect("slave frame") {
+        match Message::decode(payload).expect("slave frame") {
             Message::MoveDirective { pid, to } => {
-                let (state, pending) = core.extract_group(pid, &mut work);
-                // Payloads travel with their partition's window state.
-                let payloads = core.extract_payloads(pid);
-                let msg = Message::State { pid, state, pending, payloads }.encode();
-                let _ = ep.send(1 + to as usize, msg);
+                // Idempotent: a re-issued directive for a move that
+                // already ran (promotion-time effect replay) finds the
+                // group gone and ships nothing.
+                if core.owned_partitions().contains(&pid) {
+                    let to = to as usize;
+                    if dedupe_on {
+                        // The delivery guards travel ahead of the state
+                        // (same sender, FIFO), so the consumer filters
+                        // redelivery for its new partition correctly.
+                        let (left, right) = core.seen_of(pid);
+                        let _ = ep
+                            .send(cfg.slave_rank(to), Message::Seen { pid, left, right }.encode());
+                    }
+                    let (state, pending) = core.extract_group(pid, &mut work);
+                    // Payloads travel with their partition's window state.
+                    let payloads = core.extract_payloads(pid);
+                    let msg = Message::State { pid, state, pending, payloads }.encode();
+                    let _ = ep.send(cfg.slave_rank(to), msg);
+                }
             }
             // The recovery-tolerant install: a fresh adoption from the
             // master after a failure, or a regular supplier transfer —
-            // an incoming install is authoritative either way.
+            // an incoming install is authoritative either way. The one
+            // exception: a re-issued *empty* adoption for a partition
+            // this slave already owns must not wipe accumulated state.
             Message::State { pid, state, pending, payloads } => {
-                core.adopt_group(pid, state, pending, &mut work);
-                core.install_payloads(pid, payloads);
-                let _ = ep.send(0, Message::MoveComplete { pid }.encode());
+                let empty_install =
+                    state.buckets.is_empty() && pending.is_empty() && payloads.is_empty();
+                if !(empty_install && core.owned_partitions().contains(&pid)) {
+                    core.adopt_group(pid, state, pending, &mut work);
+                    core.install_payloads(pid, payloads);
+                }
+                // Broadcast the ack: the leader releases the hold, the
+                // standbys mirror the release without a log round-trip.
+                send_masters(ep, &master_down, &Message::MoveComplete { pid });
+            }
+            Message::Seen { pid, left, right } => core.set_seen(pid, left, right),
+            Message::Checkpoint { pid, seen_left, seen_right, state, pending, payloads } => {
+                ckpt_store.store(
+                    pid,
+                    PartitionCheckpoint { seen_left, seen_right, state, pending, payloads },
+                );
+                // The note comes from the holder *after* shelving, so
+                // the masters' registry never leads the store.
+                send_masters(ep, &master_down, &Message::CkptNote { pid, seen_left, seen_right });
+            }
+            Message::Restore { pid } => {
+                match ckpt_store.take(pid) {
+                    Some(c) => {
+                        // Guards first: the replayed tail admitted below
+                        // starts exactly at the checkpoint watermarks.
+                        core.set_seen(pid, c.seen_left, c.seen_right);
+                        core.adopt_group(pid, c.state, c.pending, &mut work);
+                        core.install_payloads(pid, c.payloads);
+                    }
+                    None if core.owned_partitions().contains(&pid) => {
+                        // Re-issued restore after the checkpoint was
+                        // consumed: the group is installed; just re-ack.
+                    }
+                    None => {
+                        eprintln!(
+                            "slave {index}: restore for partition {pid} without a stored \
+                             checkpoint; installing fresh"
+                        );
+                        core.adopt_group(
+                            pid,
+                            GroupState { buckets: Vec::new() },
+                            Vec::new(),
+                            &mut work,
+                        );
+                    }
+                }
+                send_masters(ep, &master_down, &Message::MoveComplete { pid });
+            }
+            Message::MasterHeartbeat { term, .. } => {
+                if term >= cur_term {
+                    cur_term = term;
+                    leader = frame.from;
+                }
             }
             Message::Leave => {
                 // Planned departure: acknowledge to both sinks, then go.
-                let _ = ep.send(0, Message::Goodbye.encode());
+                send_masters(ep, &master_down, &Message::Goodbye);
                 let _ = ep.send(collector_rank, Message::Goodbye.encode());
                 break;
             }
@@ -760,32 +1498,45 @@ fn slave_node_with<Eng: ProbeEngine, E: TransportEndpoint>(
     SlaveOutcome { work, cpu_us, comm_us }
 }
 
-/// Runs the collector loop on `ep` (rank `n + 1`) until every slave has
+/// Runs the collector loop on `ep` (rank `m + n`) until every slave has
 /// flushed — by `Shutdown`/`Goodbye` marker or, kill-safely, by its
 /// connection tearing down. A dead slave's completed outputs all arrive
 /// before its teardown notice (per-peer FIFO), so nothing it produced
 /// is dropped and nothing it failed to produce is waited on.
 pub fn collector_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> CollectorOutcome {
+    let masters = cfg.masters;
     let start = Instant::now();
     let mut delay = DelayTracker::new(duration_us(cfg.warmup));
     let mut captured: Vec<OutPair> = Vec::new();
     let mut checksum = 0u64;
     let mut outputs_total = 0u64;
     let mut finished = vec![false; cfg.slaves];
+    let mut cur_term = 0u64;
     while finished.iter().any(|f| !f) {
         let Ok(ev) = ep.recv_event() else { break };
         let frame = match ev {
-            NetEvent::PeerDown(rank) if rank >= 1 && rank <= cfg.slaves => {
-                finished[rank - 1] = true; // dead slaves flush by dying
+            NetEvent::PeerDown(rank) if rank >= masters && rank < masters + cfg.slaves => {
+                finished[rank - masters] = true; // dead slaves flush by dying
                 continue;
             }
-            // The master going down is survivable here: the slaves see
-            // it too and send their own markers (or die and be counted
-            // above).
+            // A master going down is survivable here: the slaves see it
+            // too and either follow the next leader or send their own
+            // markers (or die and be counted above).
             NetEvent::PeerDown(_) => continue,
             NetEvent::Frame(f) => f,
         };
-        match Message::decode(frame.payload).expect("collector frame") {
+        // Unwrap sealed leader frames, dropping deposed-leader ones.
+        let mut payload = frame.payload;
+        if cfg.robust() && frame.from < masters {
+            if let Some((term, inner)) = Message::unseal(&payload) {
+                if term < cur_term {
+                    continue;
+                }
+                cur_term = term;
+                payload = inner;
+            }
+        }
+        match Message::decode(payload).expect("collector frame") {
             Message::Outputs(pairs) => {
                 // Streaming delivery first, in arrival order, so a sink
                 // sees results with the lowest added latency.
@@ -804,11 +1555,15 @@ pub fn collector_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> Collect
                     }
                 }
             }
-            Message::Shutdown | Message::Goodbye => finished[frame.from - 1] = true,
+            Message::Shutdown | Message::Goodbye => {
+                assert!(frame.from >= masters, "flush markers come from slaves");
+                finished[frame.from - masters] = true;
+            }
             Message::Dead { slave } => {
-                assert_eq!(frame.from, 0, "only the master declares deaths");
+                assert!(frame.from < masters, "only a master declares deaths");
                 finished[slave as usize] = true;
             }
+            Message::MasterHeartbeat { term, .. } => cur_term = cur_term.max(term),
             other => panic!("collector got unexpected message {other:?}"),
         }
     }

@@ -23,11 +23,11 @@ use windjoin_net::TcpNetwork;
 /// One process's slice of a multi-process cluster run.
 #[derive(Debug, Clone)]
 pub struct ProcessConfig {
-    /// This process's rank (`0` = master, `1..=n` slaves, `n+1`
+    /// This process's rank (`0..m` masters, `m..m+n` slaves, `m+n`
     /// collector).
     pub rank: usize,
     /// Listen address of every rank, indexed by rank. The cluster size
-    /// is `peers.len()`; it must equal `node.slaves + 2`.
+    /// is `peers.len()`; it must equal `node.ranks()`.
     pub peers: Vec<SocketAddr>,
     /// The run itself (same config every rank, same seed).
     pub node: NodeConfig,
@@ -56,12 +56,16 @@ impl ProcessConfig {
         if self.node.slaves == 0 {
             return Err(ConfigError::NonPositive { field: "node.slaves" });
         }
+        if self.node.masters == 0 {
+            return Err(ConfigError::NonPositive { field: "node.masters" });
+        }
         if self.peers.len() != self.node.ranks() {
             return Err(ConfigError::Topology {
                 why: format!(
-                    "{} peers but the topology has {} ranks (master + {} slaves + collector)",
+                    "{} peers but the topology has {} ranks ({} master(s) + {} slaves + collector)",
                     self.peers.len(),
                     self.node.ranks(),
+                    self.node.masters,
                     self.node.slaves
                 ),
             });
@@ -100,7 +104,7 @@ pub fn run_node(cfg: &ProcessConfig) -> std::io::Result<NodeOutcome> {
     let ep =
         TcpNetwork::establish(cfg.rank, &cfg.peers, cfg.inbox_capacity, cfg.handshake_timeout)?;
     Ok(match cfg.node.role_of(cfg.rank) {
-        Role::Master => NodeOutcome::Master(nodes::master_node(&ep, &cfg.node)),
+        Role::Master(i) => NodeOutcome::Master(nodes::master_node_at(&ep, i, &cfg.node)),
         Role::Slave(i) => NodeOutcome::Slave(nodes::slave_node(&ep, i, &cfg.node)),
         Role::Collector => NodeOutcome::Collector(nodes::collector_node(&ep, &cfg.node)),
     })

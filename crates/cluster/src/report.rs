@@ -36,6 +36,9 @@ pub struct RunReport {
     pub final_degree: usize,
     /// Partition-group movements executed.
     pub moves: u64,
+    /// Slaves dead (crashed, not cleanly departed) when the run ended,
+    /// ascending.
+    pub dead_slaves: Vec<usize>,
     /// Simulated run horizon (µs).
     pub run_us: u64,
     /// Warm-up horizon (µs).

@@ -181,6 +181,20 @@ impl JobState {
     }
 }
 
+/// Per-job failure accounting, carried on every `STATUS_REPLY`. All
+/// zero while the job is running (the loss tally materialises with the
+/// unified report) and for any run in which no slave died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobLoss {
+    /// Partition-groups abandoned on dead slaves.
+    pub groups_lost: u64,
+    /// Window-bounded tuple loss (upper bound; see `WorkStats`).
+    pub tuples_lost: u64,
+    /// Slaves that were dead (crashed, not cleanly departed) when the
+    /// run ended.
+    pub dead_slaves: u64,
+}
+
 /// A digest of the unified [`RunReport`], serialised onto the `DONE`
 /// frame (the full report holds histograms and traces; the digest is
 /// what a remote client needs to check a run against its oracle).
@@ -286,6 +300,8 @@ pub enum Response {
         state: JobState,
         /// Outputs streamed so far.
         outputs: u64,
+        /// Failure accounting (zero until the job completes).
+        loss: JobLoss,
     },
     /// The job completed; carries the report digest.
     Done {
@@ -445,11 +461,14 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
                 out.extend_from_slice(&p.right.1.to_le_bytes());
             }
         }
-        Response::Status { job, state, outputs } => {
+        Response::Status { job, state, outputs, loss } => {
             out.push(K_STATUS_REPLY);
             out.extend_from_slice(&job.to_le_bytes());
             out.push(state.to_byte());
             out.extend_from_slice(&outputs.to_le_bytes());
+            out.extend_from_slice(&loss.groups_lost.to_le_bytes());
+            out.extend_from_slice(&loss.tuples_lost.to_le_bytes());
+            out.extend_from_slice(&loss.dead_slaves.to_le_bytes());
         }
         Response::Done { job, summary } => {
             out.push(K_DONE);
@@ -501,7 +520,13 @@ pub fn decode_response(b: &[u8]) -> Result<Response, ProtocolError> {
             let job = c.u64("STATUS job id")?;
             let state = JobState::from_byte(c.u8("STATUS state")?)
                 .ok_or(ProtocolError { why: "unknown job state".into() })?;
-            Response::Status { job, state, outputs: c.u64("STATUS outputs")? }
+            let outputs = c.u64("STATUS outputs")?;
+            let loss = JobLoss {
+                groups_lost: c.u64("STATUS groups_lost")?,
+                tuples_lost: c.u64("STATUS tuples_lost")?,
+                dead_slaves: c.u64("STATUS dead_slaves")?,
+            };
+            Response::Status { job, state, outputs, loss }
         }
         K_DONE => {
             let job = c.u64("DONE job id")?;
@@ -598,6 +623,9 @@ struct JobEntry {
     cancel: CancelToken,
     state: JobState,
     outputs: Arc<AtomicU64>,
+    // Filled from the unified report when the job thread completes;
+    // all-zero while running (guarded by the same `jobs` mutex).
+    loss: JobLoss,
 }
 
 struct Shared {
@@ -733,6 +761,7 @@ fn handle_client(mut stream: TcpStream, shared: Arc<Shared>) {
                             job,
                             state: entry.state,
                             outputs: entry.outputs.load(Ordering::Relaxed),
+                            loss: entry.loss,
                         }
                     }
                 }
@@ -745,6 +774,7 @@ fn handle_client(mut stream: TcpStream, shared: Arc<Shared>) {
                         job,
                         state: entry.state,
                         outputs: entry.outputs.load(Ordering::Relaxed),
+                        loss: entry.loss,
                     },
                 }
             }
@@ -774,6 +804,7 @@ fn submit(spec: JobSpec, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>) -
             cancel: cancel.clone(),
             state: JobState::Running,
             outputs: Arc::clone(&outputs),
+            loss: JobLoss::default(),
         },
     );
 
@@ -806,6 +837,11 @@ fn submit(spec: JobSpec, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>) -
         let reply = match result {
             Ok(report) => {
                 entry.state = if was_cancelling { JobState::Cancelled } else { JobState::Done };
+                entry.loss = JobLoss {
+                    groups_lost: report.work.groups_lost,
+                    tuples_lost: report.work.tuples_lost,
+                    dead_slaves: report.dead_slaves.len() as u64,
+                };
                 Response::Done {
                     job: job_id,
                     summary: JobSummary::from_report(&report, was_cancelling),
@@ -985,21 +1021,25 @@ impl ServeClient {
         }
     }
 
-    /// Requests cancellation; returns the job's `(state, outputs so far)`.
-    pub fn cancel(&mut self, job: u64) -> Result<(JobState, u64), ServeError> {
+    /// Requests cancellation; returns the job's `(state, outputs so
+    /// far, loss accounting)`.
+    pub fn cancel(&mut self, job: u64) -> Result<(JobState, u64, JobLoss), ServeError> {
         self.send(&Request::Cancel { job })?;
         self.take_status_reply(job)
     }
 
-    /// Queries a job's state; returns `(state, outputs so far)`.
-    pub fn status(&mut self, job: u64) -> Result<(JobState, u64), ServeError> {
+    /// Queries a job's state; returns `(state, outputs so far, loss
+    /// accounting)`. The loss fields are zero until the job completes.
+    pub fn status(&mut self, job: u64) -> Result<(JobState, u64, JobLoss), ServeError> {
         self.send(&Request::Status { job })?;
         self.take_status_reply(job)
     }
 
-    fn take_status_reply(&mut self, want: u64) -> Result<(JobState, u64), ServeError> {
+    fn take_status_reply(&mut self, want: u64) -> Result<(JobState, u64, JobLoss), ServeError> {
         match self.read_reply()? {
-            Response::Status { job, state, outputs } if job == want => Ok((state, outputs)),
+            Response::Status { job, state, outputs, loss } if job == want => {
+                Ok((state, outputs, loss))
+            }
             Response::Error { detail } => Err(ServeError::Server(detail)),
             other => Err(ServeError::Protocol(format!("unexpected status reply {other:?}"))),
         }
@@ -1089,7 +1129,12 @@ mod tests {
                     OutPair { key: u64::MAX, left: (0, 0), right: (u64::MAX, 1) },
                 ],
             },
-            Response::Status { job: 7, state: JobState::Cancelling, outputs: 41 },
+            Response::Status {
+                job: 7,
+                state: JobState::Cancelling,
+                outputs: 41,
+                loss: JobLoss { groups_lost: 2, tuples_lost: 977, dead_slaves: 1 },
+            },
             Response::Done { job: 7, summary },
             Response::Error { detail: "nope".into() },
             Response::Failed { job: 9, detail: "io".into() },

@@ -411,6 +411,7 @@ fn run_engine<E: ProbeEngine + 'static>(cfg: &RunConfig) -> RunReport {
         epoch_trace: shared.epoch_trace,
         final_degree: shared.final_degree,
         moves: shared.moves,
+        dead_slaves: Vec::new(), // the simulator injects no failures
         run_us: cfg.run_us,
         warmup_us: cfg.warmup_us,
     }

@@ -1,7 +1,8 @@
 //! In-process threaded runtime: one OS thread per node.
 //!
-//! Rank 0 is the master, ranks `1..=n` the slaves, rank `n+1` the
-//! collector (Fig. 1's topology). Nodes exchange **encoded byte frames**
+//! Ranks `0..m` are the masters (rank 0 leads, the rest stand by),
+//! ranks `m..m+n` the slaves, rank `m+n` the collector — Fig. 1's
+//! topology when `m == 1`. Nodes exchange **encoded byte frames**
 //! (`windjoin-net`) over a pluggable [`Transport`], so the whole §IV-B
 //! path — machine-independent tuple format, merged batches, stream
 //! tagging — is exercised end to end. Slaves run the physical
@@ -55,12 +56,13 @@ where
 {
     cfg.params.validate().expect("invalid parameters");
     assert!(cfg.slaves >= 1);
+    assert!(cfg.masters >= 1);
     assert_eq!(net.len(), cfg.ranks(), "transport sized for the wrong topology");
     let n = cfg.slaves;
 
-    let master_ep = net.take(0);
+    let master_eps: Vec<_> = (0..cfg.masters).map(|r| net.take(r)).collect();
     let collector_ep = net.take(cfg.collector_rank());
-    let slave_eps: Vec<_> = (1..=n).map(|r| net.take(r)).collect();
+    let slave_eps: Vec<_> = (0..n).map(|s| net.take(cfg.slave_rank(s))).collect();
 
     let run_us_total = cfg.run.as_micros() as u64;
     let warmup_us = cfg.warmup.as_micros() as u64;
@@ -80,12 +82,25 @@ where
             thread::spawn(move || nodes::slave_node(&ep, i, &cfg))
         })
         .collect();
-    let master = {
-        let cfg = std::sync::Arc::clone(&shared);
-        thread::spawn(move || nodes::master_node(&master_ep, &cfg))
-    };
+    let masters: Vec<_> = master_eps
+        .into_iter()
+        .enumerate()
+        .map(|(i, ep)| {
+            let cfg = std::sync::Arc::clone(&shared);
+            thread::spawn(move || nodes::master_node_at(&ep, i, &cfg))
+        })
+        .collect();
 
-    let m = master.join().expect("master");
+    // Exactly one master leads the shutdown of a completed run (rank 0
+    // with a single master; whichever rank held the final term after a
+    // failover). Its outcome describes the run; a chaos-killed leader
+    // or a passive standby contributes nothing.
+    let outcomes: Vec<_> = masters.into_iter().map(|h| h.join().expect("master")).collect();
+    let m = outcomes
+        .into_iter()
+        .filter(|m| m.led_shutdown)
+        .max_by_key(|m| m.term)
+        .expect("no master led the shutdown");
     let mut usage = UsageSet::new(n, warmup_us);
     let mut work = WorkStats::default();
     // Slave-failure losses are known only at the master (the dead
@@ -117,6 +132,7 @@ where
         epoch_trace: TimeSeries::new(cfg.params.reorg_epoch_us),
         final_degree: m.final_degree,
         moves: m.moves,
+        dead_slaves: m.dead_slaves,
         run_us: run_us_total,
         warmup_us,
     }

@@ -38,11 +38,11 @@ fn chaos_cfg() -> NodeConfig {
     cfg.warmup = Duration::from_millis(500);
     cfg.seed = 4242;
     cfg.capture_outputs = true;
-    cfg.chaos = Some(ChaosKill {
+    cfg.chaos = vec![ChaosKill {
         slave: KILLED_SLAVE,
         after_batches: KILL_AFTER_BATCHES,
         exit_process: false,
-    });
+    }];
     cfg
 }
 
@@ -169,7 +169,7 @@ fn wedged_slave_is_declared_dead_by_heartbeats() {
     // to stop waiting for it, and the run must still terminate with
     // surviving partitions exactly matching the oracle.
     let mut cfg = chaos_cfg();
-    cfg.chaos = None;
+    cfg.chaos = Vec::new();
     cfg.slaves = 2;
     cfg.heartbeat = Duration::from_millis(50);
     cfg.max_missed = 8; // declared dead after ~400 ms of silence
@@ -228,7 +228,7 @@ fn leave_directive_is_a_clean_goodbye_to_both_sinks() {
     // both distinguish the clean exit from a crash — and the goodbye
     // must precede the transport teardown notice (per-peer FIFO).
     let mut cfg = chaos_cfg();
-    cfg.chaos = None;
+    cfg.chaos = Vec::new();
     cfg.slaves = 1;
     let mut net = ChannelNetwork::new(cfg.ranks(), 64);
     let m_ep = net.take(0);
@@ -370,6 +370,215 @@ fn multiprocess_cluster_survives_slave_kill() {
         .and_then(|v| v.trim().parse().ok())
         .expect("tuples_lost in the loss line");
     assert!(tuples_lost > 0, "window loss must be accounted: {loss_line}");
+}
+
+// ---- Replicated control plane -------------------------------------------
+
+/// A robust config: 3 masters (leader + 2 hot standbys), fast beacons
+/// so failover fits in a short test run, no slave chaos by default.
+fn robust_cfg() -> NodeConfig {
+    let mut cfg = chaos_cfg();
+    cfg.chaos = Vec::new();
+    cfg.masters = 3;
+    cfg.heartbeat = Duration::from_millis(100);
+    cfg
+}
+
+fn assert_exact_oracle(cfg: &NodeConfig, report: &RunReport) {
+    let mut got = triples(&report.captured);
+    let n = got.len();
+    got.sort_unstable();
+    got.dedup();
+    assert_eq!(got.len(), n, "duplicate outputs");
+    let mut oracle = triples(&oracle_pairs(cfg));
+    oracle.sort_unstable();
+    assert_eq!(got, oracle, "output set diverged from the no-fault oracle");
+    assert_eq!(report.work.groups_lost, 0, "no group may be charged as lost");
+    assert_eq!(report.work.tuples_lost, 0, "no tuple may be charged as lost");
+}
+
+#[test]
+fn standby_masters_without_faults_match_the_oracle() {
+    // The replicated control plane (sealed frames, quorum-logged
+    // decisions, delivery guards) must be invisible when nothing fails.
+    let cfg = robust_cfg();
+    let report = {
+        let cfg = cfg.clone();
+        with_watchdog(move || run_threaded(&cfg))
+    };
+    assert!(report.outputs_total > 0);
+    assert!(report.dead_slaves.is_empty());
+    assert_exact_oracle(&cfg, &report);
+}
+
+#[test]
+fn leader_kill_with_standbys_loses_nothing() {
+    // The acceptance bar for the replicated control plane: kill the
+    // leading master mid-run with all slaves surviving — a standby must
+    // take over, re-ingest from sequence zero (the slaves' delivery
+    // guards absorb the redelivery) and the run must terminate with the
+    // output set EXACTLY equal to the no-fault oracle. Zero loss.
+    let mut cfg = robust_cfg();
+    cfg.chaos_master =
+        Some(windjoin_cluster::MasterKill { master: 0, after_epochs: 5, exit_process: false });
+    let report = {
+        let cfg = cfg.clone();
+        with_watchdog(move || run_threaded(&cfg))
+    };
+    assert!(report.outputs_total > 0);
+    assert!(report.dead_slaves.is_empty(), "no slave died in this scenario");
+    assert_exact_oracle(&cfg, &report);
+}
+
+#[test]
+fn checkpointed_slave_kill_loses_nothing_for_covered_partitions() {
+    // With per-batch buddy checkpoints every partition of the victim is
+    // covered at the instant of death (the snapshot is taken after each
+    // fully processed batch, before the chaos trigger), so the recovery
+    // restores every group from its buddy and replays the tail — the
+    // output set must equal the no-fault oracle exactly, with zero
+    // tuples charged as lost, even though a slave really died.
+    let mut cfg = chaos_cfg();
+    cfg.checkpoint_every = 1;
+    let report = {
+        let cfg = cfg.clone();
+        with_watchdog(move || run_threaded(&cfg))
+    };
+    assert!(report.outputs_total > 0);
+    assert_eq!(report.dead_slaves, vec![KILLED_SLAVE], "the victim must be declared dead");
+    assert_exact_oracle(&cfg, &report);
+}
+
+#[test]
+fn double_slave_fault_keeps_survivors_exact_and_accounts_loss() {
+    // Two slaves die in the same heartbeat window (same protocol point,
+    // no checkpointing). Survivor-owned partitions must still match the
+    // oracle exactly; dead-partition outputs must be a sound subset;
+    // and the loss accounting must balance: both victims dead, every
+    // dead partition-group charged (a group adopted by the second
+    // victim between the deaths may be charged twice — once with its
+    // real window state, once as an empty re-adoption), nonzero
+    // window-bounded tuple loss.
+    let mut cfg = chaos_cfg();
+    cfg.slaves = 4;
+    cfg.chaos = vec![
+        ChaosKill { slave: 1, after_batches: KILL_AFTER_BATCHES, exit_process: false },
+        ChaosKill { slave: 2, after_batches: KILL_AFTER_BATCHES, exit_process: false },
+    ];
+    let report = {
+        let cfg = cfg.clone();
+        with_watchdog(move || run_threaded(&cfg))
+    };
+    assert!(report.outputs_total > 0);
+    assert_eq!(report.dead_slaves, vec![1, 2]);
+
+    let dead: HashSet<u32> = [1usize, 2]
+        .iter()
+        .flat_map(|&s| windjoin_cluster::threadrt::initial_partitions(&cfg.params, cfg.slaves, s))
+        .collect();
+    let npart = cfg.params.npart;
+    let oracle = oracle_pairs(&cfg);
+    let (oracle_surviving, oracle_lost) = split_by_survival(triples(&oracle), &dead, npart);
+    let (got_surviving, got_lost) = split_by_survival(triples(&report.captured), &dead, npart);
+
+    let mut all = triples(&report.captured);
+    let n = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), n, "double fault produced duplicate outputs");
+
+    assert!(!oracle_surviving.is_empty());
+    assert_eq!(got_surviving, oracle_surviving, "survivors diverged after the double fault");
+    let oracle_lost: HashSet<_> = oracle_lost.into_iter().collect();
+    for p in &got_lost {
+        assert!(oracle_lost.contains(p), "non-oracle pair {p:?}");
+    }
+
+    // The accounting balances: every dead partition charged at least
+    // once, bounce re-adoptions can only add empty groups on top, and
+    // real window state was abandoned.
+    assert!(
+        report.work.groups_lost >= dead.len() as u64,
+        "{} dead partitions but only {} groups charged",
+        dead.len(),
+        report.work.groups_lost
+    );
+    assert!(
+        report.work.groups_lost <= 2 * dead.len() as u64,
+        "implausible group-loss count {}",
+        report.work.groups_lost
+    );
+    assert!(report.work.tuples_lost > 0, "window loss must be accounted");
+}
+
+/// Real-process leader kill through `windjoin-launch`: rank 0 (the boot
+/// leader of a 3-master cluster) is crashed via `--die-after-epochs`, a
+/// standby takes over, and the collector's captured pairs must equal
+/// the no-fault oracle exactly — zero loss with all slaves surviving.
+#[test]
+fn multiprocess_cluster_survives_leader_kill() {
+    use std::process::Command;
+    let mut cfg = robust_cfg();
+    cfg.slaves = 2; // 6 ranks: 3 masters + 2 slaves + collector
+    let dir = artifact_dir().join("master-kill");
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    let (stdout, logs) = {
+        let cfg = cfg.clone();
+        let dir = dir.clone();
+        with_watchdog(move || {
+            let out = Command::new(env!("CARGO_BIN_EXE_windjoin-launch"))
+                .args(["--ranks", &cfg.ranks().to_string()])
+                .args(["--masters", &cfg.masters.to_string()])
+                .args(["--bin", env!("CARGO_BIN_EXE_windjoin-node")])
+                .args(["--log-dir", dir.to_str().unwrap()])
+                .args(["--out", dir.join("collector.out").to_str().unwrap()])
+                .args(["--kill-rank", "0"])
+                .args(["--die-after-epochs", "5"])
+                .arg("--")
+                .args(["--rate", &cfg.rate.to_string()])
+                .args(["--run-ms", &cfg.run.as_millis().to_string()])
+                .args(["--warmup-ms", &cfg.warmup.as_millis().to_string()])
+                .args(["--seed", &cfg.seed.to_string()])
+                .args(["--window-ms", "2000"])
+                .args(["--keys", "uniform:500"])
+                .args(["--heartbeat-ms", "100"])
+                .args(["--handshake-ms", "10000"])
+                .arg("--emit-pairs")
+                .output()
+                .expect("run windjoin-launch");
+            assert!(
+                out.status.success(),
+                "windjoin-launch failed:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let logs: String = (0..cfg.masters)
+                .map(|r| {
+                    std::fs::read_to_string(dir.join(format!("rank{r}.log"))).unwrap_or_default()
+                })
+                .collect();
+            (String::from_utf8(out.stdout).expect("utf8 stdout"), logs)
+        })
+    };
+
+    assert!(logs.contains("chaos kill while leading"), "the leader never died:\n{logs}");
+    assert!(logs.contains("promoted at term"), "no standby took over:\n{logs}");
+
+    let mut pairs: Vec<PairId> = Vec::new();
+    for line in stdout.lines() {
+        let mut it = line.split_whitespace();
+        if it.next() == Some("pair") {
+            let f: Vec<u64> = it.map(|v| v.parse().unwrap()).collect();
+            pairs.push((f[0], f[2], f[4]));
+        }
+    }
+    assert!(!pairs.is_empty(), "leader-kill cluster produced nothing");
+    let n = pairs.len();
+    pairs.sort_unstable();
+    pairs.dedup();
+    assert_eq!(pairs.len(), n, "duplicate outputs after the leader kill");
+    let mut oracle = triples(&oracle_pairs(&cfg));
+    oracle.sort_unstable();
+    assert_eq!(pairs, oracle, "leader failover lost or fabricated outputs");
 }
 
 #[test]

@@ -135,7 +135,7 @@ fn admission_controller_rejects_over_budget_and_recovers() {
 
     // Cancel the running job; once it flushes, the budget frees up and
     // a new submission is admitted again.
-    let (state, _) = client.cancel(running).expect("cancel");
+    let (state, _, _) = client.cancel(running).expect("cancel");
     assert!(matches!(state, JobState::Cancelling | JobState::Cancelled), "state {state:?}");
     let summary = client.run_to_completion(running, |_| {}).expect("cancelled run completes");
     assert!(summary.cancelled);
@@ -173,7 +173,7 @@ fn cancel_truncates_a_long_run_promptly() {
     let job = client.submit_spec(&long_threaded_spec()).expect("admitted");
     let started = Instant::now();
     std::thread::sleep(Duration::from_millis(1500));
-    let (state, _) = client.cancel(job).expect("cancel");
+    let (state, _, _) = client.cancel(job).expect("cancel");
     assert!(matches!(state, JobState::Cancelling | JobState::Cancelled), "state {state:?}");
 
     let mut streamed = 0u64;
@@ -187,9 +187,11 @@ fn cancel_truncates_a_long_run_promptly() {
     assert_eq!(streamed, summary.outputs_total);
     // Cancelling twice (or after completion) is harmless and reports
     // the terminal state.
-    let (state, outputs) = client.cancel(job).expect("idempotent cancel");
+    let (state, outputs, loss) = client.cancel(job).expect("idempotent cancel");
     assert_eq!(state, JobState::Cancelled);
     assert_eq!(outputs, summary.outputs_total);
+    // No slave died in this run, so the loss accounting is all zero.
+    assert_eq!(loss, windjoin_cluster::serve::JobLoss::default());
 
     // Unknown job ids are a request error, not a hang.
     match client.status(9999) {
@@ -197,4 +199,48 @@ fn cancel_truncates_a_long_run_promptly() {
         other => panic!("expected unknown-job error, got {other:?}"),
     }
     server.stop();
+}
+
+/// Satellite guarantee of the CLI: a `FAILED` frame from the service
+/// must make `windjoin-submit` print the server's reason and exit
+/// nonzero — scripts keying on its exit status must never mistake a
+/// dead job for a clean one. A scripted fake server keeps the failure
+/// deterministic (no real runtime error is needed to provoke it).
+#[test]
+fn submit_binary_exits_nonzero_with_reason_on_failed_frame() {
+    use std::io::{Read, Write};
+    use windjoin_cluster::serve::{encode_response, Response};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("addr");
+    const REASON: &str = "slave 2 died before the window flushed";
+
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        // Consume the SUBMIT frame (length-prefixed; body ignored).
+        let mut hdr = [0u8; 4];
+        stream.read_exact(&mut hdr).expect("submit header");
+        let mut body = vec![0u8; u32::from_le_bytes(hdr) as usize];
+        stream.read_exact(&mut body).expect("submit body");
+        for reply in
+            [Response::Accepted { job: 3 }, Response::Failed { job: 3, detail: REASON.into() }]
+        {
+            let payload = encode_response(&reply);
+            stream.write_all(&(payload.len() as u32).to_le_bytes()).expect("reply header");
+            stream.write_all(&payload).expect("reply body");
+        }
+        // Keep the socket open until the client exits on its own.
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+    });
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_windjoin-submit"))
+        .args(["--connect", &addr.to_string(), "--sql", "SELECT 1"])
+        .output()
+        .expect("run windjoin-submit");
+    server.join().expect("fake server");
+
+    assert_eq!(out.status.code(), Some(1), "FAILED must map to exit 1, got {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains(REASON), "the reason must be printed, stderr:\n{stderr}");
 }

@@ -70,6 +70,13 @@ impl PartitionedBuffer {
         self.total_tuples == 0
     }
 
+    /// Partition `pid`'s buffered tuples (arrival order), left in
+    /// place — the checkpointing path snapshots without disturbing the
+    /// buffer.
+    pub fn partition_tuples(&self, pid: u32) -> &[Tuple] {
+        &self.parts[pid as usize]
+    }
+
     /// Drains and returns partition `pid`'s tuples (arrival order).
     pub fn drain_partition(&mut self, pid: u32) -> Vec<Tuple> {
         let v = std::mem::take(&mut self.parts[pid as usize]);

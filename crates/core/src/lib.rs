@@ -53,7 +53,9 @@
 
 pub mod block;
 pub mod buffer;
+pub mod checkpoint;
 pub mod config;
+pub mod ctrlog;
 pub mod errors;
 pub mod group;
 pub mod hash;
@@ -73,7 +75,11 @@ pub mod work;
 
 pub use block::Block;
 pub use buffer::PartitionedBuffer;
+pub use checkpoint::{
+    CheckpointMeta, CheckpointRegistry, CheckpointStore, PartitionCheckpoint, RestorePlan,
+};
 pub use config::{JoinSemantics, Params, TuningParams};
+pub use ctrlog::{ControlLog, Decision, Election};
 pub use errors::ConfigError;
 pub use group::{GroupState, PartitionGroup};
 pub use master::{MasterCore, MasterEvent, MovePlan, RecoveryPlan, ReorgPlan};

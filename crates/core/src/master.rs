@@ -22,6 +22,8 @@
 //! future matches, never fabricate or duplicate one, so outputs stay a
 //! subset of the oracle.
 
+use crate::checkpoint::{CheckpointRegistry, RestorePlan};
+use crate::ctrlog::Decision;
 use crate::reorg::{classify, decide_membership, pair_moves, DodDecision, NodeClass};
 use crate::{hash::partition_of, Params, PartitionedBuffer, Tuple, WorkStats};
 use rand::rngs::SmallRng;
@@ -67,8 +69,14 @@ pub struct RecoveryPlan {
     /// partition stays held until the adopter acks, exactly like a load
     /// move.
     pub adoptions: Vec<MovePlan>,
+    /// Partitions covered by a buddy checkpoint: the holder installs
+    /// its stored snapshot and the driver replays the tail past the
+    /// recorded watermarks — no loss charged. The hold/ack machinery is
+    /// the same as an adoption's.
+    pub restores: Vec<RestorePlan>,
     /// What died with the slave: one `groups_lost` per abandoned
-    /// partition-group, plus the window-bounded `tuples_lost` estimate.
+    /// (non-restored) partition-group, plus the window-bounded
+    /// `tuples_lost` estimate.
     pub lost: WorkStats,
 }
 
@@ -101,6 +109,10 @@ pub struct MasterCore {
     sent_watermark: u64,
     /// Accumulated losses across every slave failure.
     loss: WorkStats,
+    /// Who holds which partition's latest buddy checkpoint (fed by
+    /// `CkptNote` frames); consulted on slave death to restore instead
+    /// of charging loss.
+    ckpts: CheckpointRegistry,
     rng: SmallRng,
     peak_buffer_bytes: u64,
 }
@@ -135,6 +147,7 @@ impl MasterCore {
             sent_log: (0..params.npart).map(|_| VecDeque::new()).collect(),
             sent_watermark: 0,
             loss: WorkStats::default(),
+            ckpts: CheckpointRegistry::new(),
             rng: SmallRng::seed_from_u64(seed),
             params,
             peak_buffer_bytes: 0,
@@ -302,6 +315,8 @@ impl MasterCore {
         self.recovered[slave] = false;
         self.active[slave] = false;
         self.occupancy[slave] = None;
+        // Its checkpoint shelf died with it.
+        self.ckpts.drop_holder(slave);
 
         let stale: Vec<MovePlan> = self
             .pending_moves
@@ -333,6 +348,28 @@ impl MasterCore {
             if self.map[pid as usize] != slave {
                 continue;
             }
+            // A live buddy checkpoint turns the lossy adoption into a
+            // lossless restore at the holder. The `sent_log` is *not*
+            // cleared: the restored state is still at risk if the
+            // holder later dies uncheckpointed.
+            if let Some(meta) = self.ckpts.get(pid) {
+                let h = meta.holder;
+                if self.live[h] && self.active[h] {
+                    self.ckpts.forget(pid); // consumed; the holder re-checkpoints as owner
+                    self.map[pid as usize] = h;
+                    self.held.insert(pid);
+                    self.pending_moves.push(MovePlan { pid, from: slave, to: h });
+                    plan.restores.push(RestorePlan {
+                        pid,
+                        holder: h,
+                        seen_left: meta.seen_left,
+                        seen_right: meta.seen_right,
+                    });
+                    continue;
+                }
+                // Holder dead or inactive: the registration is worthless.
+                self.ckpts.forget(pid);
+            }
             self.charge_loss(pid, &mut plan.lost);
             let Some(to) = self.adopter() else {
                 // No live active slave remains; the orphan-rescue sweep
@@ -347,6 +384,36 @@ impl MasterCore {
         }
         self.loss.add(&plan.lost);
         plan
+    }
+
+    /// Records a `CkptNote` from `holder`: it shelved a checkpoint of
+    /// `pid` complete through the given delivery watermarks. Accepted
+    /// only when `holder` is `pid`'s current *buddy* — the slave one
+    /// past the current owner — is live, and no move of `pid` is in
+    /// flight; a note raced by an ownership change can therefore never
+    /// resurrect a stale snapshot. Returns whether it registered.
+    pub fn note_checkpoint(
+        &mut self,
+        pid: u32,
+        holder: usize,
+        seen_left: u64,
+        seen_right: u64,
+    ) -> bool {
+        if pid >= self.params.npart || holder >= self.live.len() {
+            return false;
+        }
+        let owner = self.map[pid as usize];
+        let buddy = (owner + 1) % self.live.len();
+        if holder != buddy || !self.live[holder] || self.held.contains(&pid) {
+            return false;
+        }
+        self.ckpts.note(pid, holder, seen_left, seen_right);
+        true
+    }
+
+    /// Partitions with a registered buddy checkpoint (diagnostics).
+    pub fn checkpointed_partitions(&self) -> Vec<u32> {
+        self.ckpts.covered_partitions()
     }
 
     /// The live active slave owning the fewest partitions (ties to the
@@ -534,6 +601,10 @@ impl MasterCore {
         self.map[mv.pid as usize] = mv.to;
         self.held.insert(mv.pid);
         self.pending_moves.push(mv);
+        // Any shelved checkpoint belongs to the closing ownership era;
+        // restoring it after tuples flow to the new owner would replay
+        // work whose outputs were already emitted.
+        self.ckpts.forget(mv.pid);
         plan.moves.push(mv);
     }
 
@@ -561,6 +632,106 @@ impl MasterCore {
         self.held.remove(&pid);
         self.pending_moves.retain(|m| m.pid != pid);
         true
+    }
+
+    // ---- Standby replica application --------------------------------
+    //
+    // A standby master mirrors the leader by applying decision *outputs*
+    // from the replicated control log rather than re-running the
+    // planners (which consult occupancy reports and the RNG — state only
+    // the leader has). Each mirrors the corresponding planner's state
+    // transition exactly, minus the planning.
+
+    /// Applies one replicated [`Decision`] to this core (standby path).
+    pub fn apply_decision(&mut self, d: &Decision) {
+        match d {
+            Decision::SlaveDown {
+                slave, adoptions, restores, groups_lost, tuples_lost, ..
+            } => self.apply_slave_down(*slave, adoptions, restores, *groups_lost, *tuples_lost),
+            Decision::Readmit { slave } => self.apply_readmit(*slave),
+            Decision::Reorg { moves, activated, deactivated } => {
+                self.apply_reorg(moves, *activated, *deactivated)
+            }
+        }
+    }
+
+    /// Mirrors a leader's [`MasterCore::on_slave_down`] outcome.
+    pub fn apply_slave_down(
+        &mut self,
+        slave: usize,
+        adoptions: &[MovePlan],
+        restores: &[RestorePlan],
+        groups_lost: u64,
+        tuples_lost: u64,
+    ) {
+        if !self.live[slave] {
+            return;
+        }
+        self.live[slave] = false;
+        self.recovered[slave] = false;
+        self.active[slave] = false;
+        self.occupancy[slave] = None;
+        self.ckpts.drop_holder(slave);
+        // Cancel in-flight moves touching the dead slave, exactly as
+        // the leader did; the re-issued ones arrive in `adoptions`.
+        let stale: Vec<u32> = self
+            .pending_moves
+            .iter()
+            .filter(|m| m.from == slave || m.to == slave)
+            .map(|m| m.pid)
+            .collect();
+        for pid in stale {
+            self.held.remove(&pid);
+            self.pending_moves.retain(|m| m.pid != pid);
+        }
+        for &mv in adoptions {
+            self.sent_log[mv.pid as usize].clear();
+            self.ckpts.forget(mv.pid);
+            self.map[mv.pid as usize] = mv.to;
+            self.held.insert(mv.pid);
+            self.pending_moves.push(mv);
+        }
+        for r in restores {
+            self.ckpts.forget(r.pid);
+            self.map[r.pid as usize] = r.holder;
+            self.held.insert(r.pid);
+            self.pending_moves.push(MovePlan { pid: r.pid, from: slave, to: r.holder });
+        }
+        self.loss.groups_lost += groups_lost;
+        self.loss.tuples_lost += tuples_lost;
+    }
+
+    /// Mirrors a leader's [`MasterCore::on_slave_up`] (standby path).
+    pub fn apply_readmit(&mut self, slave: usize) {
+        if !self.live[slave] {
+            self.live[slave] = true;
+            self.recovered[slave] = true;
+            self.occupancy[slave] = None;
+        }
+    }
+
+    /// Mirrors a leader's [`MasterCore::plan_reorg`] outcome (standby
+    /// path): the membership changes plus the movement plan, with no
+    /// re-planning.
+    pub fn apply_reorg(
+        &mut self,
+        moves: &[MovePlan],
+        activated: Option<usize>,
+        deactivated: Option<usize>,
+    ) {
+        if let Some(s) = activated {
+            self.active[s] = true;
+            self.recovered[s] = false;
+            self.occupancy[s] = None;
+        }
+        if let Some(s) = deactivated {
+            self.active[s] = false;
+            self.occupancy[s] = None;
+        }
+        let mut plan = ReorgPlan::default();
+        for &mv in moves {
+            self.start_move(mv, &mut plan);
+        }
     }
 
     /// Moves still awaiting completion.
@@ -1017,5 +1188,162 @@ mod tests {
         assert_eq!(m.peak_buffer_bytes(), 640);
         m.drain_for_slot(0);
         assert_eq!(m.peak_buffer_bytes(), 640, "peak persists after drain");
+    }
+
+    #[test]
+    fn buddy_checkpoint_turns_adoption_into_restore() {
+        let mut p = params(9);
+        p.sem.w_left_us = 1_000_000;
+        p.sem.w_right_us = 1_000_000;
+        p.expiry_lag_us = 0;
+        let mut m = MasterCore::new(p, 3, 3, 1);
+        for i in 0..300u64 {
+            m.on_arrival(Tuple::new(Side::Left, 1_000 + i, i, i));
+        }
+        m.drain_for_slot(0);
+        // Round-robin: pid 1 is owned by slave 1, whose buddy is 2.
+        assert_eq!(m.partition_owner(1), 1);
+        assert!(m.note_checkpoint(1, 2, 40, 0), "note from the live buddy registers");
+
+        let plan = m.on_slave_down(1);
+        assert_eq!(plan.restores.len(), 1);
+        let r = plan.restores[0];
+        assert_eq!((r.pid, r.holder), (1, 2));
+        assert_eq!((r.seen_left, r.seen_right), (40, 0));
+        assert_eq!(m.partition_owner(1), 2, "covered partition re-homed at its holder");
+        assert!(
+            plan.adoptions.iter().all(|a| a.pid != 1),
+            "a restored partition is not also freshly adopted"
+        );
+        // Loss is charged only for the two uncovered partitions (4, 7).
+        assert_eq!(plan.lost.groups_lost, 2);
+        // The restore rides the ordinary hold/ack machinery.
+        assert!(m.pending_moves().iter().any(|mv| mv.pid == 1 && mv.to == 2));
+        assert!(m.on_move_complete(1, 2));
+        // Consumed: a second failure of the holder charges the partition.
+        assert!(m.checkpointed_partitions().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_notes_are_buddy_gated() {
+        let mut m = MasterCore::new(params(9), 3, 3, 1);
+        // pid 0 is owned by slave 0; only its buddy (1) may register.
+        assert!(!m.note_checkpoint(0, 2, 1, 1), "non-buddy holder rejected");
+        assert!(!m.note_checkpoint(0, 0, 1, 1), "self-note rejected");
+        assert!(!m.note_checkpoint(99, 1, 1, 1), "unknown partition rejected");
+        assert!(m.note_checkpoint(0, 1, 1, 1));
+        assert_eq!(m.checkpointed_partitions(), vec![0]);
+
+        // An ownership move forgets the stale registration, and a note
+        // for the now in-flight partition is rejected.
+        m.on_occupancy(0, 0.9);
+        m.on_occupancy(1, 0.3);
+        m.on_occupancy(2, 0.0);
+        let mv = m.plan_reorg(false).moves[0];
+        assert_eq!(mv.from, 0);
+        if mv.pid == 0 {
+            assert!(m.checkpointed_partitions().is_empty(), "move forgets the snapshot");
+        }
+        assert!(!m.note_checkpoint(mv.pid, 1, 2, 2), "held partition rejects notes");
+
+        // A dead buddy's shelf is dropped wholesale.
+        let mut m2 = MasterCore::new(params(9), 3, 3, 1);
+        assert!(m2.note_checkpoint(0, 1, 1, 1));
+        assert!(m2.note_checkpoint(2, 0, 1, 1)); // pid 2 owned by 2, buddy 0
+        let _ = m2.on_slave_down(1);
+        assert_eq!(m2.checkpointed_partitions(), vec![2], "only holder 0's survives");
+    }
+
+    #[test]
+    fn restore_skipped_when_holder_is_dead() {
+        let mut m = MasterCore::new(params(9), 3, 3, 1);
+        assert_eq!(m.partition_owner(1), 1);
+        assert!(m.note_checkpoint(1, 2, 10, 10));
+        // The holder dies first (its shelf goes with it), then the owner.
+        let _ = m.on_slave_down(2);
+        let plan = m.on_slave_down(1);
+        assert!(plan.restores.is_empty(), "no holder, no restore");
+        assert!(plan.adoptions.iter().any(|a| a.pid == 1 && a.to == 0));
+    }
+
+    #[test]
+    fn replica_mirrors_leader_through_death_and_reorg() {
+        // A standby master applies the leader's decision *outputs* and
+        // must land in the same observable control state — the
+        // correctness bedrock of failover promotion.
+        let mut p = params(9);
+        p.sem.w_left_us = 1_000_000;
+        p.sem.w_right_us = 1_000_000;
+        p.expiry_lag_us = 0;
+        let mut leader = MasterCore::new(p.clone(), 3, 3, 7);
+        let mut replica = MasterCore::new(p, 3, 3, 7);
+
+        // Epoch 1: a load move (leader plans; replica applies outputs).
+        leader.on_occupancy(0, 0.9);
+        leader.on_occupancy(1, 0.0);
+        leader.on_occupancy(2, 0.3);
+        let rp = leader.plan_reorg(false);
+        assert_eq!(rp.moves.len(), 1);
+        replica.apply_reorg(&rp.moves, rp.activated, rp.deactivated);
+
+        // Traffic flows through the leader only.
+        for i in 0..300u64 {
+            leader.on_arrival(Tuple::new(Side::Left, 1_000 + i, i, i));
+        }
+        leader.drain_for_slot(0);
+
+        // Both masters hear the same buddy checkpoint note.
+        let covered = (0..9u32).find(|&pid| {
+            leader.partition_owner(pid) == 1 && !leader.pending_moves().iter().any(|m| m.pid == pid)
+        });
+        if let Some(pid) = covered {
+            assert!(leader.note_checkpoint(pid, 2, 50, 0));
+            assert!(replica.note_checkpoint(pid, 2, 50, 0));
+        }
+
+        // Slave 1 dies mid-move; the replica applies the decision.
+        let dp = leader.on_slave_down(1);
+        let d = Decision::SlaveDown {
+            slave: 1,
+            clean: false,
+            adoptions: dp.adoptions.clone(),
+            restores: dp.restores.clone(),
+            groups_lost: dp.lost.groups_lost,
+            tuples_lost: dp.lost.tuples_lost,
+        };
+        replica.apply_decision(&d);
+        if covered.is_some() {
+            assert_eq!(dp.restores.len(), 1, "the covered partition restores");
+        }
+
+        // Readmission + the next reorg, mirrored the same way.
+        assert!(leader.on_slave_up(1));
+        replica.apply_decision(&Decision::Readmit { slave: 1 });
+        leader.on_occupancy(0, 0.2);
+        leader.on_occupancy(2, 0.2);
+        let rp2 = leader.plan_reorg(false);
+        assert_eq!(rp2.activated, Some(1));
+        replica.apply_reorg(&rp2.moves, rp2.activated, rp2.deactivated);
+
+        // Observable control state is identical.
+        assert_eq!(leader.live_slaves(), replica.live_slaves());
+        assert_eq!(leader.active_slaves(), replica.active_slaves());
+        assert_eq!(leader.degree(), replica.degree());
+        for pid in 0..9u32 {
+            assert_eq!(
+                leader.partition_owner(pid),
+                replica.partition_owner(pid),
+                "owner of partition {pid} diverged"
+            );
+        }
+        let sort = |mvs: &[MovePlan]| {
+            let mut v: Vec<MovePlan> = mvs.to_vec();
+            v.sort_by_key(|m| m.pid);
+            v
+        };
+        assert_eq!(sort(leader.pending_moves()), sort(replica.pending_moves()));
+        assert_eq!(leader.loss().groups_lost, replica.loss().groups_lost);
+        assert_eq!(leader.loss().tuples_lost, replica.loss().tuples_lost);
+        assert_eq!(leader.checkpointed_partitions(), replica.checkpointed_partitions());
     }
 }

@@ -7,7 +7,7 @@ use crate::{
     hash::partition_of, GroupState, OutPair, Params, PartitionGroup, PartitionedBuffer,
     PayloadEntry, PayloadStore, ProbeEngine, Residual, Side, Tuple, WorkStats,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -29,6 +29,14 @@ pub struct SlaveCore<E: ProbeEngine> {
     /// during a state move never loses payloads its delayed probes may
     /// still need).
     payloads: BTreeMap<u32, PayloadStore>,
+    /// When set, duplicate deliveries are dropped by per-`(partition,
+    /// side)` sequence guards — a promoted leader replays the stream
+    /// from the start, and redelivery must be idempotent.
+    dedupe: bool,
+    /// Next-expected source sequence per partition, `[left, right]`.
+    /// Absent / `0` = accept anything. Guards travel with partition
+    /// moves ([`seen_of`](Self::seen_of) / [`set_seen`](Self::set_seen)).
+    seen: HashMap<u32, [u64; 2]>,
 }
 
 impl<E: ProbeEngine> SlaveCore<E> {
@@ -48,7 +56,49 @@ impl<E: ProbeEngine> SlaveCore<E> {
             occupancy_samples: Vec::new(),
             residual: Residual::ALWAYS,
             payloads: BTreeMap::new(),
+            dedupe: false,
+            seen: HashMap::new(),
         }
+    }
+
+    /// Turns on duplicate-delivery suppression (see the `seen` field).
+    /// Enabled by drivers running a replicated control plane, where a
+    /// promoted leader re-sends the stream from sequence zero.
+    pub fn enable_dedupe(&mut self) {
+        self.dedupe = true;
+    }
+
+    /// The delivery guards of `pid` as `(next-expected left seq,
+    /// next-expected right seq)` — what a checkpoint records so the
+    /// restore path knows where the replay tail starts.
+    pub fn seen_of(&self, pid: u32) -> (u64, u64) {
+        let g = self.seen.get(&pid).copied().unwrap_or([0, 0]);
+        (g[0], g[1])
+    }
+
+    /// Max-merges delivery guards for `pid` — the receiving half of a
+    /// partition move or checkpoint restore. Never lowers a guard: a
+    /// stale `Seen` cannot reopen the door to duplicates.
+    pub fn set_seen(&mut self, pid: u32, left: u64, right: u64) {
+        let g = self.seen.entry(pid).or_insert([0, 0]);
+        g[0] = g[0].max(left);
+        g[1] = g[1].max(right);
+    }
+
+    /// Admission check for one tuple: with dedupe on, drops sequences
+    /// already delivered to `pid` on that side and advances the guard.
+    #[inline]
+    fn admit(&mut self, pid: u32, t: &Tuple) -> bool {
+        if !self.dedupe {
+            return true;
+        }
+        let g = self.seen.entry(pid).or_insert([0, 0]);
+        let s = t.side as usize;
+        if t.seq < g[s] {
+            return false;
+        }
+        g[s] = t.seq + 1;
+        true
     }
 
     /// This slave's identifier (as known to the master).
@@ -95,6 +145,9 @@ impl<E: ProbeEngine> SlaveCore<E> {
     pub fn receive_batch_slice(&mut self, batch: &[Tuple]) {
         for &t in batch {
             let pid = partition_of(t.key, self.params.npart);
+            if !self.admit(pid, &t) {
+                continue;
+            }
             self.buffer.push(pid, t);
         }
     }
@@ -112,6 +165,9 @@ impl<E: ProbeEngine> SlaveCore<E> {
         assert_eq!(batch.len(), payloads.len(), "payload column misaligned with batch");
         for (&t, p) in batch.iter().zip(payloads) {
             let pid = partition_of(t.key, self.params.npart);
+            if !self.admit(pid, &t) {
+                continue;
+            }
             self.buffer.push(pid, t);
             if !p.is_empty() {
                 self.payloads.entry(pid).or_default().insert(t.side, t.seq, t.t, p.clone());
@@ -406,6 +462,24 @@ impl<E: ProbeEngine> SlaveCore<E> {
         }
         self.install_group(pid, state, pending, work);
         replaced
+    }
+
+    /// A non-destructive snapshot of owned partition `pid` for
+    /// checkpointing: the window state (same encoding a §IV-C state
+    /// move ships), the pending buffered tuples, and the payload
+    /// entries. The live group keeps processing; the clone pays the
+    /// snapshot cost. `None` when the partition is not owned.
+    pub fn snapshot_group(&self, pid: u32) -> Option<(GroupState, Vec<Tuple>, Vec<PayloadEntry>)>
+    where
+        E: Clone,
+    {
+        let group = self.groups.get(&pid)?.clone();
+        let mut scratch = WorkStats::default();
+        let state = group.extract_state(&mut scratch);
+        let pending = self.buffer.partition_tuples(pid).to_vec();
+        let payloads =
+            self.payloads.get(&pid).cloned().map(PayloadStore::into_entries).unwrap_or_default();
+        Some((state, pending, payloads))
     }
 
     /// Total window blocks across owned partitions (the paper's
@@ -785,5 +859,97 @@ mod tests {
         let before = out.len();
         s.process_pending(&mut out, &mut work);
         assert_eq!(out.len() - before, 1, "delayed probe lost its match");
+    }
+
+    #[test]
+    fn dedupe_drops_redelivered_sequences() {
+        let p = small_params();
+        let key = 5u64;
+        let mut s = slave_with_all_partitions();
+        s.enable_dedupe();
+        let batch = vec![
+            Tuple::new(Side::Left, 100, key, 0),
+            Tuple::new(Side::Left, 110, key, 1),
+            Tuple::new(Side::Right, 120, key, 0),
+        ];
+        s.receive_batch(batch.clone());
+        // A promoted leader replays everything from sequence zero, plus
+        // one genuinely new tuple.
+        let mut replay = batch;
+        replay.push(Tuple::new(Side::Right, 130, key, 1));
+        s.receive_batch(replay);
+        assert_eq!(s.backlog_tuples(), 4, "duplicates dropped, the new tuple kept");
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        s.process_pending(&mut out, &mut work);
+        assert_eq!(out.len(), 4, "2 left x 2 right, no duplicate pairs");
+        let pid = partition_of(key, p.npart);
+        assert_eq!(s.seen_of(pid), (2, 2), "guards advanced past the last sequences");
+
+        // Guards are per side: a left guard never blocks a right tuple.
+        s.receive_batch(vec![Tuple::new(Side::Right, 140, key, 2)]);
+        assert_eq!(s.backlog_tuples(), 1);
+
+        // Without dedupe, redelivery duplicates (the legacy behavior).
+        let mut legacy = slave_with_all_partitions();
+        legacy.receive_batch(vec![Tuple::new(Side::Left, 100, key, 0)]);
+        legacy.receive_batch(vec![Tuple::new(Side::Left, 100, key, 0)]);
+        assert_eq!(legacy.backlog_tuples(), 2);
+    }
+
+    #[test]
+    fn seen_guards_max_merge_and_travel() {
+        let p = small_params();
+        let mut s: SlaveCore<CountedEngine> = SlaveCore::new(0, p);
+        s.enable_dedupe();
+        assert_eq!(s.seen_of(3), (0, 0));
+        s.set_seen(3, 10, 4);
+        s.set_seen(3, 3, 8); // stale left, fresher right
+        assert_eq!(s.seen_of(3), (10, 8), "never lowered");
+        // An arriving duplicate below the guard is dropped even though
+        // this slave never saw the original (a restored partition).
+        s.create_group(3);
+        let key = (0..10_000u64).find(|&k| partition_of(k, s.params().npart) == 3).unwrap();
+        s.receive_batch(vec![
+            Tuple::new(Side::Left, 100, key, 9),  // < 10: replayed tail, dup
+            Tuple::new(Side::Left, 110, key, 10), // >= 10: genuinely new
+        ]);
+        assert_eq!(s.backlog_tuples(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_nondestructive_and_restores_elsewhere() {
+        let p = small_params();
+        let key = 5u64;
+        let pid = partition_of(key, p.npart);
+        let mut a = slave_with_all_partitions();
+        a.enable_dedupe();
+        a.receive_batch((0..30).map(|i| Tuple::new(Side::Left, 100 + i, key, i)).collect());
+        let mut out = Vec::new();
+        let mut work = WorkStats::default();
+        a.process_pending(&mut out, &mut work);
+        // One pending tuple buffered after the processing pass.
+        a.receive_batch(vec![Tuple::new(Side::Left, 200, key, 30)]);
+
+        let (state, pending, payloads) = a.snapshot_group(pid).expect("owned");
+        assert_eq!(pending.len(), 1, "buffered tail rides the snapshot");
+        assert!(payloads.is_empty());
+        assert_eq!(a.window_tuples(), 30, "snapshot leaves the live group intact");
+        assert_eq!(a.backlog_tuples(), 1, "snapshot leaves the buffer intact");
+        assert!(a.snapshot_group(999).is_none());
+
+        // The buddy installs the snapshot and inherits the guards.
+        let (sl, sr) = a.seen_of(pid);
+        let mut b: SlaveCore<CountedEngine> = SlaveCore::new(1, p);
+        b.enable_dedupe();
+        b.adopt_group(pid, state, pending, &mut work);
+        b.set_seen(pid, sl, sr);
+        // The replayed tail (everything from seq 0) is deduplicated;
+        // a fresh probe joins against the full restored window.
+        b.receive_batch((0..31).map(|i| Tuple::new(Side::Left, 100 + i, key, i)).collect());
+        b.receive_batch(vec![Tuple::new(Side::Right, 300, key, 0)]);
+        let before = out.len();
+        b.process_pending(&mut out, &mut work);
+        assert_eq!(out.len() - before, 31, "30 windowed + 1 pending, no duplicates");
     }
 }

@@ -8,7 +8,9 @@ use crate::wire::{
 };
 use bytes::{Buf, BufMut, Bytes};
 use windjoin_core::group::BucketState;
-use windjoin_core::{GroupState, OutPair, PayloadEntry, Side, Tuple};
+use windjoin_core::{
+    Decision, GroupState, MovePlan, OutPair, PayloadEntry, RestorePlan, Side, Tuple,
+};
 
 /// Everything that travels between nodes.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +80,99 @@ pub enum Message {
         /// The dead slave's index (rank `slave + 1`).
         slave: u32,
     },
+    /// A term-stamped envelope around any other frame. Multi-master
+    /// runs seal every leader → slave/collector frame so receivers can
+    /// discard stale-leader traffic after a failover; single-master runs
+    /// send raw frames (byte-compatible with the legacy protocol).
+    Sealed {
+        /// The sender's leader term.
+        term: u64,
+        /// The wrapped frame (never itself a `Sealed`).
+        inner: Box<Message>,
+    },
+    /// Leader → standby masters: replicate one control-log entry.
+    AppendEntry {
+        /// The appending leader's term.
+        term: u64,
+        /// Zero-based log index of the entry.
+        index: u64,
+        /// The replicated decision.
+        decision: Decision,
+    },
+    /// Standby master → leader: the entry at `index` is mirrored.
+    AppendAck {
+        /// The acking master's current term.
+        term: u64,
+        /// The acked log index.
+        index: u64,
+    },
+    /// Candidate master → other masters: request a vote.
+    VoteRequest {
+        /// The candidate's (new) term.
+        term: u64,
+        /// The candidate's log length — voters refuse shorter logs.
+        last_index: u64,
+    },
+    /// Master → candidate: vote reply.
+    Vote {
+        /// The voter's term after considering the request.
+        term: u64,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader → everyone: leader liveness beacon. Standbys reset their
+    /// election timers; slaves and the collector learn the leader rank
+    /// from the transport envelope and the term from the frame.
+    MasterHeartbeat {
+        /// The leader's term.
+        term: u64,
+        /// The leader's commit index (diagnostics / future catch-up).
+        commit: u64,
+    },
+    /// Owner slave → buddy slave: a periodic partition checkpoint (the
+    /// `State` transfer encoding plus delivery watermarks).
+    Checkpoint {
+        /// Partition-group id.
+        pid: u32,
+        /// Exclusive left-side delivery watermark of the snapshot.
+        seen_left: u64,
+        /// Exclusive right-side delivery watermark.
+        seen_right: u64,
+        /// Window state.
+        state: GroupState,
+        /// Buffered-but-unprocessed tuples at snapshot time.
+        pending: Vec<Tuple>,
+        /// Payload entries at snapshot time.
+        payloads: Vec<PayloadEntry>,
+    },
+    /// Buddy slave → every master: a checkpoint of `pid` is shelved
+    /// here, complete through the given watermarks. Sent by the *buddy*
+    /// after storing, so the registry can never lead the shelf.
+    CkptNote {
+        /// Partition-group id.
+        pid: u32,
+        /// Exclusive left-side watermark of the shelved snapshot.
+        seen_left: u64,
+        /// Exclusive right-side watermark.
+        seen_right: u64,
+    },
+    /// Master → holder slave: install your shelved checkpoint of `pid`
+    /// and take ownership (the restore half of a recovery plan).
+    Restore {
+        /// Partition-group id.
+        pid: u32,
+    },
+    /// Supplier slave → consumer slave, alongside a `State` install:
+    /// the delivery guards of the moved partition, so dedupe suppression
+    /// survives ownership changes.
+    Seen {
+        /// Partition-group id.
+        pid: u32,
+        /// Next-expected left-side sequence.
+        left: u64,
+        /// Next-expected right-side sequence.
+        right: u64,
+    },
 }
 
 const K_BATCH: u8 = 1;
@@ -94,6 +189,21 @@ const K_DEAD: u8 = 11;
 const K_PBATCH: u8 = 12;
 /// A `State` frame with a trailing payload-entry section.
 const K_STATE_P: u8 = 13;
+const K_SEALED: u8 = 14;
+const K_APPEND: u8 = 15;
+const K_APPEND_ACK: u8 = 16;
+const K_VOTE_REQ: u8 = 17;
+const K_VOTE: u8 = 18;
+const K_MHEART: u8 = 19;
+const K_CKPT: u8 = 20;
+const K_CKPT_NOTE: u8 = 21;
+const K_RESTORE: u8 = 22;
+const K_SEEN: u8 = 23;
+
+/// `Decision` subtags inside a `K_APPEND` frame.
+const D_SLAVE_DOWN: u8 = 0;
+const D_READMIT: u8 = 1;
+const D_REORG: u8 = 2;
 
 fn put_tuples(buf: &mut Vec<u8>, tuples: &[Tuple]) {
     // Reserve the length slot, encode in place, patch the length —
@@ -171,6 +281,186 @@ fn get_payload_entries(buf: &mut Bytes) -> Result<Vec<PayloadEntry>, WireError> 
     Ok(entries)
 }
 
+/// Window state + pending tuples, the shared body of `State` and
+/// `Checkpoint` frames.
+fn put_group(buf: &mut Vec<u8>, state: &GroupState, pending: &[Tuple]) {
+    buf.put_u32_le(state.buckets.len() as u32);
+    for b in &state.buckets {
+        buf.put_u64_le(b.pattern);
+        buf.put_u8(b.depth);
+        // Left/right tuples as tagged batches; the sides are known but
+        // tagging keeps one decoder path.
+        put_tuples(buf, &b.left);
+        put_tuples(buf, &b.right);
+    }
+    put_tuples(buf, pending);
+}
+
+fn get_group(buf: &mut Bytes) -> Result<(GroupState, Vec<Tuple>), WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let nbuckets = buf.get_u32_le() as usize;
+    // Untrusted count: cap the pre-allocation by the bytes actually
+    // present (each bucket needs ≥ 9 bytes).
+    let mut buckets = Vec::with_capacity(nbuckets.min(buf.remaining() / 9));
+    for _ in 0..nbuckets {
+        if buf.remaining() < 9 {
+            return Err(WireError::Truncated);
+        }
+        let pattern = buf.get_u64_le();
+        let depth = buf.get_u8();
+        let left = get_tuples(buf)?;
+        let right = get_tuples(buf)?;
+        debug_assert!(left.iter().all(|t| t.side == Side::Left));
+        debug_assert!(right.iter().all(|t| t.side == Side::Right));
+        buckets.push(BucketState { pattern, depth, left, right });
+    }
+    let pending = get_tuples(buf)?;
+    Ok((GroupState { buckets }, pending))
+}
+
+fn put_move_plans(buf: &mut Vec<u8>, moves: &[MovePlan]) {
+    buf.put_u32_le(moves.len() as u32);
+    for m in moves {
+        buf.put_u32_le(m.pid);
+        buf.put_u32_le(m.from as u32);
+        buf.put_u32_le(m.to as u32);
+    }
+}
+
+fn get_move_plans(buf: &mut Bytes) -> Result<Vec<MovePlan>, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    // Untrusted count: each plan occupies 12 bytes.
+    let mut moves = Vec::with_capacity(n.min(buf.remaining() / 12));
+    for _ in 0..n {
+        if buf.remaining() < 12 {
+            return Err(WireError::Truncated);
+        }
+        moves.push(MovePlan {
+            pid: buf.get_u32_le(),
+            from: buf.get_u32_le() as usize,
+            to: buf.get_u32_le() as usize,
+        });
+    }
+    Ok(moves)
+}
+
+fn put_opt_rank(buf: &mut Vec<u8>, r: Option<usize>) {
+    match r {
+        Some(r) => {
+            buf.put_u8(1);
+            buf.put_u32_le(r as u32);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_opt_rank(buf: &mut Bytes) -> Result<Option<usize>, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        _ => {
+            if buf.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            Ok(Some(buf.get_u32_le() as usize))
+        }
+    }
+}
+
+fn put_decision(buf: &mut Vec<u8>, d: &Decision) {
+    match d {
+        Decision::SlaveDown { slave, clean, adoptions, restores, groups_lost, tuples_lost } => {
+            buf.put_u8(D_SLAVE_DOWN);
+            buf.put_u32_le(*slave as u32);
+            buf.put_u8(*clean as u8);
+            put_move_plans(buf, adoptions);
+            buf.put_u32_le(restores.len() as u32);
+            for r in restores {
+                buf.put_u32_le(r.pid);
+                buf.put_u32_le(r.holder as u32);
+                buf.put_u64_le(r.seen_left);
+                buf.put_u64_le(r.seen_right);
+            }
+            buf.put_u64_le(*groups_lost);
+            buf.put_u64_le(*tuples_lost);
+        }
+        Decision::Readmit { slave } => {
+            buf.put_u8(D_READMIT);
+            buf.put_u32_le(*slave as u32);
+        }
+        Decision::Reorg { moves, activated, deactivated } => {
+            buf.put_u8(D_REORG);
+            put_move_plans(buf, moves);
+            put_opt_rank(buf, *activated);
+            put_opt_rank(buf, *deactivated);
+        }
+    }
+}
+
+fn get_decision(buf: &mut Bytes) -> Result<Decision, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    match buf.get_u8() {
+        D_SLAVE_DOWN => {
+            if buf.remaining() < 5 {
+                return Err(WireError::Truncated);
+            }
+            let slave = buf.get_u32_le() as usize;
+            let clean = buf.get_u8() != 0;
+            let adoptions = get_move_plans(buf)?;
+            if buf.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            let n = buf.get_u32_le() as usize;
+            // Untrusted count: each restore occupies 24 bytes.
+            let mut restores = Vec::with_capacity(n.min(buf.remaining() / 24));
+            for _ in 0..n {
+                if buf.remaining() < 24 {
+                    return Err(WireError::Truncated);
+                }
+                restores.push(RestorePlan {
+                    pid: buf.get_u32_le(),
+                    holder: buf.get_u32_le() as usize,
+                    seen_left: buf.get_u64_le(),
+                    seen_right: buf.get_u64_le(),
+                });
+            }
+            if buf.remaining() < 16 {
+                return Err(WireError::Truncated);
+            }
+            Ok(Decision::SlaveDown {
+                slave,
+                clean,
+                adoptions,
+                restores,
+                groups_lost: buf.get_u64_le(),
+                tuples_lost: buf.get_u64_le(),
+            })
+        }
+        D_READMIT => {
+            if buf.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            Ok(Decision::Readmit { slave: buf.get_u32_le() as usize })
+        }
+        D_REORG => {
+            let moves = get_move_plans(buf)?;
+            let activated = get_opt_rank(buf)?;
+            let deactivated = get_opt_rank(buf)?;
+            Ok(Decision::Reorg { moves, activated, deactivated })
+        }
+        other => Err(WireError::BadTagScheme(other)),
+    }
+}
+
 fn get_pair(buf: &mut Bytes) -> Result<OutPair, WireError> {
     if buf.remaining() < 40 {
         return Err(WireError::Truncated);
@@ -195,10 +485,25 @@ impl Message {
     /// `TransportEndpoint::send_slice` for an allocation-free send path.
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
         buf.clear();
+        self.encode_append(buf);
+    }
+
+    /// The appending encoder behind [`encode_into`](Self::encode_into)
+    /// — also how a [`Message::Sealed`] writes its inner frame in place.
+    fn encode_append(&self, buf: &mut Vec<u8>) {
         match self {
-            Message::Batch(tuples) => Self::encode_batch_into(tuples, buf),
+            Message::Batch(tuples) => {
+                buf.put_u8(K_BATCH);
+                put_tuples(buf, tuples);
+            }
             Message::PayloadBatch { tuples, payloads, width } => {
-                Self::encode_payload_batch_into(tuples, payloads, *width as usize, buf)
+                buf.put_u8(K_PBATCH);
+                let slot = buf.len();
+                buf.put_u32_le(0);
+                let body_start = buf.len();
+                encode_batch_payload_into(tuples, payloads, *width as usize, buf);
+                let body_len = (buf.len() - body_start) as u32;
+                buf[slot..slot + 4].copy_from_slice(&body_len.to_le_bytes());
             }
             Message::Occupancy(f) => {
                 buf.put_u8(K_OCC);
@@ -215,16 +520,7 @@ impl Message {
                 // section under a distinct kind byte.
                 buf.put_u8(if payloads.is_empty() { K_STATE } else { K_STATE_P });
                 buf.put_u32_le(*pid);
-                buf.put_u32_le(state.buckets.len() as u32);
-                for b in &state.buckets {
-                    buf.put_u64_le(b.pattern);
-                    buf.put_u8(b.depth);
-                    // Left/right tuples as tagged batches; the sides are
-                    // known but tagging keeps one decoder path.
-                    put_tuples(buf, &b.left);
-                    put_tuples(buf, &b.right);
-                }
-                put_tuples(buf, pending);
+                put_group(buf, state, pending);
                 if !payloads.is_empty() {
                     put_payload_entries(buf, payloads);
                 }
@@ -233,7 +529,13 @@ impl Message {
                 buf.put_u8(K_DONE);
                 buf.put_u32_le(*pid);
             }
-            Message::Outputs(pairs) => Self::encode_outputs_into(pairs, buf),
+            Message::Outputs(pairs) => {
+                buf.put_u8(K_OUT);
+                buf.put_u32_le(pairs.len() as u32);
+                for p in pairs {
+                    put_pair(buf, p);
+                }
+            }
             Message::Shutdown => {
                 buf.put_u8(K_SHUT);
             }
@@ -250,6 +552,62 @@ impl Message {
             Message::Dead { slave } => {
                 buf.put_u8(K_DEAD);
                 buf.put_u32_le(*slave);
+            }
+            Message::Sealed { term, inner } => {
+                assert!(!matches!(**inner, Message::Sealed { .. }), "a Sealed frame must not nest");
+                buf.put_u8(K_SEALED);
+                buf.put_u64_le(*term);
+                inner.encode_append(buf);
+            }
+            Message::AppendEntry { term, index, decision } => {
+                buf.put_u8(K_APPEND);
+                buf.put_u64_le(*term);
+                buf.put_u64_le(*index);
+                put_decision(buf, decision);
+            }
+            Message::AppendAck { term, index } => {
+                buf.put_u8(K_APPEND_ACK);
+                buf.put_u64_le(*term);
+                buf.put_u64_le(*index);
+            }
+            Message::VoteRequest { term, last_index } => {
+                buf.put_u8(K_VOTE_REQ);
+                buf.put_u64_le(*term);
+                buf.put_u64_le(*last_index);
+            }
+            Message::Vote { term, granted } => {
+                buf.put_u8(K_VOTE);
+                buf.put_u64_le(*term);
+                buf.put_u8(*granted as u8);
+            }
+            Message::MasterHeartbeat { term, commit } => {
+                buf.put_u8(K_MHEART);
+                buf.put_u64_le(*term);
+                buf.put_u64_le(*commit);
+            }
+            Message::Checkpoint { pid, seen_left, seen_right, state, pending, payloads } => {
+                buf.put_u8(K_CKPT);
+                buf.put_u32_le(*pid);
+                buf.put_u64_le(*seen_left);
+                buf.put_u64_le(*seen_right);
+                put_group(buf, state, pending);
+                put_payload_entries(buf, payloads);
+            }
+            Message::CkptNote { pid, seen_left, seen_right } => {
+                buf.put_u8(K_CKPT_NOTE);
+                buf.put_u32_le(*pid);
+                buf.put_u64_le(*seen_left);
+                buf.put_u64_le(*seen_right);
+            }
+            Message::Restore { pid } => {
+                buf.put_u8(K_RESTORE);
+                buf.put_u32_le(*pid);
+            }
+            Message::Seen { pid, left, right } => {
+                buf.put_u8(K_SEEN);
+                buf.put_u32_le(*pid);
+                buf.put_u64_le(*left);
+                buf.put_u64_le(*right);
             }
         }
     }
@@ -372,30 +730,14 @@ impl Message {
                 Ok(Message::MoveDirective { pid: buf.get_u32_le(), to: buf.get_u32_le() })
             }
             kind @ (K_STATE | K_STATE_P) => {
-                if buf.remaining() < 8 {
+                if buf.remaining() < 4 {
                     return Err(WireError::Truncated);
                 }
                 let pid = buf.get_u32_le();
-                let nbuckets = buf.get_u32_le() as usize;
-                // Untrusted count: cap the pre-allocation by the bytes
-                // actually present (each bucket needs ≥ 9 bytes).
-                let mut buckets = Vec::with_capacity(nbuckets.min(buf.remaining() / 9));
-                for _ in 0..nbuckets {
-                    if buf.remaining() < 9 {
-                        return Err(WireError::Truncated);
-                    }
-                    let pattern = buf.get_u64_le();
-                    let depth = buf.get_u8();
-                    let left = get_tuples(&mut buf)?;
-                    let right = get_tuples(&mut buf)?;
-                    debug_assert!(left.iter().all(|t| t.side == Side::Left));
-                    debug_assert!(right.iter().all(|t| t.side == Side::Right));
-                    buckets.push(BucketState { pattern, depth, left, right });
-                }
-                let pending = get_tuples(&mut buf)?;
+                let (state, pending) = get_group(&mut buf)?;
                 let payloads =
                     if kind == K_STATE_P { get_payload_entries(&mut buf)? } else { Vec::new() };
-                Ok(Message::State { pid, state: GroupState { buckets }, pending, payloads })
+                Ok(Message::State { pid, state, pending, payloads })
             }
             K_DONE => {
                 if buf.remaining() < 4 {
@@ -430,8 +772,120 @@ impl Message {
                 }
                 Ok(Message::Dead { slave: buf.get_u32_le() })
             }
+            K_SEALED => {
+                if buf.remaining() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                let term = buf.get_u64_le();
+                let inner = Message::decode(buf)?;
+                if matches!(inner, Message::Sealed { .. }) {
+                    // A nested envelope is a protocol violation.
+                    return Err(WireError::BadTagScheme(K_SEALED));
+                }
+                Ok(Message::Sealed { term, inner: Box::new(inner) })
+            }
+            K_APPEND => {
+                if buf.remaining() < 16 {
+                    return Err(WireError::Truncated);
+                }
+                let term = buf.get_u64_le();
+                let index = buf.get_u64_le();
+                Ok(Message::AppendEntry { term, index, decision: get_decision(&mut buf)? })
+            }
+            K_APPEND_ACK => {
+                if buf.remaining() < 16 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::AppendAck { term: buf.get_u64_le(), index: buf.get_u64_le() })
+            }
+            K_VOTE_REQ => {
+                if buf.remaining() < 16 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::VoteRequest { term: buf.get_u64_le(), last_index: buf.get_u64_le() })
+            }
+            K_VOTE => {
+                if buf.remaining() < 9 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::Vote { term: buf.get_u64_le(), granted: buf.get_u8() != 0 })
+            }
+            K_MHEART => {
+                if buf.remaining() < 16 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::MasterHeartbeat { term: buf.get_u64_le(), commit: buf.get_u64_le() })
+            }
+            K_CKPT => {
+                if buf.remaining() < 20 {
+                    return Err(WireError::Truncated);
+                }
+                let pid = buf.get_u32_le();
+                let seen_left = buf.get_u64_le();
+                let seen_right = buf.get_u64_le();
+                let (state, pending) = get_group(&mut buf)?;
+                let payloads = get_payload_entries(&mut buf)?;
+                Ok(Message::Checkpoint { pid, seen_left, seen_right, state, pending, payloads })
+            }
+            K_CKPT_NOTE => {
+                if buf.remaining() < 20 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::CkptNote {
+                    pid: buf.get_u32_le(),
+                    seen_left: buf.get_u64_le(),
+                    seen_right: buf.get_u64_le(),
+                })
+            }
+            K_RESTORE => {
+                if buf.remaining() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::Restore { pid: buf.get_u32_le() })
+            }
+            K_SEEN => {
+                if buf.remaining() < 20 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::Seen {
+                    pid: buf.get_u32_le(),
+                    left: buf.get_u64_le(),
+                    right: buf.get_u64_le(),
+                })
+            }
             other => Err(WireError::BadTagScheme(other)),
         }
+    }
+
+    /// Wraps an already-encoded frame in a term-stamped [`Sealed`]
+    /// envelope, allocation-free: `inner` is the output of any
+    /// `encode*_into` call, `buf` the (cleared) destination.
+    ///
+    /// [`Sealed`]: Message::Sealed
+    pub fn seal_into(term: u64, inner: &[u8], buf: &mut Vec<u8>) {
+        debug_assert!(inner.first() != Some(&K_SEALED), "a Sealed frame must not nest");
+        buf.clear();
+        buf.reserve(9 + inner.len());
+        buf.put_u8(K_SEALED);
+        buf.put_u64_le(term);
+        buf.put_slice(inner);
+    }
+
+    /// The zero-copy counterpart of decoding a [`Sealed`] frame: when
+    /// `buf` is one, returns its term and the inner frame's bytes (a
+    /// slice of the same allocation) without decoding the inner frame —
+    /// the batch fast path unseals, checks the term, then runs
+    /// [`decode_batch_into`](Self::decode_batch_into) on the rest.
+    /// `None` when the frame is not sealed (a legacy single-master
+    /// frame); the caller decodes `buf` directly.
+    ///
+    /// [`Sealed`]: Message::Sealed
+    pub fn unseal(buf: &Bytes) -> Option<(u64, Bytes)> {
+        if buf.len() < 9 || buf[0] != K_SEALED {
+            return None;
+        }
+        let term = u64::from_le_bytes(buf[1..9].try_into().expect("9 bytes checked"));
+        Some((term, buf.slice(9..)))
     }
 }
 
@@ -552,5 +1006,143 @@ mod tests {
         let enc = Message::Occupancy(1.0).encode();
         assert!(Message::decode(enc.slice(0..4)).is_err());
         assert!(Message::decode(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn control_plane_variants_roundtrip() {
+        roundtrip(Message::AppendEntry {
+            term: 3,
+            index: 17,
+            decision: Decision::SlaveDown {
+                slave: 2,
+                clean: true,
+                adoptions: vec![MovePlan { pid: 4, from: 2, to: 0 }],
+                restores: vec![RestorePlan { pid: 7, holder: 3, seen_left: 100, seen_right: 90 }],
+                groups_lost: 1,
+                tuples_lost: 42,
+            },
+        });
+        roundtrip(Message::AppendEntry {
+            term: 1,
+            index: 0,
+            decision: Decision::Readmit { slave: 5 },
+        });
+        roundtrip(Message::AppendEntry {
+            term: 9,
+            index: 2,
+            decision: Decision::Reorg {
+                moves: vec![
+                    MovePlan { pid: 0, from: 1, to: 2 },
+                    MovePlan { pid: 3, from: 2, to: 1 },
+                ],
+                activated: Some(4),
+                deactivated: None,
+            },
+        });
+        roundtrip(Message::AppendEntry {
+            term: 2,
+            index: 5,
+            decision: Decision::Reorg { moves: Vec::new(), activated: None, deactivated: Some(0) },
+        });
+        roundtrip(Message::AppendAck { term: 3, index: 17 });
+        roundtrip(Message::VoteRequest { term: 4, last_index: 12 });
+        roundtrip(Message::Vote { term: 4, granted: true });
+        roundtrip(Message::Vote { term: 5, granted: false });
+        roundtrip(Message::MasterHeartbeat { term: 2, commit: 8 });
+        roundtrip(Message::Checkpoint {
+            pid: 6,
+            seen_left: 1000,
+            seen_right: 900,
+            state: GroupState {
+                buckets: vec![BucketState {
+                    pattern: 0b1,
+                    depth: 1,
+                    left: vec![Tuple::new(Side::Left, 1, 2, 3)],
+                    right: vec![Tuple::new(Side::Right, 4, 5, 6)],
+                }],
+            },
+            pending: vec![Tuple::new(Side::Left, 7, 8, 9)],
+            payloads: vec![PayloadEntry { side: Side::Left, seq: 3, t: 1, bytes: b"pp".to_vec() }],
+        });
+        roundtrip(Message::CkptNote { pid: 6, seen_left: 1000, seen_right: 900 });
+        roundtrip(Message::Restore { pid: 6 });
+        roundtrip(Message::Seen { pid: 6, left: 1000, right: 900 });
+    }
+
+    #[test]
+    fn sealed_frames_roundtrip_and_refuse_nesting() {
+        roundtrip(Message::Sealed { term: 7, inner: Box::new(Message::Shutdown) });
+        roundtrip(Message::Sealed {
+            term: 2,
+            inner: Box::new(Message::Batch(vec![Tuple::new(Side::Left, 1, 2, 3)])),
+        });
+        roundtrip(Message::Sealed {
+            term: 1,
+            inner: Box::new(Message::MasterHeartbeat { term: 1, commit: 0 }),
+        });
+        // A hand-crafted nested envelope is rejected at decode.
+        let mut nested = vec![14u8]; // K_SEALED
+        nested.extend_from_slice(&7u64.to_le_bytes());
+        nested.extend_from_slice(
+            &Message::Sealed { term: 7, inner: Box::new(Message::Shutdown) }.encode(),
+        );
+        assert!(Message::decode(Bytes::from(nested)).is_err());
+    }
+
+    #[test]
+    fn seal_unseal_fast_path_matches_full_codec() {
+        // seal_into over an encoded batch == encoding Sealed{Batch}.
+        let tuples = vec![Tuple::new(Side::Left, 1, 2, 3), Tuple::new(Side::Right, 4, 5, 6)];
+        let (mut inner, mut sealed) = (Vec::new(), Vec::new());
+        Message::encode_batch_into(&tuples, &mut inner);
+        Message::seal_into(42, &inner, &mut sealed);
+        let full =
+            Message::Sealed { term: 42, inner: Box::new(Message::Batch(tuples.clone())) }.encode();
+        assert_eq!(&sealed[..], &full[..], "fast seal is byte-identical");
+
+        // unseal returns the term and the raw inner bytes.
+        let (term, body) = Message::unseal(&Bytes::from(sealed)).expect("sealed");
+        assert_eq!(term, 42);
+        let mut out = Vec::new();
+        assert!(Message::decode_batch_into(body, &mut out).unwrap());
+        assert_eq!(out, tuples);
+
+        // A raw (legacy) frame does not unseal.
+        assert!(Message::unseal(&Message::Shutdown.encode()).is_none());
+        assert!(Message::unseal(&Bytes::new()).is_none());
+    }
+
+    #[test]
+    fn truncated_control_frames_error() {
+        for m in [
+            Message::AppendEntry {
+                term: 1,
+                index: 1,
+                decision: Decision::SlaveDown {
+                    slave: 0,
+                    clean: false,
+                    adoptions: vec![MovePlan { pid: 1, from: 0, to: 1 }],
+                    restores: vec![RestorePlan { pid: 2, holder: 1, seen_left: 5, seen_right: 5 }],
+                    groups_lost: 1,
+                    tuples_lost: 2,
+                },
+            },
+            Message::AppendAck { term: 1, index: 1 },
+            Message::VoteRequest { term: 1, last_index: 1 },
+            Message::Vote { term: 1, granted: true },
+            Message::MasterHeartbeat { term: 1, commit: 1 },
+            Message::CkptNote { pid: 1, seen_left: 1, seen_right: 1 },
+            Message::Restore { pid: 1 },
+            Message::Seen { pid: 1, left: 1, right: 1 },
+            Message::Sealed { term: 1, inner: Box::new(Message::Heartbeat { seq: 1 }) },
+        ] {
+            let enc = m.encode();
+            for cut in 1..enc.len() {
+                assert!(
+                    Message::decode(enc.slice(0..cut)).is_err(),
+                    "truncation at {cut} of {m:?} must error"
+                );
+            }
+        }
     }
 }

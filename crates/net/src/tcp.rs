@@ -156,6 +156,22 @@ fn assert_frame_size(len: usize) {
 
 /// Time left until `deadline`, floored at 1 ms (`set_read_timeout`
 /// rejects a zero duration).
+/// Backoff before dial retry `attempt` from `rank` to `peer`: capped
+/// exponential (5 ms · 2^attempt, capped at 320 ms) plus deterministic
+/// jitter of up to half the step, mixed from the rank pair and attempt
+/// number — reproducible across runs, yet de-synchronized across the
+/// ranks that mass-redial a restarted or newly promoted peer.
+fn dial_backoff(rank: usize, peer: usize, attempt: u32) -> Duration {
+    let step_ms = 5u64 << attempt.min(6); // 5, 10, .., 320 ms
+    let mut x = (rank as u64) << 40 | (peer as u64) << 20 | attempt as u64 | 1;
+    // xorshift64* mix; no external RNG dependency needed.
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    let jitter_ms = x.wrapping_mul(0x2545_F491_4F6C_DD1D) % (step_ms / 2 + 1);
+    Duration::from_millis(step_ms + jitter_ms)
+}
+
 fn remaining(deadline: Instant) -> Duration {
     deadline.saturating_duration_since(Instant::now()).max(Duration::from_millis(1))
 }
@@ -288,8 +304,13 @@ impl TcpNetwork {
         // Dial side: we dial every rank below ours, retrying the whole
         // connect-and-hello exchange while the peer's listener comes up
         // (or comes *back* up after a crash-restart within the window).
+        // Retries back off exponentially with deterministic per-rank
+        // jitter: after a failover every surviving rank redials the new
+        // leader at once, and a fixed sleep would thundering-herd its
+        // listener in lockstep.
         let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
         for (lower, addr) in peers.iter().enumerate().take(rank) {
+            let mut attempt_no: u32 = 0;
             let stream = loop {
                 let attempt = (|| -> std::io::Result<TcpStream> {
                     let mut s = TcpStream::connect(addr)?;
@@ -310,7 +331,8 @@ impl TcpNetwork {
                                 format!("dialing rank {lower} at {addr}: {e}"),
                             ));
                         }
-                        std::thread::sleep(Duration::from_millis(20));
+                        std::thread::sleep(dial_backoff(rank, lower, attempt_no));
+                        attempt_no = attempt_no.saturating_add(1);
                     }
                 }
             };
@@ -877,5 +899,25 @@ mod tests {
         let peers = vec!["127.0.0.1:1".parse().unwrap(), "127.0.0.1:2".parse().unwrap()];
         let err = TcpNetwork::establish(1, &peers, 8, Duration::from_millis(200));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn dial_backoff_grows_caps_and_desynchronizes() {
+        // Exponential growth up to the cap: each step's floor doubles.
+        for a in 0..6u32 {
+            let lo = Duration::from_millis(5 << a);
+            let hi = Duration::from_millis((5 << a) + (5 << a) / 2);
+            let d = dial_backoff(3, 0, a);
+            assert!(d >= lo && d <= hi, "attempt {a}: {d:?} outside [{lo:?}, {hi:?}]");
+        }
+        // Capped: attempt 20 sleeps no longer than 320 ms + half jitter.
+        assert!(dial_backoff(3, 0, 20) <= Duration::from_millis(480));
+        // Deterministic per (rank, peer, attempt)...
+        assert_eq!(dial_backoff(5, 1, 2), dial_backoff(5, 1, 2));
+        // ...and distinct ranks mass-redialing the same peer at the
+        // same attempt spread out instead of herding in lockstep.
+        let delays: std::collections::HashSet<Duration> =
+            (1..32).map(|r| dial_backoff(r, 0, 4)).collect();
+        assert!(delays.len() > 16, "jitter must spread 31 ranks, got {}", delays.len());
     }
 }
