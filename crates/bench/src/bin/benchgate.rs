@@ -1,15 +1,33 @@
 //! `benchgate` — CI regression gate over `perfjson` snapshots.
 //!
 //! Compares a freshly measured `bench_now.json` against the committed
-//! `BENCH_probe.json` baseline and fails (exit 1) when the headline
-//! `speedup_vs_scalar` ratio regressed by more than the allowed
-//! fraction. Per-scenario element rates are printed for context but not
-//! gated — absolute rates vary wildly across runner hardware, while the
-//! columnar/scalar ratio is measured on the same machine in the same
-//! process and stays comparable.
+//! `BENCH_probe.json` baseline and fails (exit 1) when:
+//!
+//! * the headline `speedup_vs_scalar` ratio regressed by more than
+//!   `--max-regression` (same-machine-same-process ratio, the most
+//!   hardware-independent number we have);
+//! * any scenario present in both snapshots regressed by more than
+//!   `--max-scenario-regression` in elements/sec;
+//! * the **thread scaling** of the current snapshot —
+//!   `slave_drain/threads=4` over `slave_drain/threads=1` — fell below
+//!   the floor. The nominal floor is `--min-thread-scaling` (default
+//!   1.5×), but it is core-count-aware: a host with fewer than 4 CPUs
+//!   physically cannot show 4-thread scaling, so on 2–3 cores the floor
+//!   relaxes to 1.05× and on a single core to 0.85× (which still
+//!   catches the original sin this gate exists for: a parallel drain
+//!   that is *slower* than serial because it pays per-drain thread
+//!   spawns). The host core count is read from the current snapshot's
+//!   `host_cpus` field (written by `perfjson`), falling back to this
+//!   process's own `available_parallelism` — in CI both run on the same
+//!   machine.
+//!
+//! `--markdown PATH` additionally writes a baseline-vs-current
+//! comparison table (GitHub-flavoured) for `$GITHUB_STEP_SUMMARY`.
 //!
 //! ```text
-//! benchgate --baseline BENCH_probe.json --current bench_now.json [--max-regression 0.30]
+//! benchgate --baseline BENCH_probe.json --current bench_now.json \
+//!     [--max-regression 0.30] [--max-scenario-regression 0.30] \
+//!     [--min-thread-scaling 1.5] [--markdown PATH]
 //! ```
 
 /// Minimal extraction of `"field": <number>` from the perfjson format
@@ -35,9 +53,27 @@ fn extract_scenarios(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+fn rate_of(scenarios: &[(String, f64)], name: &str) -> Option<f64> {
+    scenarios.iter().find(|(n, _)| n == name).map(|&(_, r)| r)
+}
+
+/// The effective 4-vs-1 thread-scaling floor for a host with
+/// `host_cpus` cores, given the nominal `min_scaling` demanded on real
+/// multicore hardware.
+fn scaling_floor(min_scaling: f64, host_cpus: usize) -> f64 {
+    match host_cpus {
+        0 | 1 => min_scaling.min(0.85),
+        2 | 3 => min_scaling.min(1.05),
+        _ => min_scaling,
+    }
+}
+
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("benchgate: {msg}");
-    eprintln!("usage: benchgate --baseline PATH --current PATH [--max-regression F]");
+    eprintln!(
+        "usage: benchgate --baseline PATH --current PATH [--max-regression F] \
+         [--max-scenario-regression F] [--min-thread-scaling F] [--markdown PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -45,19 +81,29 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline: Option<String> = None;
     let mut current: Option<String> = None;
+    let mut markdown: Option<String> = None;
     let mut max_regression = 0.30f64;
+    let mut max_scenario_regression = 0.30f64;
+    let mut min_thread_scaling = 1.5f64;
     let mut i = 0;
     while i < argv.len() {
         let value = |i: &mut usize| -> String {
             *i += 1;
             argv.get(*i).cloned().unwrap_or_else(|| usage_and_exit("flag needs a value"))
         };
+        let fractional = |i: &mut usize, flag: &str| -> f64 {
+            value(i).parse().unwrap_or_else(|_| usage_and_exit(&format!("bad {flag}")))
+        };
         match argv[i].as_str() {
             "--baseline" => baseline = Some(value(&mut i)),
             "--current" => current = Some(value(&mut i)),
-            "--max-regression" => {
-                max_regression =
-                    value(&mut i).parse().unwrap_or_else(|_| usage_and_exit("bad --max-regression"))
+            "--markdown" => markdown = Some(value(&mut i)),
+            "--max-regression" => max_regression = fractional(&mut i, "--max-regression"),
+            "--max-scenario-regression" => {
+                max_scenario_regression = fractional(&mut i, "--max-scenario-regression")
+            }
+            "--min-thread-scaling" => {
+                min_thread_scaling = fractional(&mut i, "--min-thread-scaling")
             }
             other => usage_and_exit(&format!("unknown flag {other:?}")),
         }
@@ -72,7 +118,9 @@ fn main() {
     let base = read(&baseline_path);
     let curr = read(&current_path);
     for (label, json) in [("baseline", &base), ("current", &curr)] {
-        if !json.contains("\"schema\": \"windjoin-perfjson/1\"") {
+        let known = json.contains("\"schema\": \"windjoin-perfjson/1\"")
+            || json.contains("\"schema\": \"windjoin-perfjson/2\"");
+        if !known {
             usage_and_exit(&format!("{label} snapshot has an unknown schema"));
         }
     }
@@ -86,26 +134,174 @@ fn main() {
         "benchgate: speedup_vs_scalar baseline {base_speedup:.2}x, current {curr_speedup:.2}x"
     );
     let base_rates = extract_scenarios(&base);
-    for (name, rate) in extract_scenarios(&curr) {
-        let vs = base_rates
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, b)| format!("{:+.1}% vs baseline", (rate / b - 1.0) * 100.0))
-            .unwrap_or_else(|| "new scenario".into());
+    let curr_rates = extract_scenarios(&curr);
+    let mut failures: Vec<String> = Vec::new();
+
+    for (name, rate) in &curr_rates {
+        let vs = match rate_of(&base_rates, name) {
+            Some(b) => {
+                let delta = rate / b - 1.0;
+                if delta < -max_scenario_regression {
+                    failures.push(format!(
+                        "scenario {name} regressed {:.1}% (baseline {b:.0} -> {rate:.0} \
+                         elem/s, allowance {:.0}%)",
+                        -delta * 100.0,
+                        max_scenario_regression * 100.0
+                    ));
+                }
+                format!("{:+.1}% vs baseline", delta * 100.0)
+            }
+            None => "new scenario".into(),
+        };
         println!("  {name:<36} {rate:>14.0} elem/s  ({vs})");
+    }
+
+    // Thread scaling is judged on the *current* snapshot alone: both
+    // rates come from the same process on the same machine.
+    let t1 = rate_of(&curr_rates, "slave_drain/threads=1");
+    let t4 = rate_of(&curr_rates, "slave_drain/threads=4");
+    match (t1, t4) {
+        (Some(t1), Some(t4)) => {
+            let host_cpus = extract_number(&curr, "host_cpus")
+                .map(|n| n as usize)
+                .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+                .unwrap_or(1);
+            let scaling = t4 / t1;
+            let floor = scaling_floor(min_thread_scaling, host_cpus);
+            println!(
+                "benchgate: slave_drain 4-vs-1 thread scaling {scaling:.2}x \
+                 (floor {floor:.2}x on {host_cpus} host cpus)"
+            );
+            if scaling < floor {
+                failures.push(format!(
+                    "thread scaling {scaling:.2}x below the {floor:.2}x floor \
+                     ({host_cpus} host cpus, nominal {min_thread_scaling:.2}x)"
+                ));
+            }
+        }
+        _ => failures
+            .push("current snapshot lacks slave_drain/threads=1 and =4 scenarios".to_string()),
     }
 
     let floor = base_speedup * (1.0 - max_regression);
     if curr_speedup < floor {
-        eprintln!(
-            "benchgate: FAIL — speedup_vs_scalar {curr_speedup:.2}x fell below \
-             {floor:.2}x (baseline {base_speedup:.2}x minus {:.0}% allowance)",
+        failures.push(format!(
+            "speedup_vs_scalar {curr_speedup:.2}x fell below {floor:.2}x \
+             (baseline {base_speedup:.2}x minus {:.0}% allowance)",
             max_regression * 100.0
+        ));
+    }
+
+    if let Some(path) = markdown {
+        let md = render_markdown(
+            &base_rates,
+            &curr_rates,
+            base_speedup,
+            curr_speedup,
+            t1.zip(t4).map(|(a, b)| b / a),
+            &failures,
         );
+        std::fs::write(&path, md)
+            .unwrap_or_else(|e| usage_and_exit(&format!("writing {path}: {e}")));
+        println!("benchgate: wrote markdown comparison to {path}");
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("benchgate: FAIL — {f}");
+        }
         std::process::exit(1);
     }
     println!(
-        "benchgate: OK — within the {:.0}% allowance (floor {floor:.2}x)",
-        max_regression * 100.0
+        "benchgate: OK — speedup floor {floor:.2}x held, no scenario regressed >{:.0}%",
+        max_scenario_regression * 100.0
     );
+}
+
+/// The `$GITHUB_STEP_SUMMARY` comparison table: committed baseline vs
+/// fresh run, per scenario, with deltas.
+fn render_markdown(
+    base_rates: &[(String, f64)],
+    curr_rates: &[(String, f64)],
+    base_speedup: f64,
+    curr_speedup: f64,
+    thread_scaling: Option<f64>,
+    failures: &[String],
+) -> String {
+    let mut md = String::from("## Bench comparison (committed baseline vs this run)\n\n");
+    md.push_str("| scenario | baseline elem/s | current elem/s | delta |\n");
+    md.push_str("|---|---:|---:|---:|\n");
+    for (name, rate) in curr_rates {
+        let (base_cell, delta_cell) = match rate_of(base_rates, name) {
+            Some(b) => (format!("{b:.0}"), format!("{:+.1}%", (rate / b - 1.0) * 100.0)),
+            None => ("—".into(), "new".into()),
+        };
+        md.push_str(&format!("| `{name}` | {base_cell} | {rate:.0} | {delta_cell} |\n"));
+    }
+    for (name, b) in base_rates {
+        if rate_of(curr_rates, name).is_none() {
+            md.push_str(&format!("| `{name}` | {b:.0} | — | removed |\n"));
+        }
+    }
+    md.push_str(&format!(
+        "\n**speedup_vs_scalar**: baseline {base_speedup:.2}x → current {curr_speedup:.2}x\n"
+    ));
+    if let Some(s) = thread_scaling {
+        md.push_str(&format!("\n**slave_drain thread scaling (4 vs 1)**: {s:.2}x\n"));
+    }
+    if failures.is_empty() {
+        md.push_str("\n✅ all gates passed\n");
+    } else {
+        md.push_str("\n❌ gate failures:\n");
+        for f in failures {
+            md.push_str(&format!("- {f}\n"));
+        }
+    }
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_floor_is_core_count_aware() {
+        assert_eq!(scaling_floor(1.5, 8), 1.5);
+        assert_eq!(scaling_floor(1.5, 4), 1.5);
+        assert_eq!(scaling_floor(1.5, 2), 1.05);
+        assert_eq!(scaling_floor(1.5, 1), 0.85);
+        // A caller demanding less than the relaxed floor keeps its own.
+        assert_eq!(scaling_floor(0.5, 1), 0.5);
+    }
+
+    #[test]
+    fn extracts_scenarios_and_fields() {
+        let json = r#"{
+  "schema": "windjoin-perfjson/2",
+  "host_cpus": 4,
+  "speedup_vs_scalar": 30.267,
+  "scenarios": [
+    {"name": "a/b", "elements_per_sec": 100.5, "ns_per_iter": 10.0},
+    {"name": "c=1", "elements_per_sec": 7.0, "ns_per_iter": 1.0}
+  ]
+}"#;
+        assert_eq!(extract_number(json, "host_cpus"), Some(4.0));
+        assert_eq!(extract_number(json, "speedup_vs_scalar"), Some(30.267));
+        let s = extract_scenarios(json);
+        assert_eq!(s.len(), 2);
+        assert_eq!(rate_of(&s, "a/b"), Some(100.5));
+        assert_eq!(rate_of(&s, "c=1"), Some(7.0));
+    }
+
+    #[test]
+    fn markdown_table_covers_both_snapshots() {
+        let base = vec![("kept".to_string(), 100.0), ("gone".to_string(), 5.0)];
+        let curr = vec![("kept".to_string(), 150.0), ("fresh".to_string(), 9.0)];
+        let md = render_markdown(&base, &curr, 30.0, 31.0, Some(3.2), &[]);
+        assert!(md.contains("| `kept` | 100 | 150 | +50.0% |"));
+        assert!(md.contains("| `fresh` | — | 9 | new |"));
+        assert!(md.contains("| `gone` | 5 | — | removed |"));
+        assert!(md.contains("3.20x"));
+        assert!(md.contains("all gates passed"));
+    }
 }

@@ -32,7 +32,8 @@
 //!                                  | constant:K             [bmodel:0.7:100000]
 //!              --engine E          scalar | exact | counted [exact]
 //!              --payload-bytes N   wire payload width       [0]
-//!              --probe-threads N   slave probe worker pool  [1]
+//!              --probe-threads N   slave drain pool width; `auto`
+//!                                  or 0 = host core count  [1]
 //!              --adaptive-dod      enable §V-A adaptive declustering
 //! liveness     --heartbeat-ms N    slave beacon interval; 0 off [500]
 //!              --max-missed N      silent beacons before a slave is
@@ -213,11 +214,20 @@ fn parse_args() -> Args {
                     Some(parse_keys(&value(&mut i, &flag)).unwrap_or_else(|e| usage_and_exit(&e)))
             }
             "--probe-threads" => {
-                probe_threads = Some(
-                    value(&mut i, &flag)
-                        .parse()
-                        .unwrap_or_else(|_| usage_and_exit("bad --probe-threads")),
-                )
+                let v = value(&mut i, &flag);
+                // `auto` (or 0) sizes the drain pool to the host's
+                // cores — the natural setting for one-rank-per-box
+                // deployments.
+                let n = if v == "auto" {
+                    0
+                } else {
+                    v.parse().unwrap_or_else(|_| usage_and_exit("bad --probe-threads"))
+                };
+                probe_threads = Some(if n == 0 {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                } else {
+                    n
+                });
             }
             "--adaptive-dod" => adaptive_dod = true,
             "--heartbeat-ms" => {

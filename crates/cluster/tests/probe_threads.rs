@@ -1,8 +1,10 @@
 //! Determinism of the slave's parallel drain: the worker-pool width is
 //! a pure performance knob. For the same seed, a cluster run with
-//! `probe_threads = 1` and one with `probe_threads = 4` must produce the
-//! identical output set (the run-level determinism contract of
-//! `windjoin-cluster::nodes` extends to every thread count).
+//! `probe_threads = 1` and runs with wider work-stealing pools (4, and
+//! 8 — wider than most runners' cores, forcing steal-heavy schedules)
+//! must produce the identical output set (the run-level determinism
+//! contract of `windjoin-cluster::nodes` extends to every thread
+//! count).
 
 use std::time::Duration;
 use windjoin_cluster::{run_threaded, NodeConfig};
@@ -28,18 +30,24 @@ fn sorted_pairs(mut pairs: Vec<OutPair>) -> Vec<OutPair> {
 #[test]
 fn probe_thread_count_never_changes_the_output_set() {
     let serial = run_threaded(&test_cfg(1));
-    let pooled = run_threaded(&test_cfg(4));
     assert!(serial.outputs_total > 0, "serial run produced nothing");
-    assert_eq!(serial.outputs_total, pooled.outputs_total, "output count depends on probe_threads");
-    assert_eq!(
-        serial.output_checksum, pooled.output_checksum,
-        "output checksum depends on probe_threads"
-    );
-    assert_eq!(
-        sorted_pairs(serial.captured),
-        sorted_pairs(pooled.captured),
-        "output pairs depend on probe_threads"
-    );
+    let serial_pairs = sorted_pairs(serial.captured);
+    for width in [4usize, 8] {
+        let pooled = run_threaded(&test_cfg(width));
+        assert_eq!(
+            serial.outputs_total, pooled.outputs_total,
+            "output count depends on probe_threads ({width})"
+        );
+        assert_eq!(
+            serial.output_checksum, pooled.output_checksum,
+            "output checksum depends on probe_threads ({width})"
+        );
+        assert_eq!(
+            serial_pairs,
+            sorted_pairs(pooled.captured),
+            "output pairs depend on probe_threads ({width})"
+        );
+    }
     // (Charged `WorkStats` are *not* compared across the two runs:
     // wall-clock pacing makes batch boundaries — and therefore the
     // number of flush scans — differ between runs. Batch-identical

@@ -38,6 +38,16 @@ pub fn tuning_hash(key: u64) -> u64 {
     mix64(key ^ 0xA5A5_5A5A_DEAD_BEEF)
 }
 
+/// The hash feeding the probe engine's per-window key index
+/// (`ExactEngine`). A third stream constant: inside one mini-group
+/// every key shares the `d'` low bits of [`tuning_hash`], so reusing it
+/// would funnel the whole window into one index bucket — the index hash
+/// must be independent of both the partition and the tuning bits.
+#[inline]
+pub fn index_hash(key: u64) -> u64 {
+    mix64(key ^ 0x0F0F_F0F0_C0FF_EE00)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +92,23 @@ mod tests {
         }
         assert!(in_partition > 1000);
         let frac = low_bit_counts[0] as f64 / in_partition as f64;
+        assert!((0.45..0.55).contains(&frac), "low bit split {frac:.3} not uniform");
+    }
+
+    #[test]
+    fn index_hash_independent_of_tuning_bits() {
+        // Keys funnelled into one mini-group (same 4 low tuning bits)
+        // must still spread over the index directory's low bits.
+        let mut low_bit_counts = [0u32; 2];
+        let mut in_minigroup = 0;
+        for k in 0..200_000u64 {
+            if tuning_hash(k) & 0xF == 0x7 {
+                in_minigroup += 1;
+                low_bit_counts[(index_hash(k) & 1) as usize] += 1;
+            }
+        }
+        assert!(in_minigroup > 1000);
+        let frac = low_bit_counts[0] as f64 / in_minigroup as f64;
         assert!((0.45..0.55).contains(&frac), "low bit split {frac:.3} not uniform");
     }
 

@@ -62,6 +62,7 @@ pub mod hash;
 pub mod master;
 pub mod minigroup;
 pub mod payload;
+pub mod pool;
 pub mod probe;
 pub mod reference;
 pub mod reorg;
@@ -85,6 +86,7 @@ pub use group::{GroupState, PartitionGroup};
 pub use master::{MasterCore, MasterEvent, MovePlan, RecoveryPlan, ReorgPlan};
 pub use minigroup::MiniGroup;
 pub use payload::{PayloadEntry, PayloadStore};
+pub use pool::{DrainPool, StealQueue};
 pub use probe::{CountedEngine, ExactEngine, ProbeEngine, ScalarEngine};
 pub use reference::reference_join;
 pub use reorg::{classify, decide_dod, decide_membership, pair_moves, DodDecision, NodeClass};

@@ -1,0 +1,375 @@
+//! A persistent worker pool with work-stealing job queues for the
+//! parallel slave drain (§IV-D join module, multicore edition).
+//!
+//! The first parallel-drain implementation spawned a fresh
+//! [`std::thread::scope`] per `process_pending` call, so every drain
+//! paid thread create + join before a single tuple was probed — at
+//! cluster batch sizes the spawn cost swamped the win. [`DrainPool`]
+//! keeps the helper threads alive across drains: publishing a task is
+//! one mutex hop + condvar broadcast, and the caller participates as
+//! worker 0 so `probe_threads = n` needs only `n - 1` helpers.
+//!
+//! Work distribution is a [`StealQueue`]: job indices are chunked into
+//! one contiguous deque per worker; a worker pops its own lane from the
+//! front and, when empty, steals the *back half* of a victim's lane —
+//! the classic steal-half discipline that keeps a giant
+//! partition-group's neighbours flowing to idle workers without
+//! contending on every claim. Determinism is unaffected: every job is
+//! claimed exactly once, results live in job-local buffers, and the
+//! caller merges them in ascending job order afterwards.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Work-stealing distribution of job indices `0..jobs` over `lanes`
+/// contiguous deques. `next(worker)` yields each index exactly once
+/// across all callers; the assignment of index → worker is racy, which
+/// is fine because drain jobs write only job-local state.
+pub struct StealQueue {
+    lanes: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueue {
+    /// Chunks `0..jobs` into `lanes` contiguous runs (front lanes get
+    /// the remainder), one deque per expected worker.
+    pub fn new(jobs: usize, lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        let per = jobs / lanes;
+        let extra = jobs % lanes;
+        let mut start = 0;
+        let lanes = (0..lanes)
+            .map(|k| {
+                let len = per + usize::from(k < extra);
+                let lane = (start..start + len).collect::<VecDeque<usize>>();
+                start += len;
+                Mutex::new(lane)
+            })
+            .collect();
+        StealQueue { lanes }
+    }
+
+    /// The next job index for `worker`, or `None` when every lane is
+    /// empty. Own lane pops from the front; stealing takes the back
+    /// half of the first non-empty victim (scanned round-robin from the
+    /// worker's own lane) and re-queues the surplus locally. Workers
+    /// beyond the lane count share lanes by modulo — they only add
+    /// stealing capacity.
+    pub fn next(&self, worker: usize) -> Option<usize> {
+        let n = self.lanes.len();
+        let home = worker % n;
+        if let Some(job) = self.lanes[home].lock().expect("lane lock").pop_front() {
+            return Some(job);
+        }
+        for d in 1..n {
+            let victim = (home + d) % n;
+            let stolen: Vec<usize> = {
+                let mut v = self.lanes[victim].lock().expect("lane lock");
+                let len = v.len();
+                if len == 0 {
+                    continue;
+                }
+                // Steal the back half; the victim keeps draining its
+                // front undisturbed. Relative order is preserved.
+                v.split_off(len - len.div_ceil(2)).into()
+            };
+            // Victim lock dropped before touching the home lane — two
+            // thieves stealing from each other must not hold both.
+            let mut it = stolen.into_iter();
+            let first = it.next();
+            self.lanes[home].lock().expect("lane lock").extend(it);
+            return first;
+        }
+        None
+    }
+}
+
+/// A lifetime-erased pointer to the borrowed task closure. Safe to
+/// smuggle across threads because [`DrainPool::run`] never returns (or
+/// unwinds) until every helper has finished the epoch — the pointee
+/// outlives every dereference.
+#[derive(Copy, Clone)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` and `run` keeps it alive for the whole
+// epoch (see `EpochGuard`), so sending the pointer is sound.
+unsafe impl Send for TaskPtr {}
+
+struct PoolState {
+    /// Bumped once per `run`; helpers compare against their last seen
+    /// epoch so a spurious wakeup never re-runs a task.
+    epoch: u64,
+    /// Helpers still working on the current epoch.
+    active: usize,
+    task: Option<TaskPtr>,
+    /// A task panicked on some worker; the pool is poisoned.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    all_done: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        // Helpers catch task panics, so the state mutex is only
+        // poisoned if the pool's own bookkeeping panicked — recover the
+        // guard either way to keep Drop/join working.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The persistent drain pool: `helpers()` parked threads plus the
+/// calling thread. [`run`](Self::run) hands every worker the same
+/// borrowed closure (helper `i` gets worker index `i + 1`, the caller
+/// runs index 0) and blocks until all of them return.
+pub struct DrainPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Default for DrainPool {
+    fn default() -> Self {
+        DrainPool::new(0)
+    }
+}
+
+impl std::fmt::Debug for DrainPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DrainPool").field("helpers", &self.handles.len()).finish()
+    }
+}
+
+impl DrainPool {
+    /// A pool with `helpers` parked helper threads (worker width
+    /// `helpers + 1` counting the caller).
+    pub fn new(helpers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                active: 0,
+                task: None,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            all_done: Condvar::new(),
+        });
+        let mut pool = DrainPool { shared, handles: Vec::new() };
+        pool.ensure_helpers(helpers);
+        pool
+    }
+
+    /// Currently parked helper threads.
+    pub fn helpers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Grows the pool to at least `helpers` helper threads. Never
+    /// shrinks — a wider earlier drain leaves extra helpers that later,
+    /// narrower drains simply use as stealing capacity.
+    pub fn ensure_helpers(&mut self, helpers: usize) {
+        while self.handles.len() < helpers {
+            let shared = Arc::clone(&self.shared);
+            let worker = self.handles.len() + 1;
+            // A helper must start from the epoch current at spawn time,
+            // not 0: `&mut self` guarantees no epoch is in flight here,
+            // but a helper added after earlier drains that booted with
+            // `seen = 0` would wake to `epoch != seen` with no task
+            // published and die — wedging `active` on the next run.
+            let seen = self.shared.lock().epoch;
+            let handle = std::thread::Builder::new()
+                .name(format!("windjoin-drain-{worker}"))
+                .spawn(move || helper_loop(&shared, worker, seen))
+                .expect("spawn drain helper");
+            self.handles.push(handle);
+        }
+    }
+
+    /// Runs `f(worker)` on every worker — helpers get `1..=helpers()`,
+    /// the calling thread runs `f(0)` — and returns once all are done.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic on the caller) any panic a worker's `f`
+    /// hit, after all workers have stopped; the pool stays poisoned
+    /// afterwards because a half-drained job set is not a state worth
+    /// resuming.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() {
+            f(0);
+            return;
+        }
+        // SAFETY (lifetime erasure): `EpochGuard` below blocks until
+        // `active == 0` even if `f(0)` unwinds, so no helper can touch
+        // the pointer after `run` returns or unwinds.
+        let task = TaskPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f)
+        });
+        {
+            let mut st = self.shared.lock();
+            assert!(!st.panicked, "windjoin drain pool: poisoned by an earlier worker panic");
+            assert!(st.active == 0 && !st.shutdown, "drain pool re-entered");
+            st.task = Some(task);
+            st.epoch += 1;
+            st.active = self.handles.len();
+            self.shared.work_ready.notify_all();
+        }
+        struct EpochGuard<'a>(&'a Shared);
+        impl Drop for EpochGuard<'_> {
+            fn drop(&mut self) {
+                let mut st = self.0.lock();
+                while st.active > 0 {
+                    st = self.0.all_done.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+                st.task = None;
+            }
+        }
+        let guard = EpochGuard(&self.shared);
+        f(0);
+        drop(guard);
+        if self.shared.lock().panicked {
+            panic!("windjoin drain pool: a drain worker panicked");
+        }
+    }
+}
+
+impl Drop for DrainPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn helper_loop(shared: &Shared, worker: usize, mut seen: u64) {
+    loop {
+        let task = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.task.expect("task published with epoch");
+                }
+                st = shared.work_ready.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        // Catch panics so the helper thread survives and `active`
+        // bookkeeping stays exact; `run` re-raises on the caller.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: see `TaskPtr` — `run` keeps the closure alive
+            // until `active` hits zero, which happens strictly after
+            // this call returns.
+            (unsafe { &*task.0 })(worker)
+        }));
+        let mut st = shared.lock();
+        st.active -= 1;
+        if result.is_err() {
+            st.panicked = true;
+        }
+        if st.active == 0 {
+            shared.all_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn steal_queue_yields_every_job_exactly_once() {
+        for (jobs, lanes) in [(0, 1), (1, 4), (7, 3), (64, 4), (5, 8)] {
+            let q = StealQueue::new(jobs, lanes);
+            let mut seen = vec![false; jobs];
+            // Claim from rotating worker ids, including ids beyond the
+            // lane count (extra helpers from a wider earlier drain).
+            let mut w = 0;
+            while let Some(j) = q.next(w % (lanes + 2)) {
+                assert!(!seen[j], "job {j} yielded twice");
+                seen[j] = true;
+                w += 1;
+            }
+            assert!(seen.iter().all(|&s| s), "missing jobs: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn pool_runs_every_worker_and_is_reusable() {
+        let mut pool = DrainPool::new(3);
+        assert_eq!(pool.helpers(), 3);
+        for _ in 0..10 {
+            let hits = AtomicUsize::new(0);
+            pool.run(&|_w| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 4);
+        }
+        pool.ensure_helpers(5);
+        // Give the late-spawned helpers time to park *before* the next
+        // task is published: a helper booting with a stale epoch used to
+        // die here (no task yet) and wedge the following run forever.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let hits = AtomicUsize::new(0);
+        pool.run(&|_w| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn pool_with_no_helpers_runs_inline() {
+        let pool = DrainPool::new(0);
+        let hits = AtomicUsize::new(0);
+        pool.run(&|w| {
+            assert_eq!(w, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_drains_a_steal_queue_completely() {
+        let mut pool = DrainPool::new(3);
+        pool.ensure_helpers(3);
+        let jobs = 257;
+        let queue = StealQueue::new(jobs, 4);
+        let done: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(&|w| {
+            while let Some(j) = queue.next(w) {
+                done[j].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(done.iter().all(|d| d.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn worker_panic_is_reraised_on_the_caller() {
+        let pool = DrainPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "worker panic must propagate");
+    }
+}

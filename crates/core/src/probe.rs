@@ -34,8 +34,10 @@
 //! output set and the `WorkStats` tallies are unchanged by construction.
 
 use crate::block::RunView;
+use crate::hash::index_hash;
 use crate::{Block, JoinSemantics, OutPair, Side, Tuple, WindowPartition, WorkStats};
 use std::collections::{HashMap, VecDeque};
+use windjoin_exthash::{Directory, SplitError};
 
 /// Match-finding strategy for a mini-partition-group.
 ///
@@ -114,7 +116,161 @@ impl ProbeEngine for ScalarEngine {
     }
 }
 
-/// The paper's Block Nested-Loop Join as a batched columnar kernel.
+/// One sealed tuple's index record: its key plus the `(t, seq)` pair an
+/// [`OutPair`] needs. 24 bytes — three cache lines hold a full bucket.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    key: u64,
+    t: u64,
+    seq: u64,
+}
+
+/// One extendible-hash bucket of the per-window key index: entries in
+/// global seal order, which per side is ascending `(t, seq)` — the
+/// exact order the BNLJ sweep visits stored tuples in.
+#[derive(Debug, Clone, Default)]
+struct IndexBucket {
+    entries: Vec<IndexEntry>,
+    /// Hit [`SplitError::MaxDepth`] while overflowing (a hot key whose
+    /// identical hashes can never be divided) — stop trying to split.
+    saturated: bool,
+}
+
+/// A bucket splits once it holds more entries than this; sweeping a
+/// bucket this size is still only three cache lines.
+const INDEX_SPLIT_MAX: usize = 64;
+/// Buddies merge back when their combined size falls to half the split
+/// threshold (hysteresis, mirroring the θ rule in [`crate::group`]).
+const INDEX_MERGE_MAX: usize = INDEX_SPLIT_MAX / 2;
+/// Directory depth cap: 2^11 entries ≈ 8 KiB of directory per side at
+/// full saturation, reached only by windows past ~128k sealed tuples.
+const INDEX_MAX_DEPTH: u8 = 11;
+/// Sealed windows smaller than this are probed faster by the 8-wide
+/// columnar sweep than through the hash indirection, and tiny windows
+/// never pay to materialise an index at all.
+const INDEX_MIN_SEALED: usize = 64;
+
+/// Lazily-built extendible-hash index over one window's sealed keys
+/// (`key → time-ordered (t, seq)` via [`index_hash`]).
+///
+/// `built` starts false and the maintenance hooks stay no-ops, so
+/// windows that only ever see batch probes pay nothing. The first
+/// single-tuple probe of a large window builds the index from the
+/// sealed runs in one pass; from then on [`ExactEngine::on_seal`] /
+/// [`ExactEngine::on_expire_block`] keep it exact.
+#[derive(Debug, Clone)]
+struct KeyIndex {
+    dir: Directory<IndexBucket>,
+    built: bool,
+    len: usize,
+}
+
+impl Default for KeyIndex {
+    fn default() -> Self {
+        KeyIndex {
+            dir: Directory::new(INDEX_MAX_DEPTH, IndexBucket::default()),
+            built: false,
+            len: 0,
+        }
+    }
+}
+
+impl KeyIndex {
+    /// Appends one sealed tuple. Seals arrive in `(t, seq)` order per
+    /// side, so a plain push keeps every bucket time-ordered.
+    fn insert(&mut self, key: u64, t: u64, seq: u64) {
+        let h = index_hash(key);
+        let bucket = self.dir.get_mut(h);
+        bucket.entries.push(IndexEntry { key, t, seq });
+        self.len += 1;
+        while !self.dir.get(h).saturated && self.dir.get(h).entries.len() > INDEX_SPLIT_MAX {
+            let split = self.dir.split(h, |bucket, bit| {
+                // Stable partition: both halves keep their time order.
+                let (keep, sibling) =
+                    bucket.entries.drain(..).partition(|e| !bit.goes_to_sibling(index_hash(e.key)));
+                bucket.entries = keep;
+                IndexBucket { entries: sibling, saturated: false }
+            });
+            if let Err(SplitError::MaxDepth) = split {
+                self.dir.get_mut(h).saturated = true;
+            }
+        }
+    }
+
+    /// Removes one expired tuple. Expiry is strictly oldest-first per
+    /// side, so the first entry with this key *is* the expiring one.
+    fn remove(&mut self, key: u64, t: u64, seq: u64) {
+        let h = index_hash(key);
+        let bucket = self.dir.get_mut(h);
+        let pos =
+            bucket.entries.iter().position(|e| e.key == key).expect("expired tuple was indexed");
+        let entry = bucket.entries.remove(pos);
+        debug_assert_eq!((entry.t, entry.seq), (t, seq), "oldest-first expiry invariant");
+        self.len -= 1;
+        if bucket.entries.len() <= INDEX_MERGE_MAX {
+            // Fold small buddies back together (and shrink the
+            // directory) so a drained window's index stays compact.
+            let _ = self.dir.try_merge(
+                h,
+                |a, b| {
+                    !a.saturated
+                        && !b.saturated
+                        && a.entries.len() + b.entries.len() <= INDEX_MERGE_MAX
+                },
+                |keep, dropped| {
+                    let mut a = std::mem::take(&mut keep.entries).into_iter().peekable();
+                    let mut b = dropped.entries.into_iter().peekable();
+                    // Interleave by (t, seq): both runs are sorted, and
+                    // the merged bucket must stay in sweep order.
+                    while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+                        if (x.t, x.seq) <= (y.t, y.seq) {
+                            let e = a.next().expect("peeked");
+                            keep.entries.push(e);
+                        } else {
+                            let e = b.next().expect("peeked");
+                            keep.entries.push(e);
+                        }
+                    }
+                    keep.entries.extend(a);
+                    keep.entries.extend(b);
+                },
+            );
+        }
+    }
+
+    /// One-pass build from a window's sealed runs (oldest-first, so the
+    /// inserts arrive time-ordered exactly like live seals would).
+    fn build_from(&mut self, window: &WindowPartition) {
+        debug_assert!(!self.built && self.len == 0);
+        self.built = true;
+        window.for_each_sealed_run_view(|run| {
+            for tup in run.tuples {
+                self.insert(tup.key, tup.t, tup.seq);
+            }
+        });
+    }
+
+    /// Emits every window-valid match of a single probe, in the same
+    /// global `(t, seq)` order the run-by-run sweep produces. Charges
+    /// nothing: the caller has already charged the full BNLJ cost.
+    fn probe_one(
+        &self,
+        probe: &Tuple,
+        sem: &JoinSemantics,
+        out: &mut Vec<OutPair>,
+        work: &mut WorkStats,
+    ) {
+        for e in &self.dir.get(index_hash(probe.key)).entries {
+            if e.key == probe.key && sem.joins(probe.t, probe.side, e.t) {
+                out.push(OutPair::from_probe(probe, e.t, e.seq));
+                work.emitted += 1;
+            }
+        }
+    }
+}
+
+/// The paper's Block Nested-Loop Join as a batched columnar kernel with
+/// an indexed single-probe fast path.
 ///
 /// Per probe call the fresh batch's keys are gathered once into a
 /// reused scratch column; every sealed run is then scanned through its
@@ -124,16 +280,42 @@ impl ProbeEngine for ScalarEngine {
 /// are still charged; see the module docs). Row tuples are only touched
 /// to materialise an [`OutPair`] on a key hit, and emission order is
 /// exactly the scalar kernel's stored-major order.
+///
+/// Single-tuple probes of large windows (≥ `INDEX_MIN_SEALED` sealed)
+/// go through a lazily-built per-side `KeyIndex` instead of sweeping:
+/// the probe touches one extendible-hash bucket (≤ a few cache lines)
+/// rather than the whole key column. Because sealed runs are visited
+/// oldest-first and each run is stored-major, a single probe's sweep
+/// emission order is exactly ascending stored `(t, seq)` — the order
+/// index buckets are kept in — so the indexed path emits a
+/// byte-identical `(OutPair, WorkStats)` sequence, and the choice of
+/// path is purely a matter of speed. Batch probes always sweep: their
+/// stored-major emission interleaves batch members, which no per-key
+/// index can reproduce without re-sorting.
 #[derive(Debug, Clone, Default)]
 pub struct ExactEngine {
     /// Reused key column of the probing batch.
     fresh_keys: Vec<u64>,
+    /// Per-side sealed-key indexes (`[left, right]`), built on demand.
+    index: [KeyIndex; 2],
 }
 
 impl ProbeEngine for ExactEngine {
-    fn on_seal(&mut self, _tuple: &Tuple) {}
+    fn on_seal(&mut self, tuple: &Tuple) {
+        let idx = &mut self.index[tuple.side.index()];
+        if idx.built {
+            idx.insert(tuple.key, tuple.t, tuple.seq);
+        }
+    }
 
-    fn on_expire_block(&mut self, _side: Side, _block: &Block) {}
+    fn on_expire_block(&mut self, side: Side, block: &Block) {
+        let idx = &mut self.index[side.index()];
+        if idx.built {
+            for tup in block.tuples() {
+                idx.remove(tup.key, tup.t, tup.seq);
+            }
+        }
+    }
 
     fn probe(
         &mut self,
@@ -147,6 +329,21 @@ impl ProbeEngine for ExactEngine {
             return;
         }
         work.blocks_touched += opposite.block_count() as u64;
+        if let [probe] = fresh {
+            let idx = &mut self.index[probe.side.opposite().index()];
+            let sealed = opposite.sealed_count();
+            if idx.built || sealed >= INDEX_MIN_SEALED {
+                if !idx.built {
+                    idx.build_from(opposite);
+                }
+                debug_assert_eq!(idx.len, sealed, "index tracks the sealed set");
+                // Identical charge to the run-by-run sweep: one
+                // comparison per sealed tuple (fresh.len() == 1).
+                work.comparisons += sealed as u64;
+                idx.probe_one(probe, sem, out, work);
+                return;
+            }
+        }
         self.fresh_keys.clear();
         let (mut fresh_min, mut fresh_max) = (u64::MAX, 0u64);
         for t in fresh {

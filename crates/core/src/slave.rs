@@ -2,13 +2,13 @@
 //! Fig. 2). Sans-io: the driver feeds batches in and pulls outputs,
 //! occupancy samples and extracted partition states out.
 
+use crate::pool::{DrainPool, StealQueue};
 use crate::residual::{MatchCtx, MatchSide};
 use crate::{
     hash::partition_of, GroupState, OutPair, Params, PartitionGroup, PartitionedBuffer,
     PayloadEntry, PayloadStore, ProbeEngine, Residual, Side, Tuple, WorkStats,
 };
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One slave's join-processing state.
@@ -33,6 +33,11 @@ pub struct SlaveCore<E: ProbeEngine> {
     /// side)` sequence guards — a promoted leader replays the stream
     /// from the start, and redelivery must be idempotent.
     dedupe: bool,
+    /// The persistent drain pool, created lazily on the first parallel
+    /// drain and reused for every one after — publishing a drain to
+    /// parked helpers costs a condvar broadcast, not `threads - 1`
+    /// thread spawns. `None` until `probe_threads > 1` actually bites.
+    pool: Option<DrainPool>,
     /// Next-expected source sequence per partition, `[left, right]`.
     /// Absent / `0` = accept anything. Guards travel with partition
     /// moves ([`seen_of`](Self::seen_of) / [`set_seen`](Self::set_seen)).
@@ -57,6 +62,7 @@ impl<E: ProbeEngine> SlaveCore<E> {
             residual: Residual::ALWAYS,
             payloads: BTreeMap::new(),
             dedupe: false,
+            pool: None,
             seen: HashMap::new(),
         }
     }
@@ -250,12 +256,13 @@ impl<E: ProbeEngine> SlaveCore<E> {
     /// Join outputs are appended to `out`; counted work to `work`.
     ///
     /// With `Params::probe_threads > 1` the non-empty partitions are
-    /// drained by a [`std::thread::scope`] worker pool — partitions are
-    /// fully independent (own groups, own buffers, own watermarks), so
-    /// each is processed whole on one worker and the per-partition
-    /// results are merged back in ascending partition order. The merged
-    /// output sequence and work tally are byte-identical to the serial
-    /// path for every thread count.
+    /// drained by a persistent work-stealing pool ([`DrainPool`]) owned
+    /// by this slave — partitions are fully independent (own groups,
+    /// own buffers, own watermarks), so each is processed whole on one
+    /// worker into job-local buffers and the per-partition results are
+    /// merged back in ascending partition order. The merged output
+    /// sequence and work tally are byte-identical to the serial path
+    /// for every thread count.
     ///
     /// # Panics
     ///
@@ -289,10 +296,13 @@ impl<E: ProbeEngine> SlaveCore<E> {
         self.finish_pass(out, start, &drained, work);
     }
 
-    /// The worker-pool drain: one job per non-empty partition, claimed
-    /// off a shared counter, each appending to job-local buffers; the
-    /// deterministic merge happens afterwards in ascending partition
-    /// order (= the serial processing order).
+    /// The work-stealing drain: one job per non-empty partition,
+    /// distributed over chunked per-worker deques ([`StealQueue`]) with
+    /// steal-half rebalancing, each job appending to job-local buffers;
+    /// the deterministic merge happens afterwards in ascending
+    /// partition order (= the serial processing order). The worker
+    /// threads come from the slave's persistent [`DrainPool`], created
+    /// on first use and grown to the widest width ever requested.
     fn process_pending_parallel(
         &mut self,
         pids: &[u32],
@@ -332,22 +342,21 @@ impl<E: ProbeEngine> SlaveCore<E> {
             panic!("slave {} received tuples for unowned partition {pid}", self.id);
         }
 
-        let next_job = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
-                    let i = next_job.fetch_add(1, Ordering::Relaxed);
-                    let Some(slot) = jobs.get(i) else { break };
-                    let job = &mut *slot.lock().expect("job claimed once");
-                    let mut local_watermark = 0;
-                    for t in std::mem::take(&mut job.tuples) {
-                        local_watermark = local_watermark.max(t.t);
-                        job.group.insert(t, &mut job.out, &mut job.work);
-                    }
-                    job.watermark = local_watermark;
-                    job.group.flush_all(&mut job.out, &mut job.work);
-                    job.group.expire_and_tune(local_watermark, &mut job.out, &mut job.work);
-                });
+        let queue = StealQueue::new(jobs.len(), threads);
+        let pool = self.pool.get_or_insert_with(DrainPool::default);
+        pool.ensure_helpers(threads - 1);
+        pool.run(&|worker| {
+            while let Some(i) = queue.next(worker) {
+                // Uncontended: the queue yields each index exactly once.
+                let job = &mut *jobs[i].lock().expect("job claimed once");
+                let mut local_watermark = 0;
+                for t in std::mem::take(&mut job.tuples) {
+                    local_watermark = local_watermark.max(t.t);
+                    job.group.insert(t, &mut job.out, &mut job.work);
+                }
+                job.watermark = local_watermark;
+                job.group.flush_all(&mut job.out, &mut job.work);
+                job.group.expire_and_tune(local_watermark, &mut job.out, &mut job.work);
             }
         });
 

@@ -1,0 +1,195 @@
+//! Property tests for the multicore drain path and the indexed probe:
+//!
+//! 1. **Width invariance** — the work-stealing parallel drain emits a
+//!    byte-identical `(OutPair, WorkStats)` sequence to the serial
+//!    drain at every pool width, under *skewed* partition-group sizes
+//!    (one giant group plus many tiny ones — the shape that makes
+//!    steal-half actually fire).
+//! 2. **Index-path identity** — single-tuple probes of large windows go
+//!    through `ExactEngine`'s lazily-built extendible-hash key index;
+//!    the emission sequence and charged work must match the scalar
+//!    sweep byte for byte across asymmetric windows, expiry churn and
+//!    hot-key bucket saturation.
+
+use proptest::prelude::*;
+use windjoin_core::{
+    hash::partition_of,
+    probe::{ExactEngine, ScalarEngine},
+    OutPair, Params, ProbeEngine, Side, SlaveCore, TuningParams, Tuple, WorkStats,
+};
+
+const NPART: u32 = 8;
+
+fn params(block_bytes: usize, window_us: u64, tuning: Option<TuningParams>) -> Params {
+    let mut p = Params::default_paper();
+    p.npart = NPART;
+    p.block_bytes = block_bytes;
+    p.sem.w_left_us = window_us;
+    p.sem.w_right_us = window_us;
+    p.expiry_lag_us = 0;
+    p.tuning = tuning;
+    p
+}
+
+/// The first `want` keys routed to `pid`.
+fn keys_for_partition(pid: u32, want: usize) -> Vec<u64> {
+    (0u64..).filter(|&k| partition_of(k, NPART) == pid).take(want).collect()
+}
+
+/// A workload where ~85% of tuples land in partition 0 (via a handful
+/// of hot keys) and the rest spread one or two keys into every other
+/// partition: one giant partition-group, many tiny ones.
+fn skewed_workload(max_len: usize) -> impl Strategy<Value = Vec<Tuple>> {
+    let hot = keys_for_partition(0, 4);
+    let cold: Vec<u64> = (1..NPART).flat_map(|pid| keys_for_partition(pid, 2)).collect();
+    proptest::collection::vec((0u64..50, 0u32..100, any::<u64>(), any::<bool>()), 32..max_len)
+        .prop_map(move |items| {
+            let mut t = 0u64;
+            let mut seqs = [0u64; 2];
+            let mut out = Vec::with_capacity(items.len());
+            for (gap, pick, kidx, is_left) in items {
+                t += gap;
+                let key = if pick < 85 {
+                    hot[(kidx % hot.len() as u64) as usize]
+                } else {
+                    cold[(kidx % cold.len() as u64) as usize]
+                };
+                let side = if is_left { Side::Left } else { Side::Right };
+                out.push(Tuple::new(side, t, key, seqs[side.index()]));
+                seqs[side.index()] += 1;
+            }
+            out
+        })
+}
+
+/// A flat workload over a small key domain (forces matches).
+fn workload(max_len: usize, key_domain: u64) -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec((0u64..50, 0..key_domain, any::<bool>()), 1..max_len).prop_map(
+        |items| {
+            let mut t = 0u64;
+            let mut seqs = [0u64; 2];
+            let mut out = Vec::with_capacity(items.len());
+            for (gap, key, is_left) in items {
+                t += gap;
+                let side = if is_left { Side::Left } else { Side::Right };
+                out.push(Tuple::new(side, t, key, seqs[side.index()]));
+                seqs[side.index()] += 1;
+            }
+            out
+        },
+    )
+}
+
+/// Runs the workload through one slave at the given drain width,
+/// returning the raw (unsorted) emission sequence and work tally.
+fn run_width<E: ProbeEngine>(
+    p: &Params,
+    width: usize,
+    tuples: &[Tuple],
+    chunk: usize,
+) -> (Vec<OutPair>, WorkStats) {
+    let mut p = p.clone();
+    p.probe_threads = width;
+    let mut s: SlaveCore<E> = SlaveCore::new(0, p.clone());
+    for pid in 0..p.npart {
+        s.create_group(pid);
+    }
+    let mut out = Vec::new();
+    let mut work = WorkStats::default();
+    for batch in tuples.chunks(chunk.max(1)) {
+        s.receive_batch(batch.to_vec());
+        s.process_pending(&mut out, &mut work);
+    }
+    (out, work)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn work_stealing_drain_is_byte_identical_across_widths(
+        tuples in skewed_workload(400),
+        block_bytes in prop_oneof![Just(128usize), Just(256)],
+        window in prop_oneof![Just(500u64), Just(5_000)],
+        chunk in 8usize..128,
+        tuned in any::<bool>(),
+    ) {
+        let tuning = tuned.then_some(TuningParams { theta_blocks: 2, max_depth: 6 });
+        let p = params(block_bytes, window, tuning);
+        let (out_1, work_1) = run_width::<ExactEngine>(&p, 1, &tuples, chunk);
+        for width in [2usize, 4, 8] {
+            let (out_w, work_w) = run_width::<ExactEngine>(&p, width, &tuples, chunk);
+            prop_assert_eq!(&out_1, &out_w, "emission differs at width {}", width);
+            prop_assert_eq!(&work_1, &work_w, "work differs at width {}", width);
+        }
+    }
+
+    #[test]
+    fn indexed_single_probe_is_byte_identical_to_scan(
+        tuples in workload(600, 6),
+        w_left in prop_oneof![Just(200u64), Just(5_000), Just(1_000_000)],
+        w_right in prop_oneof![Just(200u64), Just(5_000), Just(1_000_000)],
+        tuned in any::<bool>(),
+    ) {
+        // chunk = 1 makes every probe a single-tuple probe: once a
+        // window's sealed side crosses the build threshold, ExactEngine
+        // answers from its extendible-hash key index while the scalar
+        // reference sweeps every run. Asymmetric windows drive expiry
+        // (index removals + buddy merges) on one side long before the
+        // other. Identity must hold byte for byte either way.
+        let tuning = tuned.then_some(TuningParams { theta_blocks: 2, max_depth: 6 });
+        let mut p = params(256, w_left, tuning);
+        p.sem.w_right_us = w_right;
+        let (out_ex, work_ex) = run_width::<ExactEngine>(&p, 1, &tuples, 1);
+        let (out_sc, work_sc) = run_width::<ScalarEngine>(&p, 1, &tuples, 1);
+        prop_assert_eq!(out_ex, out_sc, "emission sequences differ");
+        prop_assert_eq!(work_ex, work_sc, "charged work differs");
+    }
+}
+
+/// A single white-hot key overflows its index bucket with entries whose
+/// hashes can never be divided: the bucket must saturate at the depth
+/// cap and stay exact, not split forever or lose entries.
+#[test]
+fn hot_key_saturates_index_but_stays_exact() {
+    let tuples: Vec<Tuple> = (0..400u64)
+        .map(|i| {
+            let side = if i % 3 == 0 { Side::Right } else { Side::Left };
+            Tuple::new(side, i * 7, 42, i)
+        })
+        .collect();
+    let p = params(256, 1_000_000, None);
+    let (out_ex, work_ex) = run_width::<ExactEngine>(&p, 1, &tuples, 1);
+    let (out_sc, work_sc) = run_width::<ScalarEngine>(&p, 1, &tuples, 1);
+    assert_eq!(out_ex, out_sc);
+    assert_eq!(work_ex, work_sc);
+    assert!(work_ex.emitted > 0, "hot-key workload must actually join");
+}
+
+/// The giant-plus-tiny shape, pinned (not property-sampled), at every
+/// supported width — a fast smoke version of the width proptest.
+#[test]
+fn skewed_groups_drain_identically_at_all_widths() {
+    let hot = keys_for_partition(0, 2);
+    let cold: Vec<u64> = (1..NPART).flat_map(|pid| keys_for_partition(pid, 1)).collect();
+    let mut seqs = [0u64; 2];
+    let tuples: Vec<Tuple> = (0..600u64)
+        .map(|i| {
+            let key = if i % 10 < 9 { hot[((i / 3) % 2) as usize] } else { cold[(i % 7) as usize] };
+            // Side decorrelated from the key pick so hot keys land on
+            // both sides and the workload actually joins.
+            let side = if i % 2 == 0 { Side::Left } else { Side::Right };
+            let seq = seqs[side.index()];
+            seqs[side.index()] += 1;
+            Tuple::new(side, i * 3, key, seq)
+        })
+        .collect();
+    let p = params(128, 700, Some(TuningParams { theta_blocks: 2, max_depth: 6 }));
+    let (out_1, work_1) = run_width::<ExactEngine>(&p, 1, &tuples, 64);
+    for width in [2usize, 4, 8] {
+        let (out_w, work_w) = run_width::<ExactEngine>(&p, width, &tuples, 64);
+        assert_eq!(out_1, out_w, "width {width}");
+        assert_eq!(work_1, work_w, "width {width}");
+    }
+    assert!(work_1.emitted > 0, "workload must actually join");
+}
