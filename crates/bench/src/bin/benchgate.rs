@@ -1,7 +1,8 @@
 //! `benchgate` — CI regression gate over `perfjson` snapshots.
 //!
-//! Compares a freshly measured `bench_now.json` against the committed
-//! `BENCH_probe.json` baseline and fails (exit 1) when:
+//! Compares a freshly measured `bench_now.json` against a committed
+//! baseline (`BENCH_probe.json` or `BENCH_net.json`) and fails
+//! (exit 1) when:
 //!
 //! * the headline `speedup_vs_scalar` ratio regressed by more than
 //!   `--max-regression` (same-machine-same-process ratio, the most
@@ -20,6 +21,12 @@
 //!   `host_cpus` field (written by `perfjson`), falling back to this
 //!   process's own `available_parallelism` — in CI both run on the same
 //!   machine.
+//!
+//! The speedup and thread-scaling gates apply only when the *baseline*
+//! carries the relevant field/scenarios — a `perfjson --net` snapshot
+//! (the `net_saturate` family) has neither, and is gated purely on
+//! per-scenario regression. A baseline that has them and a current run
+//! that dropped them is a failure, not a skip.
 //!
 //! `--markdown PATH` additionally writes a baseline-vs-current
 //! comparison table (GitHub-flavoured) for `$GITHUB_STEP_SUMMARY`.
@@ -125,14 +132,11 @@ fn main() {
         }
     }
 
-    let base_speedup = extract_number(&base, "speedup_vs_scalar")
-        .unwrap_or_else(|| usage_and_exit("baseline lacks speedup_vs_scalar"));
-    let curr_speedup = extract_number(&curr, "speedup_vs_scalar")
-        .unwrap_or_else(|| usage_and_exit("current lacks speedup_vs_scalar"));
-
-    println!(
-        "benchgate: speedup_vs_scalar baseline {base_speedup:.2}x, current {curr_speedup:.2}x"
-    );
+    let base_speedup = extract_number(&base, "speedup_vs_scalar");
+    let curr_speedup = extract_number(&curr, "speedup_vs_scalar");
+    if let (Some(b), Some(c)) = (base_speedup, curr_speedup) {
+        println!("benchgate: speedup_vs_scalar baseline {b:.2}x, current {c:.2}x");
+    }
     let base_rates = extract_scenarios(&base);
     let curr_rates = extract_scenarios(&curr);
     let mut failures: Vec<String> = Vec::new();
@@ -157,11 +161,15 @@ fn main() {
     }
 
     // Thread scaling is judged on the *current* snapshot alone: both
-    // rates come from the same process on the same machine.
+    // rates come from the same process on the same machine. The gate
+    // applies only to snapshot families that carry the drain scenarios
+    // in the baseline (i.e. not to `perfjson --net` snapshots).
+    let gate_scaling = rate_of(&base_rates, "slave_drain/threads=1").is_some()
+        && rate_of(&base_rates, "slave_drain/threads=4").is_some();
     let t1 = rate_of(&curr_rates, "slave_drain/threads=1");
     let t4 = rate_of(&curr_rates, "slave_drain/threads=4");
-    match (t1, t4) {
-        (Some(t1), Some(t4)) => {
+    match (gate_scaling, t1, t4) {
+        (true, Some(t1), Some(t4)) => {
             let host_cpus = extract_number(&curr, "host_cpus")
                 .map(|n| n as usize)
                 .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
@@ -179,25 +187,31 @@ fn main() {
                 ));
             }
         }
-        _ => failures
+        (true, _, _) => failures
             .push("current snapshot lacks slave_drain/threads=1 and =4 scenarios".to_string()),
+        (false, _, _) => {}
     }
 
-    let floor = base_speedup * (1.0 - max_regression);
-    if curr_speedup < floor {
-        failures.push(format!(
-            "speedup_vs_scalar {curr_speedup:.2}x fell below {floor:.2}x \
-             (baseline {base_speedup:.2}x minus {:.0}% allowance)",
-            max_regression * 100.0
-        ));
+    match (base_speedup, curr_speedup) {
+        (Some(base_speedup), Some(curr_speedup)) => {
+            let floor = base_speedup * (1.0 - max_regression);
+            if curr_speedup < floor {
+                failures.push(format!(
+                    "speedup_vs_scalar {curr_speedup:.2}x fell below {floor:.2}x \
+                     (baseline {base_speedup:.2}x minus {:.0}% allowance)",
+                    max_regression * 100.0
+                ));
+            }
+        }
+        (Some(_), None) => failures.push("current snapshot dropped speedup_vs_scalar".to_string()),
+        (None, _) => {}
     }
 
     if let Some(path) = markdown {
         let md = render_markdown(
             &base_rates,
             &curr_rates,
-            base_speedup,
-            curr_speedup,
+            base_speedup.zip(curr_speedup),
             t1.zip(t4).map(|(a, b)| b / a),
             &failures,
         );
@@ -213,8 +227,9 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "benchgate: OK — speedup floor {floor:.2}x held, no scenario regressed >{:.0}%",
-        max_scenario_regression * 100.0
+        "benchgate: OK — no scenario regressed >{:.0}%{}",
+        max_scenario_regression * 100.0,
+        if base_speedup.is_some() { ", speedup floor held" } else { "" }
     );
 }
 
@@ -223,8 +238,7 @@ fn main() {
 fn render_markdown(
     base_rates: &[(String, f64)],
     curr_rates: &[(String, f64)],
-    base_speedup: f64,
-    curr_speedup: f64,
+    speedups: Option<(f64, f64)>,
     thread_scaling: Option<f64>,
     failures: &[String],
 ) -> String {
@@ -243,9 +257,11 @@ fn render_markdown(
             md.push_str(&format!("| `{name}` | {b:.0} | — | removed |\n"));
         }
     }
-    md.push_str(&format!(
-        "\n**speedup_vs_scalar**: baseline {base_speedup:.2}x → current {curr_speedup:.2}x\n"
-    ));
+    if let Some((base_speedup, curr_speedup)) = speedups {
+        md.push_str(&format!(
+            "\n**speedup_vs_scalar**: baseline {base_speedup:.2}x → current {curr_speedup:.2}x\n"
+        ));
+    }
     if let Some(s) = thread_scaling {
         md.push_str(&format!("\n**slave_drain thread scaling (4 vs 1)**: {s:.2}x\n"));
     }
@@ -297,11 +313,15 @@ mod tests {
     fn markdown_table_covers_both_snapshots() {
         let base = vec![("kept".to_string(), 100.0), ("gone".to_string(), 5.0)];
         let curr = vec![("kept".to_string(), 150.0), ("fresh".to_string(), 9.0)];
-        let md = render_markdown(&base, &curr, 30.0, 31.0, Some(3.2), &[]);
+        let md = render_markdown(&base, &curr, Some((30.0, 31.0)), Some(3.2), &[]);
         assert!(md.contains("| `kept` | 100 | 150 | +50.0% |"));
         assert!(md.contains("| `fresh` | — | 9 | new |"));
         assert!(md.contains("| `gone` | 5 | — | removed |"));
         assert!(md.contains("3.20x"));
         assert!(md.contains("all gates passed"));
+        // A net-family comparison has neither speedup nor scaling lines.
+        let md = render_markdown(&base, &curr, None, None, &[]);
+        assert!(!md.contains("speedup_vs_scalar"));
+        assert!(!md.contains("thread scaling"));
     }
 }

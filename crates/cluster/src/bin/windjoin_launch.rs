@@ -28,6 +28,8 @@
 //!                           crashing [6]
 //!   --die-after-epochs N    epochs a victim master leads before
 //!                           crashing [3]
+//!   --transport T           socket backend for every rank:
+//!                           threaded | evented [threaded]
 //!   --retries K             full-launch retries on port races [3]
 //!   -- ...                  everything after `--` goes to every rank
 //! ```
@@ -53,6 +55,7 @@ struct Args {
     kill_rank: Option<usize>,
     die_after_batches: u64,
     die_after_epochs: u64,
+    transport: Option<String>,
     retries: usize,
     passthrough: Vec<String>,
 }
@@ -77,6 +80,7 @@ fn parse_args() -> Args {
         kill_rank: None,
         die_after_batches: 6,
         die_after_epochs: 3,
+        transport: None,
         retries: 3,
         passthrough: Vec::new(),
     };
@@ -117,6 +121,11 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage_and_exit("bad --die-after-epochs"))
             }
+            "--transport" => {
+                let t = value(&mut i, &flag);
+                windjoin_cluster::TransportKind::parse(&t).unwrap_or_else(|e| usage_and_exit(&e));
+                args.transport = Some(t);
+            }
             "--retries" => {
                 args.retries =
                     value(&mut i, &flag).parse().unwrap_or_else(|_| usage_and_exit("bad --retries"))
@@ -152,6 +161,12 @@ fn parse_args() -> Args {
         // here instead of requiring it on the node command line.
         args.passthrough.insert(0, "--masters".into());
         args.passthrough.insert(1, args.masters.to_string());
+    }
+    if let Some(t) = &args.transport {
+        // Backends interoperate on the wire, so per-rank overrides in
+        // the passthrough tail remain possible; this sets the default.
+        args.passthrough.insert(0, "--transport".into());
+        args.passthrough.insert(1, t.clone());
     }
     if args.ranks < args.masters + 2 {
         usage_and_exit("--ranks must be >= masters + 2 (masters, >=1 slave, collector)");

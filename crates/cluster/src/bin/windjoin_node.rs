@@ -44,7 +44,8 @@
 //!                                  process after processing N batches
 //!              --die-after-epochs N  (master ranks only) crash this
 //!                                  process while leading epoch N
-//! transport    --capacity N        inbox frames             [4096]
+//! transport    --transport T       threaded | evented       [threaded]
+//!              --capacity N        inbox frames             [4096]
 //!              --handshake-ms N    mesh dial window         [30000]
 //! output       --emit-pairs       collector prints every join pair
 //! ```
@@ -58,6 +59,7 @@ use std::net::SocketAddr;
 use std::time::Duration;
 use windjoin_cluster::{
     run_node, ChaosKill, EngineKind, JobSpec, MasterKill, NodeConfig, NodeOutcome, ProcessConfig,
+    TransportKind,
 };
 use windjoin_gen::KeyDist;
 
@@ -67,6 +69,7 @@ struct Args {
     node: NodeConfig,
     capacity: Option<usize>,
     handshake: Option<Duration>,
+    transport: Option<TransportKind>,
     emit_pairs: bool,
 }
 
@@ -121,6 +124,7 @@ fn parse_args() -> Args {
     let mut die_after_epochs: Option<u64> = None;
     let mut capacity: Option<usize> = None;
     let mut handshake_ms: Option<u64> = None;
+    let mut transport: Option<TransportKind> = None;
     let mut emit_pairs = false;
 
     let value = |i: &mut usize, flag: &str| -> String {
@@ -286,6 +290,12 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| usage_and_exit("bad --handshake-ms")),
                 )
             }
+            "--transport" => {
+                transport = Some(
+                    TransportKind::parse(&value(&mut i, &flag))
+                        .unwrap_or_else(|e| usage_and_exit(&e)),
+                )
+            }
             "--emit-pairs" => emit_pairs = true,
             other => usage_and_exit(&format!("unknown flag {other:?}")),
         }
@@ -418,6 +428,7 @@ fn parse_args() -> Args {
         node,
         capacity,
         handshake: handshake_ms.map(Duration::from_millis),
+        transport,
         emit_pairs,
     }
 }
@@ -430,6 +441,9 @@ fn main() {
     }
     if let Some(handshake) = args.handshake {
         cfg.handshake_timeout = handshake;
+    }
+    if let Some(transport) = args.transport {
+        cfg.transport = transport;
     }
     if let Err(e) = cfg.validate() {
         usage_and_exit(&e.to_string());
@@ -454,8 +468,8 @@ fn main() {
             if m.led_shutdown {
                 eprintln!(
                     "master done: {} tuples ingested, {} partition moves, final degree {} \
-                     (term {})",
-                    m.tuples_in, m.moves, m.final_degree, m.term
+                     (term {}), wire {} B out / {} B in",
+                    m.tuples_in, m.moves, m.final_degree, m.term, m.bytes_sent, m.bytes_recvd
                 );
                 if !m.dead_slaves.is_empty() || !m.loss.is_zero() {
                     // Machine-readable failure accounting (chaos CI greps it).
@@ -472,17 +486,21 @@ fn main() {
         }
         NodeOutcome::Slave(s) => {
             eprintln!(
-                "slave done: {} comparisons, cpu {:.1} ms, comm {:.1} ms",
+                "slave done: {} comparisons, cpu {:.1} ms, comm {:.1} ms, wire {} B out / {} B in",
                 s.work.comparisons,
                 s.cpu_us as f64 / 1e3,
-                s.comm_us as f64 / 1e3
+                s.comm_us as f64 / 1e3,
+                s.work.bytes_sent,
+                s.work.bytes_recvd
             );
         }
         NodeOutcome::Collector(c) => {
             eprintln!(
-                "collector done: {} outputs, mean delay {:.1} ms",
+                "collector done: {} outputs, mean delay {:.1} ms, wire {} B out / {} B in",
                 c.outputs_total,
-                c.delay.mean_delay_s() * 1e3
+                c.delay.mean_delay_s() * 1e3,
+                c.bytes_sent,
+                c.bytes_recvd
             );
             // Machine-readable summary (consumed by tests and scripts).
             println!("outputs_total {}", c.outputs_total);

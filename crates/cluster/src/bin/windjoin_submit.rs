@@ -133,6 +133,8 @@ fn main() {
     println!("outputs_total {}", summary.outputs_total);
     println!("checksum {:016x}", summary.output_checksum);
     println!("cancelled {}", summary.cancelled);
+    println!("bytes_sent {}", summary.bytes_sent);
+    println!("bytes_recvd {}", summary.bytes_recvd);
 
     // A final STATUS round-trip surfaces the job's loss accounting
     // (zero unless a slave died mid-run and its state was abandoned).

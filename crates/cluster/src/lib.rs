@@ -45,7 +45,7 @@ pub use api::{
     TcpDriver, ThreadedDriver,
 };
 pub use nodes::{ChaosKill, MasterKill, NodeConfig, Role};
-pub use procrt::{run_node, NodeOutcome, ProcessConfig};
+pub use procrt::{run_node, NodeOutcome, ProcessConfig, TransportKind};
 pub use report::RunReport;
 pub use runcfg::{EngineKind, RunConfig};
 pub use simrt::run_sim;

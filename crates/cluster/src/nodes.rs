@@ -286,6 +286,11 @@ pub struct MasterOutcome {
     /// True when this master led the final shutdown — the rank whose
     /// outcome describes the run (exactly one per completed run).
     pub led_shutdown: bool,
+    /// Bytes this rank put on the wire (endpoint counters; zero on
+    /// backends that do not track volume).
+    pub bytes_sent: u64,
+    /// Bytes this rank took off the wire.
+    pub bytes_recvd: u64,
 }
 
 /// What one slave accumulated over a run.
@@ -310,6 +315,10 @@ pub struct CollectorOutcome {
     pub checksum: u64,
     /// Total outputs including warm-up.
     pub outputs_total: u64,
+    /// Bytes this rank put on the wire (endpoint counters).
+    pub bytes_sent: u64,
+    /// Bytes this rank took off the wire.
+    pub bytes_recvd: u64,
 }
 
 fn duration_us(d: Duration) -> u64 {
@@ -586,6 +595,7 @@ impl<'a, E: TransportEndpoint> MasterDriver<'a, E> {
     ) -> MasterOutcome {
         let dead_slaves: Vec<usize> =
             (0..self.cfg.slaves).filter(|&s| !self.core.is_live(s) && !self.departed[s]).collect();
+        let wire = self.ep.wire_stats();
         MasterOutcome {
             peak_buffer_bytes: self.core.peak_buffer_bytes(),
             final_degree: self.core.degree(),
@@ -596,6 +606,8 @@ impl<'a, E: TransportEndpoint> MasterDriver<'a, E> {
             dead_slaves,
             term: self.election.term,
             led_shutdown,
+            bytes_sent: wire.bytes_sent,
+            bytes_recvd: wire.bytes_recvd,
         }
     }
 }
@@ -1395,7 +1407,7 @@ fn slave_node_with<Eng: ProbeEngine + Clone, E: TransportEndpoint>(
                         eprintln!("slave {index}: chaos kill after {batches_seen} batches");
                         std::process::exit(137);
                     }
-                    return SlaveOutcome { work, cpu_us, comm_us };
+                    return finish_slave(ep, work, cpu_us, comm_us);
                 }
             }
             continue;
@@ -1495,6 +1507,20 @@ fn slave_node_with<Eng: ProbeEngine + Clone, E: TransportEndpoint>(
             other => panic!("slave {index} got unexpected message {other:?}"),
         }
     }
+    finish_slave(ep, work, cpu_us, comm_us)
+}
+
+/// Folds the endpoint's wire-volume counters into the slave's counted
+/// work — `bytes_sent`/`bytes_recvd` ride `WorkStats` into `RunReport`.
+fn finish_slave<E: TransportEndpoint>(
+    ep: &E,
+    mut work: WorkStats,
+    cpu_us: u64,
+    comm_us: u64,
+) -> SlaveOutcome {
+    let wire = ep.wire_stats();
+    work.bytes_sent += wire.bytes_sent;
+    work.bytes_recvd += wire.bytes_recvd;
     SlaveOutcome { work, cpu_us, comm_us }
 }
 
@@ -1567,5 +1593,13 @@ pub fn collector_node<E: TransportEndpoint>(ep: &E, cfg: &NodeConfig) -> Collect
             other => panic!("collector got unexpected message {other:?}"),
         }
     }
-    CollectorOutcome { delay, captured, checksum, outputs_total }
+    let wire = ep.wire_stats();
+    CollectorOutcome {
+        delay,
+        captured,
+        checksum,
+        outputs_total,
+        bytes_sent: wire.bytes_sent,
+        bytes_recvd: wire.bytes_recvd,
+    }
 }

@@ -18,7 +18,40 @@ use crate::nodes::{self, CollectorOutcome, MasterOutcome, NodeConfig, Role, Slav
 use std::net::SocketAddr;
 use std::time::Duration;
 use windjoin_core::ConfigError;
-use windjoin_net::TcpNetwork;
+use windjoin_net::{EventedNetwork, TcpNetwork, TransportEndpoint};
+
+/// Which socket backend carries the mesh (same wire format, same
+/// handshake, same protocol semantics — interchangeable mid-fleet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Thread-per-peer blocking I/O (`TcpNetwork`): `2(n-1)` threads
+    /// per rank. Simple and fast at small rank counts; the default.
+    #[default]
+    Threaded,
+    /// Readiness-driven event loop (`EventedNetwork`): one poller
+    /// thread per rank multiplexing all peers. Constant thread count —
+    /// the choice at 16+ ranks.
+    Evented,
+}
+
+impl TransportKind {
+    /// Parses the `--transport` CLI spelling.
+    pub fn parse(s: &str) -> Result<TransportKind, String> {
+        match s {
+            "threaded" => Ok(TransportKind::Threaded),
+            "evented" => Ok(TransportKind::Evented),
+            other => Err(format!("unknown transport '{other}' (expected threaded|evented)")),
+        }
+    }
+
+    /// The CLI spelling (inverse of [`parse`](Self::parse)).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TransportKind::Threaded => "threaded",
+            TransportKind::Evented => "evented",
+        }
+    }
+}
 
 /// One process's slice of a multi-process cluster run.
 #[derive(Debug, Clone)]
@@ -35,6 +68,8 @@ pub struct ProcessConfig {
     pub inbox_capacity: usize,
     /// How long to keep dialing peers during the mesh handshake.
     pub handshake_timeout: Duration,
+    /// Which socket backend carries the mesh.
+    pub transport: TransportKind,
 }
 
 impl ProcessConfig {
@@ -47,6 +82,7 @@ impl ProcessConfig {
             node,
             inbox_capacity: crate::threadrt::DEFAULT_INBOX_CAPACITY,
             handshake_timeout: Duration::from_secs(30),
+            transport: TransportKind::default(),
         }
     }
 
@@ -99,15 +135,39 @@ pub enum NodeOutcome {
 ///
 /// Blocks through the whole run; every rank of the cluster must call
 /// this (in its own process) with the same `peers` and `node` config.
+/// Ranks may mix [`TransportKind`]s freely: both backends speak the
+/// same wire protocol.
 pub fn run_node(cfg: &ProcessConfig) -> std::io::Result<NodeOutcome> {
     cfg.validate().map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-    let ep =
-        TcpNetwork::establish(cfg.rank, &cfg.peers, cfg.inbox_capacity, cfg.handshake_timeout)?;
-    Ok(match cfg.node.role_of(cfg.rank) {
-        Role::Master(i) => NodeOutcome::Master(nodes::master_node_at(&ep, i, &cfg.node)),
-        Role::Slave(i) => NodeOutcome::Slave(nodes::slave_node(&ep, i, &cfg.node)),
-        Role::Collector => NodeOutcome::Collector(nodes::collector_node(&ep, &cfg.node)),
-    })
+    match cfg.transport {
+        TransportKind::Threaded => {
+            let ep = TcpNetwork::establish(
+                cfg.rank,
+                &cfg.peers,
+                cfg.inbox_capacity,
+                cfg.handshake_timeout,
+            )?;
+            Ok(run_role(&ep, cfg))
+        }
+        TransportKind::Evented => {
+            let ep = EventedNetwork::establish(
+                cfg.rank,
+                &cfg.peers,
+                cfg.inbox_capacity,
+                cfg.handshake_timeout,
+            )?;
+            Ok(run_role(&ep, cfg))
+        }
+    }
+}
+
+/// Runs this rank's role over an established endpoint (any backend).
+fn run_role<E: TransportEndpoint>(ep: &E, cfg: &ProcessConfig) -> NodeOutcome {
+    match cfg.node.role_of(cfg.rank) {
+        Role::Master(i) => NodeOutcome::Master(nodes::master_node_at(ep, i, &cfg.node)),
+        Role::Slave(i) => NodeOutcome::Slave(nodes::slave_node(ep, i, &cfg.node)),
+        Role::Collector => NodeOutcome::Collector(nodes::collector_node(ep, &cfg.node)),
+    }
 }
 
 #[cfg(test)]

@@ -214,6 +214,11 @@ pub struct JobSummary {
     pub run_us: u64,
     /// Mean production delay, seconds (post-warm-up).
     pub avg_delay_s: f64,
+    /// Cluster-wide bytes put on the wire (zero for the simulator,
+    /// which models links instead of counting them).
+    pub bytes_sent: u64,
+    /// Cluster-wide bytes taken off the wire.
+    pub bytes_recvd: u64,
     /// Whether the run was truncated by a cancel.
     pub cancelled: bool,
 }
@@ -228,6 +233,8 @@ impl JobSummary {
             moves: report.moves,
             run_us: report.run_us,
             avg_delay_s: report.avg_delay_s(),
+            bytes_sent: report.work.bytes_sent,
+            bytes_recvd: report.work.bytes_recvd,
             cancelled,
         }
     }
@@ -241,6 +248,8 @@ impl JobSummary {
             ("moves", Json::U64(self.moves)),
             ("run_us", Json::U64(self.run_us)),
             ("avg_delay_s", Json::F64(self.avg_delay_s)),
+            ("bytes_sent", Json::U64(self.bytes_sent)),
+            ("bytes_recvd", Json::U64(self.bytes_recvd)),
             ("cancelled", Json::Bool(self.cancelled)),
         ])
         .to_text()
@@ -262,6 +271,9 @@ impl JobSummary {
                 .get("avg_delay_s")
                 .and_then(Json::as_f64)
                 .ok_or_else(|| bad("avg_delay_s"))?,
+            // Absent in digests from servers predating wire counters.
+            bytes_sent: v.get("bytes_sent").and_then(Json::as_u64).unwrap_or(0),
+            bytes_recvd: v.get("bytes_recvd").and_then(Json::as_u64).unwrap_or(0),
             cancelled: v
                 .get("cancelled")
                 .and_then(Json::as_bool)
@@ -1117,6 +1129,8 @@ mod tests {
             moves: 3,
             run_us: 6_000_000,
             avg_delay_s: 0.25,
+            bytes_sent: 1 << 40,
+            bytes_recvd: 77,
             cancelled: true,
         };
         for r in [

@@ -116,6 +116,12 @@ where
         usage.node_mut(i).add_idle(warmup_us, warmup_us + idle);
     }
     let c = collector.join().expect("collector");
+    // Wire volume is cluster-wide: slave counters arrived inside
+    // `s.work`; the leading master and the collector report theirs on
+    // the side. (Standby masters' volume is not represented — their
+    // outcomes don't describe the run.)
+    work.bytes_sent += m.bytes_sent + c.bytes_sent;
+    work.bytes_recvd += m.bytes_recvd + c.bytes_recvd;
 
     RunReport {
         outputs: c.delay.count(),

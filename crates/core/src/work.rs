@@ -32,6 +32,12 @@ pub struct WorkStats {
     /// plain equi-join runs (`Residual::ALWAYS` skips the filter pass),
     /// so legacy `WorkStats` comparisons stay bit-identical.
     pub residual_dropped: u64,
+    /// Bytes this rank put on the wire (frame headers included on
+    /// socket transports; zero in the simulator, which models links
+    /// instead of counting them).
+    pub bytes_sent: u64,
+    /// Bytes this rank took off the wire (same conventions).
+    pub bytes_recvd: u64,
 }
 
 impl WorkStats {
@@ -46,6 +52,8 @@ impl WorkStats {
         self.groups_lost += other.groups_lost;
         self.tuples_lost += other.tuples_lost;
         self.residual_dropped += other.residual_dropped;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_recvd += other.bytes_recvd;
     }
 
     /// True when nothing was counted.

@@ -16,24 +16,32 @@
 //!   channels with bounded capacity. Receiving blocks until the
 //!   sender's message arrives, mirroring the blocking communication
 //!   the paper's §III is designed around.
-//! * [`tcp`] — the socket backend: length-prefixed frames over
+//! * [`tcp`] — the threaded socket backend: length-prefixed frames over
 //!   `TcpStream`, a rank-handshake mesh bootstrap, and per-peer reader
 //!   threads feeding a bounded inbox (backpressure through TCP flow
 //!   control). One rank per OS process — the shared-nothing deployment
 //!   the paper actually ran.
+//! * [`evented`] — the readiness-driven socket backend: the same mesh
+//!   bootstrap and framing, but one poller thread per rank multiplexing
+//!   every peer over nonblocking sockets ([`poll`], a vendored epoll
+//!   shim), with per-peer write queues drained by vectored writes.
+//!   Constant thread count per node regardless of cluster size.
 
 #![warn(missing_docs)]
 
+pub mod evented;
 pub mod message;
+pub mod poll;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use evented::{EventedEndpoint, EventedNetwork, FrameWriteQueue};
 pub use message::Message;
 pub use tcp::{FrameDecoder, TcpEndpoint, TcpNetwork};
 pub use transport::{
     ChannelEndpoint, ChannelNetwork, Disconnected, Endpoint, Frame, NetEvent, Network, Transport,
-    TransportEndpoint,
+    TransportEndpoint, WireStats,
 };
 pub use wire::{
     decode_batch, decode_batch_into, encode_batch, encode_batch_into, Tagging, TUPLE_WIRE_BYTES,

@@ -1,0 +1,294 @@
+//! A vendored readiness shim over Linux `epoll`, in the spirit of the
+//! offline stand-ins under `vendor/`: just enough surface for one
+//! poller thread to multiplex every peer socket of a rank, with none of
+//! the cross-platform machinery a full `mio` would drag in.
+//!
+//! The kernel interface is declared directly (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `eventfd`) — libc is already linked into
+//! every Rust binary through `std`, so no new dependency is required.
+//! Level-triggered mode is used throughout: the event loop re-arms
+//! interest explicitly (mask `EPOLLIN` while the inbox is full, arm
+//! `EPOLLOUT` only while a write queue is non-empty), which makes the
+//! backpressure states visible in the interest set instead of implicit
+//! in edge-trigger bookkeeping.
+//!
+//! Linux-only, like the deployment targets of this repo (the paper's
+//! cluster, the CI runners, the reference container).
+
+use std::ffi::{c_int, c_uint, c_void};
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Readable readiness (data, EOF, or an error to be discovered by the
+/// next `read`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (kernel send buffer has room).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition; always reported, never needs arming.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup; always reported, never needs arming.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half; armed so a dead peer wakes the poller
+/// even when its socket holds no data.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the one ABI
+/// where the kernel declares it packed); naturally aligned elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct RawEpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEpollEvent) -> c_int;
+    fn epoll_wait(
+        epfd: c_int,
+        events: *mut RawEpollEvent,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollEvent {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Raw readiness bits (`EPOLLIN` / `EPOLLOUT` / `EPOLLERR` / ...).
+    pub events: u32,
+}
+
+impl PollEvent {
+    /// The fd should be read: data, EOF, hangup or a pending error (the
+    /// error is surfaced by the read itself).
+    pub fn readable(&self) -> bool {
+        self.events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// The fd should be written: buffer space, or an error a write will
+    /// surface.
+    pub fn writable(&self) -> bool {
+        self.events & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0
+    }
+}
+
+/// Thin RAII wrapper over an epoll instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+// The epoll fd is freely usable from any thread; `Poller` is owned by
+// exactly one poller thread in practice.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// A fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        let mut ev = RawEpollEvent { events: interest, data: token };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Starts watching `fd` under `token` with `interest` (level
+    /// triggered).
+    pub fn register(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Replaces `fd`'s interest set.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks for readiness, up to `timeout` (`None` blocks forever).
+    /// Fills `out` with this round's notifications; a signal-interrupted
+    /// wait returns empty instead of erroring.
+    pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        const MAX_EVENTS: usize = 64;
+        let mut raw = [RawEpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let timeout_ms: c_int = match timeout {
+            // Round up: a 100 µs request must not spin at timeout 0.
+            Some(d) => d.as_millis().clamp(1, c_int::MAX as u128) as c_int,
+            None => -1,
+        };
+        let rc =
+            unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as c_int, timeout_ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for ev in raw.iter().take(rc as usize) {
+            out.push(PollEvent { token: ev.data, events: ev.events });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// Cross-thread wakeup for a poller blocked in [`Poller::wait`], backed
+/// by an `eventfd`. Register its fd for `EPOLLIN`; any thread may call
+/// [`wake`](Waker::wake); the poller calls [`drain`](Waker::drain) when
+/// the wake fires.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// A fresh eventfd-backed waker.
+    pub fn new() -> io::Result<Waker> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker { fd })
+    }
+
+    /// The fd to register with the poller.
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Makes the poller's next (or current) wait return. Saturation of
+    /// the eventfd counter still leaves it readable, so a failed write
+    /// is ignorable.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Consumes pending wakeups so the level-triggered fd goes quiet.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn readiness_tracks_data_and_interest() {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+
+        // Nothing buffered: EPOLLIN-only interest stays quiet.
+        poller.register(rx.as_raw_fd(), 7, EPOLLIN | EPOLLRDHUP).unwrap();
+        poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty(), "spurious readiness: {events:?}");
+
+        tx.write_all(b"ping").unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable());
+
+        // Level-triggered: unread data keeps reporting...
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(!events.is_empty());
+        // ...until consumed.
+        let mut buf = [0u8; 16];
+        let mut rx_ref = &rx;
+        assert_eq!(rx_ref.read(&mut buf).unwrap(), 4);
+        poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty());
+
+        // An idle socket is instantly writable once EPOLLOUT is armed.
+        poller.modify(rx.as_raw_fd(), 7, EPOLLOUT).unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.writable()));
+
+        // Peer close surfaces as readable readiness (EOF).
+        poller.modify(rx.as_raw_fd(), 7, EPOLLIN | EPOLLRDHUP).unwrap();
+        drop(tx);
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.readable()));
+
+        poller.deregister(rx.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn waker_crosses_threads() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.register(waker.as_raw_fd(), 99, EPOLLIN).unwrap();
+
+        let w = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w.wake();
+        });
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 99);
+        t.join().unwrap();
+
+        // Drained, the level-triggered eventfd goes quiet again.
+        waker.drain();
+        poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty());
+    }
+}

@@ -29,7 +29,9 @@
 //! the `windjoin-node` binary); [`TcpNetwork::loopback`] builds an
 //! in-process mesh over `127.0.0.1` for tests and demos.
 
-use crate::transport::{Disconnected, Frame, NetEvent, Transport, TransportEndpoint};
+use crate::transport::{
+    Disconnected, Frame, NetEvent, Transport, TransportEndpoint, WireCounters, WireStats,
+};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::io::{BufReader, Read, Write};
@@ -235,144 +237,8 @@ impl TcpNetwork {
         capacity: usize,
         timeout: Duration,
     ) -> std::io::Result<TcpEndpoint> {
-        let n = peers.len();
-        assert!(rank < n, "rank out of range");
         assert!(capacity > 0, "capacity must be positive");
-        let deadline = Instant::now() + timeout;
-
-        // Accept side: ranks above ours dial us and announce themselves.
-        // The deadline applies here too — a rank that never starts must
-        // fail the whole bootstrap, not hang the ranks waiting on it.
-        // Within the window the acceptor is forgiving: a dialer that
-        // connects but fails the hello (crashed mid-handshake, garbage
-        // announce) is dropped, and a *repeat* hello from a rank we
-        // already hold replaces the stale connection — a dialer that
-        // crashed after a successful hello can restart and redial while
-        // the window is open. (Once every expected hello is in, the
-        // window closes; a crash after that fails the barrier loudly
-        // and the whole launch is retried by the caller.)
-        let expected_inbound = n - 1 - rank;
-        let acceptor = std::thread::spawn(move || -> std::io::Result<Vec<Option<TcpStream>>> {
-            listener.set_nonblocking(true)?;
-            let mut inbound: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
-            let mut filled = 0;
-            while filled < expected_inbound {
-                let (mut stream, _) = match listener.accept() {
-                    Ok(accepted) => accepted,
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        if Instant::now() >= deadline {
-                            return Err(std::io::Error::new(
-                                std::io::ErrorKind::TimedOut,
-                                format!(
-                                    "waited for {} inbound rank(s) that never dialed",
-                                    expected_inbound - filled
-                                ),
-                            ));
-                        }
-                        std::thread::sleep(Duration::from_millis(10));
-                        continue;
-                    }
-                    Err(e) => return Err(e),
-                };
-                let handshake = (|| -> std::io::Result<usize> {
-                    stream.set_nonblocking(false)?;
-                    stream.set_nodelay(true)?;
-                    // Bound the hello read: a dialer that connects
-                    // but never announces must not stall the mesh.
-                    stream.set_read_timeout(Some(remaining(deadline)))?;
-                    let hello = read_exact_frame(&mut stream)?;
-                    stream.set_read_timeout(None)?;
-                    parse_hello(&hello)
-                })();
-                match handshake {
-                    Ok(peer) if peer > rank && peer < n => {
-                        if inbound[peer].is_none() {
-                            filled += 1;
-                        }
-                        // Newest connection wins: it is the one a
-                        // restarted peer will actually use.
-                        inbound[peer] = Some(stream);
-                    }
-                    // Bad or torn hello: drop the connection and
-                    // keep the accept window open for a redial.
-                    _ => drop(stream),
-                }
-            }
-            Ok(inbound)
-        });
-
-        // Dial side: we dial every rank below ours, retrying the whole
-        // connect-and-hello exchange while the peer's listener comes up
-        // (or comes *back* up after a crash-restart within the window).
-        // Retries back off exponentially with deterministic per-rank
-        // jitter: after a failover every surviving rank redials the new
-        // leader at once, and a fixed sleep would thundering-herd its
-        // listener in lockstep.
-        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
-        for (lower, addr) in peers.iter().enumerate().take(rank) {
-            let mut attempt_no: u32 = 0;
-            let stream = loop {
-                let attempt = (|| -> std::io::Result<TcpStream> {
-                    let mut s = TcpStream::connect(addr)?;
-                    s.set_nodelay(true)?;
-                    let mut hello = Vec::with_capacity(9);
-                    hello.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
-                    hello.push(PROTO_VERSION);
-                    hello.extend_from_slice(&(rank as u32).to_le_bytes());
-                    write_frame(&mut s, &hello)?;
-                    Ok(s)
-                })();
-                match attempt {
-                    Ok(s) => break s,
-                    Err(e) => {
-                        if Instant::now() >= deadline {
-                            return Err(std::io::Error::new(
-                                std::io::ErrorKind::TimedOut,
-                                format!("dialing rank {lower} at {addr}: {e}"),
-                            ));
-                        }
-                        std::thread::sleep(dial_backoff(rank, lower, attempt_no));
-                        attempt_no = attempt_no.saturating_add(1);
-                    }
-                }
-            };
-            streams[lower] = Some(stream);
-        }
-
-        for (peer, stream) in
-            acceptor.join().expect("acceptor thread panicked")?.into_iter().enumerate()
-        {
-            if let Some(stream) = stream {
-                debug_assert!(peer > rank && peer < n && streams[peer].is_none());
-                streams[peer] = Some(stream);
-            }
-        }
-
-        // Barrier through rank 0: nobody proceeds until everyone holds
-        // the full mesh ("full mesh established before the run starts").
-        // Barrier reads share the bootstrap deadline; the timeouts are
-        // cleared before the streams go live.
-        if n > 1 {
-            if rank == 0 {
-                for s in streams.iter_mut().flatten() {
-                    s.set_read_timeout(Some(remaining(deadline)))?;
-                    let ctrl = read_exact_frame(s)?;
-                    check_ctrl(&ctrl, CTRL_READY)?;
-                    s.set_read_timeout(None)?;
-                }
-                for s in streams.iter_mut().flatten() {
-                    write_frame(s, &[CTRL_GO])?;
-                }
-            } else {
-                let zero = streams[0].as_mut().expect("stream to rank 0");
-                write_frame(zero, &[CTRL_READY])?;
-                zero.set_read_timeout(Some(remaining(deadline)))?;
-                let ctrl = read_exact_frame(zero)?;
-                check_ctrl(&ctrl, CTRL_GO)?;
-                zero.set_read_timeout(None)?;
-            }
-        }
-
+        let streams = establish_mesh(rank, peers, listener, timeout)?;
         Ok(TcpEndpoint::start(rank, streams, capacity))
     }
 
@@ -380,33 +246,11 @@ impl TcpNetwork {
     /// (ephemeral ports, no address coordination), for tests and demos.
     pub fn loopback(n: usize, capacity: usize) -> std::io::Result<TcpNetwork> {
         assert!(n > 0 && capacity > 0);
-        let mut listeners = Vec::with_capacity(n);
-        let mut peers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let l = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
-            peers.push(l.local_addr()?);
-            listeners.push(l);
-        }
-        let handles: Vec<_> = listeners
+        let endpoints = loopback_meshes(n)?
             .into_iter()
             .enumerate()
-            .map(|(rank, listener)| {
-                let peers = peers.clone();
-                std::thread::spawn(move || {
-                    Self::establish_with_listener(
-                        rank,
-                        &peers,
-                        listener,
-                        capacity,
-                        Duration::from_secs(10),
-                    )
-                })
-            })
+            .map(|(rank, streams)| Some(TcpEndpoint::start(rank, streams, capacity)))
             .collect();
-        let mut endpoints = Vec::with_capacity(n);
-        for h in handles {
-            endpoints.push(Some(h.join().expect("bootstrap thread panicked")?));
-        }
         Ok(TcpNetwork { endpoints })
     }
 
@@ -424,6 +268,189 @@ impl TcpNetwork {
     pub fn take(&mut self, rank: usize) -> TcpEndpoint {
         self.endpoints[rank].take().expect("endpoint already taken")
     }
+}
+
+/// Establishes this rank's corner of the full mesh — the HELLO dial /
+/// accept exchange plus the rank-0 READY/GO barrier — and returns the
+/// raw per-peer streams (`None` at this rank's own slot). Both socket
+/// backends (the thread-per-peer [`TcpEndpoint`] and the readiness
+/// driven [`EventedEndpoint`](crate::evented::EventedEndpoint)) start
+/// from exactly these streams, so the handshake protocol is shared
+/// code, not a re-implementation.
+pub(crate) fn establish_mesh(
+    rank: usize,
+    peers: &[SocketAddr],
+    listener: TcpListener,
+    timeout: Duration,
+) -> std::io::Result<Vec<Option<TcpStream>>> {
+    let n = peers.len();
+    assert!(rank < n, "rank out of range");
+    let deadline = Instant::now() + timeout;
+
+    // Accept side: ranks above ours dial us and announce themselves.
+    // The deadline applies here too — a rank that never starts must
+    // fail the whole bootstrap, not hang the ranks waiting on it.
+    // Within the window the acceptor is forgiving: a dialer that
+    // connects but fails the hello (crashed mid-handshake, garbage
+    // announce) is dropped, and a *repeat* hello from a rank we
+    // already hold replaces the stale connection — a dialer that
+    // crashed after a successful hello can restart and redial while
+    // the window is open. (Once every expected hello is in, the
+    // window closes; a crash after that fails the barrier loudly
+    // and the whole launch is retried by the caller.)
+    let expected_inbound = n - 1 - rank;
+    let acceptor = std::thread::spawn(move || -> std::io::Result<Vec<Option<TcpStream>>> {
+        listener.set_nonblocking(true)?;
+        let mut inbound: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut filled = 0;
+        while filled < expected_inbound {
+            let (mut stream, _) = match listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!(
+                                "waited for {} inbound rank(s) that never dialed",
+                                expected_inbound - filled
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let handshake = (|| -> std::io::Result<usize> {
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                // Bound the hello read: a dialer that connects
+                // but never announces must not stall the mesh.
+                stream.set_read_timeout(Some(remaining(deadline)))?;
+                let hello = read_exact_frame(&mut stream)?;
+                stream.set_read_timeout(None)?;
+                parse_hello(&hello)
+            })();
+            match handshake {
+                Ok(peer) if peer > rank && peer < n => {
+                    if inbound[peer].is_none() {
+                        filled += 1;
+                    }
+                    // Newest connection wins: it is the one a
+                    // restarted peer will actually use.
+                    inbound[peer] = Some(stream);
+                }
+                // Bad or torn hello: drop the connection and
+                // keep the accept window open for a redial.
+                _ => drop(stream),
+            }
+        }
+        Ok(inbound)
+    });
+
+    // Dial side: we dial every rank below ours, retrying the whole
+    // connect-and-hello exchange while the peer's listener comes up
+    // (or comes *back* up after a crash-restart within the window).
+    // Retries back off exponentially with deterministic per-rank
+    // jitter: after a failover every surviving rank redials the new
+    // leader at once, and a fixed sleep would thundering-herd its
+    // listener in lockstep.
+    let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    for (lower, addr) in peers.iter().enumerate().take(rank) {
+        let mut attempt_no: u32 = 0;
+        let stream = loop {
+            let attempt = (|| -> std::io::Result<TcpStream> {
+                let mut s = TcpStream::connect(addr)?;
+                s.set_nodelay(true)?;
+                let mut hello = Vec::with_capacity(9);
+                hello.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
+                hello.push(PROTO_VERSION);
+                hello.extend_from_slice(&(rank as u32).to_le_bytes());
+                write_frame(&mut s, &hello)?;
+                Ok(s)
+            })();
+            match attempt {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!("dialing rank {lower} at {addr}: {e}"),
+                        ));
+                    }
+                    std::thread::sleep(dial_backoff(rank, lower, attempt_no));
+                    attempt_no = attempt_no.saturating_add(1);
+                }
+            }
+        };
+        streams[lower] = Some(stream);
+    }
+
+    for (peer, stream) in
+        acceptor.join().expect("acceptor thread panicked")?.into_iter().enumerate()
+    {
+        if let Some(stream) = stream {
+            debug_assert!(peer > rank && peer < n && streams[peer].is_none());
+            streams[peer] = Some(stream);
+        }
+    }
+
+    // Barrier through rank 0: nobody proceeds until everyone holds
+    // the full mesh ("full mesh established before the run starts").
+    // Barrier reads share the bootstrap deadline; the timeouts are
+    // cleared before the streams go live.
+    if n > 1 {
+        if rank == 0 {
+            for s in streams.iter_mut().flatten() {
+                s.set_read_timeout(Some(remaining(deadline)))?;
+                let ctrl = read_exact_frame(s)?;
+                check_ctrl(&ctrl, CTRL_READY)?;
+                s.set_read_timeout(None)?;
+            }
+            for s in streams.iter_mut().flatten() {
+                write_frame(s, &[CTRL_GO])?;
+            }
+        } else {
+            let zero = streams[0].as_mut().expect("stream to rank 0");
+            write_frame(zero, &[CTRL_READY])?;
+            zero.set_read_timeout(Some(remaining(deadline)))?;
+            let ctrl = read_exact_frame(zero)?;
+            check_ctrl(&ctrl, CTRL_GO)?;
+            zero.set_read_timeout(None)?;
+        }
+    }
+
+    Ok(streams)
+}
+
+/// Runs [`establish_mesh`] for all `n` ranks of an ephemeral-port
+/// `127.0.0.1` cluster concurrently (the handshake needs every rank in
+/// flight at once) and returns each rank's streams — the shared
+/// substrate of `TcpNetwork::loopback` and `EventedNetwork::loopback`.
+pub(crate) fn loopback_meshes(n: usize) -> std::io::Result<Vec<Vec<Option<TcpStream>>>> {
+    assert!(n > 0);
+    let mut listeners = Vec::with_capacity(n);
+    let mut peers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+        peers.push(l.local_addr()?);
+        listeners.push(l);
+    }
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(rank, listener)| {
+            let peers = peers.clone();
+            std::thread::spawn(move || {
+                establish_mesh(rank, &peers, listener, Duration::from_secs(10))
+            })
+        })
+        .collect();
+    let mut meshes = Vec::with_capacity(n);
+    for h in handles {
+        meshes.push(h.join().expect("bootstrap thread panicked")?);
+    }
+    Ok(meshes)
 }
 
 impl Transport for TcpNetwork {
@@ -508,12 +535,14 @@ pub struct TcpEndpoint {
     writers: Arc<Vec<Option<Mutex<TcpWriter>>>>,
     inbox_tx: Sender<NetEvent>,
     inbox_rx: Receiver<NetEvent>,
+    stats: Arc<WireCounters>,
 }
 
 impl TcpEndpoint {
     fn start(rank: usize, streams: Vec<Option<TcpStream>>, capacity: usize) -> Self {
         let n = streams.len();
         let (inbox_tx, inbox_rx) = bounded(capacity);
+        let stats = Arc::new(WireCounters::default());
         let mut writers: Vec<Option<Mutex<TcpWriter>>> = Vec::with_capacity(n);
         for (peer, stream) in streams.into_iter().enumerate() {
             let Some(stream) = stream else {
@@ -523,12 +552,13 @@ impl TcpEndpoint {
             let reader = stream.try_clone().expect("clone stream for reader");
             writers.push(Some(Mutex::new(TcpWriter { stream, scratch: Vec::new() })));
             let tx = inbox_tx.clone();
+            let counters = stats.clone();
             std::thread::Builder::new()
                 .name(format!("wj-net-r{rank}-p{peer}"))
-                .spawn(move || reader_loop(peer, reader, tx))
+                .spawn(move || reader_loop(peer, reader, tx, counters))
                 .expect("spawn reader thread");
         }
-        TcpEndpoint { rank, writers: Arc::new(writers), inbox_tx, inbox_rx }
+        TcpEndpoint { rank, writers: Arc::new(writers), inbox_tx, inbox_rx, stats }
     }
 
     /// This endpoint's rank.
@@ -565,7 +595,16 @@ impl TcpEndpoint {
         assert_frame_size(payload.len());
         let writer = self.writers[to].as_ref().expect("send to unconnected rank");
         let mut writer = writer.lock().unwrap();
-        writer.write_framed(payload).map_err(|_| Disconnected)
+        writer.write_framed(payload).map_err(|_| Disconnected)?;
+        self.stats.add_sent(FRAME_HEADER_BYTES + payload.len());
+        Ok(())
+    }
+
+    /// Cumulative wire bytes (headers included) sent and received over
+    /// this rank's sockets. Self-sends never touch the wire and are not
+    /// counted.
+    pub fn wire_stats(&self) -> WireStats {
+        self.stats.snapshot()
     }
 
     /// Self-sends short-circuit through the inbox like any other frame.
@@ -641,6 +680,10 @@ impl TransportEndpoint for TcpEndpoint {
     fn try_recv_event(&self) -> Option<NetEvent> {
         TcpEndpoint::try_recv_event(self)
     }
+
+    fn wire_stats(&self) -> WireStats {
+        TcpEndpoint::wire_stats(self)
+    }
 }
 
 impl Drop for TcpEndpoint {
@@ -656,7 +699,7 @@ impl Drop for TcpEndpoint {
     }
 }
 
-fn reader_loop(peer: usize, stream: TcpStream, tx: Sender<NetEvent>) {
+fn reader_loop(peer: usize, stream: TcpStream, tx: Sender<NetEvent>, stats: Arc<WireCounters>) {
     // Frames are read straight out of one reused buffered reader: the
     // header comes off the buffer, the payload is read_exact into an
     // exactly-sized vector that becomes the frame (its one and only
@@ -675,6 +718,7 @@ fn reader_loop(peer: usize, stream: TcpStream, tx: Sender<NetEvent>) {
         if rd.read_exact(&mut payload).is_err() {
             break; // torn mid-frame: the partial payload is discarded
         }
+        stats.add_recvd(FRAME_HEADER_BYTES + len);
         // A full inbox blocks here, which stops this read loop, which
         // fills the kernel buffers, which blocks the sender: end-to-end
         // backpressure.

@@ -20,6 +20,7 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -61,6 +62,50 @@ impl std::fmt::Display for Disconnected {
 
 impl std::error::Error for Disconnected {}
 
+/// Cumulative transfer volume through one endpoint, as counted at the
+/// transport layer itself — the ground truth the saturation benchmarks
+/// and `RunReport` byte accounting read, instead of estimating volume
+/// from tuple counts.
+///
+/// Socket backends count real wire bytes (frame headers included,
+/// self-sends excluded — a self-send never touches the wire); the
+/// in-process channel backend counts payload bytes of every delivered
+/// frame, self-sends included, since every frame there moves through
+/// the same inbox.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Bytes this endpoint pushed toward its peers.
+    pub bytes_sent: u64,
+    /// Bytes this endpoint accepted from its peers.
+    pub bytes_recvd: u64,
+}
+
+/// Shared atomic counters behind [`WireStats`] — one pair per endpoint,
+/// updated lock-free from whichever thread moves the bytes (sender
+/// threads, reader threads, the poller).
+#[derive(Debug, Default)]
+pub(crate) struct WireCounters {
+    pub(crate) sent: AtomicU64,
+    pub(crate) recvd: AtomicU64,
+}
+
+impl WireCounters {
+    pub(crate) fn add_sent(&self, n: usize) {
+        self.sent.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_recvd(&self, n: usize) {
+        self.recvd.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> WireStats {
+        WireStats {
+            bytes_sent: self.sent.load(Ordering::Relaxed),
+            bytes_recvd: self.recvd.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// One rank's handle onto a cluster transport: send a frame to any
 /// rank, receive from this rank's own inbox.
 ///
@@ -77,6 +122,40 @@ impl std::error::Error for Disconnected {}
 /// * **Failure surfacing** — a torn peer connection is delivered as a
 ///   typed [`NetEvent::PeerDown`] through the event receive methods,
 ///   after every frame that peer sent before dying.
+///
+/// # Backpressure and slow consumers
+///
+/// Every backend gives a rank one **bounded inbox** (capacity in
+/// frames, fixed at construction). A rank that stops receiving — a
+/// stalled collector, a wedged slave — fills that inbox, and the
+/// pressure then propagates *sender-side*: the channel backend parks
+/// senders on the full channel; the thread-per-peer TCP backend stops
+/// its reader threads, letting TCP flow control fill the sender's
+/// kernel buffers until its `send` blocks; the evented backend parks
+/// decoded frames, masks read interest for the stalled peers, and lets
+/// the same TCP flow control do the rest. In every case the sender's
+/// `send` eventually **blocks** — it never drops frames, errors, or
+/// buffers without bound.
+///
+/// What a stalled consumer must **not** do is wedge the rest of the
+/// mesh. The guarantees every backend upholds while some rank's inbox
+/// is full:
+///
+/// * Traffic between *other* pairs of ranks keeps flowing — per-peer
+///   buffering (sockets, write queues) is independent, so pressure on
+///   one destination never rides over into another.
+/// * The stalled rank's **outbound** path stays live: a full inbox
+///   blocks deliveries *to* the rank, never sends *from* it. (In the
+///   evented backend this holds because the poller never blocks on the
+///   inbox — it parks frames and keeps draining write queues.)
+/// * The first `recv` after the stall drains the backlog in order;
+///   nothing is reordered or dropped on the way through the pressure.
+///
+/// The one deadlock the transport cannot absolve is protocol-level: two
+/// ranks that both fill each other's inboxes while *neither* receives
+/// have deadlocked themselves — §III's blocking regime makes that the
+/// protocol designer's contract, exactly as in the paper's MPI setting.
+/// The node loops honor it by always draining between sends.
 pub trait TransportEndpoint: Send {
     /// This endpoint's rank.
     fn rank(&self) -> usize;
@@ -104,6 +183,12 @@ pub trait TransportEndpoint: Send {
 
     /// Non-blocking event receive; `None` when the inbox is empty.
     fn try_recv_event(&self) -> Option<NetEvent>;
+
+    /// Cumulative bytes moved through this endpoint. Backends that do
+    /// not count (or have nothing to count) report zeros.
+    fn wire_stats(&self) -> WireStats {
+        WireStats::default()
+    }
 
     /// Blocking receive of the next *frame*; [`NetEvent::PeerDown`]
     /// notices are silently discarded. Failure-aware loops should use
@@ -177,6 +262,7 @@ pub struct ChannelEndpoint {
     rank: usize,
     senders: Vec<Sender<NetEvent>>,
     receiver: Receiver<NetEvent>,
+    stats: Arc<WireCounters>,
     /// Fires [`NetEvent::PeerDown`] at every peer when the last clone of
     /// this endpoint drops — the channel backend's equivalent of a TCP
     /// EOF, so in-process "process death" (a node loop returning and
@@ -232,6 +318,7 @@ impl ChannelNetwork {
                     rank,
                     senders: senders.clone(),
                     receiver,
+                    stats: Arc::new(WireCounters::default()),
                     _death: Arc::new(DeathWatch { rank, peers: senders.clone() }),
                 })
             })
@@ -282,20 +369,36 @@ impl ChannelEndpoint {
     /// Blocking send of `payload` to rank `to` (blocks while the peer's
     /// inbox is full).
     pub fn send(&self, to: usize, payload: Bytes) -> Result<(), Disconnected> {
+        let len = payload.len();
         self.senders[to]
             .send(NetEvent::Frame(Frame { from: self.rank, payload }))
-            .map_err(|_| Disconnected)
+            .map_err(|_| Disconnected)?;
+        self.stats.add_sent(len);
+        Ok(())
+    }
+
+    /// Counts a delivered frame's payload toward this rank's receive
+    /// volume (the channel backend has no reader thread to count at).
+    fn tally(&self, ev: &NetEvent) {
+        if let NetEvent::Frame(f) = ev {
+            self.stats.add_recvd(f.payload.len());
+        }
     }
 
     /// Blocking receive of the next event addressed to this rank.
     pub fn recv_event(&self) -> Result<NetEvent, Disconnected> {
-        self.receiver.recv().map_err(|_| Disconnected)
+        let ev = self.receiver.recv().map_err(|_| Disconnected)?;
+        self.tally(&ev);
+        Ok(ev)
     }
 
     /// Event receive with a timeout; `Ok(None)` on timeout.
     pub fn recv_event_timeout(&self, d: Duration) -> Result<Option<NetEvent>, Disconnected> {
         match self.receiver.recv_timeout(d) {
-            Ok(ev) => Ok(Some(ev)),
+            Ok(ev) => {
+                self.tally(&ev);
+                Ok(Some(ev))
+            }
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(Disconnected),
         }
@@ -303,7 +406,14 @@ impl ChannelEndpoint {
 
     /// Non-blocking event receive; `None` when the inbox is empty.
     pub fn try_recv_event(&self) -> Option<NetEvent> {
-        self.receiver.try_recv().ok()
+        let ev = self.receiver.try_recv().ok()?;
+        self.tally(&ev);
+        Some(ev)
+    }
+
+    /// Cumulative payload bytes sent and received through this rank.
+    pub fn wire_stats(&self) -> WireStats {
+        self.stats.snapshot()
     }
 
     /// Blocking receive of the next frame (peer-down notices discarded).
@@ -345,6 +455,10 @@ impl TransportEndpoint for ChannelEndpoint {
 
     fn try_recv_event(&self) -> Option<NetEvent> {
         ChannelEndpoint::try_recv_event(self)
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        ChannelEndpoint::wire_stats(self)
     }
 }
 
@@ -457,6 +571,19 @@ mod tests {
         // recv() must deliver the frame, silently discarding rank 2's
         // death notice queued ahead of it.
         assert_eq!(&b.recv().unwrap().payload[..], b"after");
+    }
+
+    #[test]
+    fn wire_stats_count_payload_volume() {
+        let mut net = ChannelNetwork::new(2, 4);
+        let a = net.take(0);
+        let b = net.take(1);
+        a.send(1, Bytes::from(vec![0u8; 100])).unwrap();
+        a.send(1, Bytes::from(vec![0u8; 28])).unwrap();
+        b.recv().unwrap();
+        b.recv().unwrap();
+        assert_eq!(a.wire_stats(), WireStats { bytes_sent: 128, bytes_recvd: 0 });
+        assert_eq!(b.wire_stats(), WireStats { bytes_sent: 0, bytes_recvd: 128 });
     }
 
     #[test]

@@ -4,13 +4,16 @@
 //! contract from [`TransportEndpoint`] (per-sender FIFO, blocking
 //! receive, bounded buffering, self-send, correct sender attribution).
 //! Each property here is written once against the trait and executed
-//! over both backends: the in-process [`ChannelNetwork`] and the
-//! socket-backed [`TcpNetwork`] on `127.0.0.1` — the suite that keeps
-//! the two interchangeable underneath the cluster runtimes.
+//! over every backend: the in-process [`ChannelNetwork`], the
+//! thread-per-peer [`TcpNetwork`] and the poller-driven
+//! [`EventedNetwork`], both on `127.0.0.1` — the suite that keeps the
+//! three interchangeable underneath the cluster runtimes.
 
 use bytes::Bytes;
 use std::time::Duration;
-use windjoin_net::{ChannelNetwork, NetEvent, TcpNetwork, Transport, TransportEndpoint};
+use windjoin_net::{
+    ChannelNetwork, EventedNetwork, NetEvent, TcpNetwork, Transport, TransportEndpoint,
+};
 
 /// Takes all endpoints out of a transport.
 fn endpoints<T: Transport>(net: &mut T) -> Vec<T::Endpoint> {
@@ -112,6 +115,41 @@ fn check_bulk_backpressure<E: TransportEndpoint + Sync>(eps: &[E]) {
     });
 }
 
+/// A stalled consumer (the paper's collector falling behind) must slow
+/// its senders down without wedging the rest of the mesh: while rank 2
+/// refuses to read, bounded buffering fills and rank 0's bulk sender
+/// blocks, yet rank 0 <-> rank 1 traffic keeps flowing on the same
+/// endpoints. When the stalled rank finally drains, every frame arrives
+/// in order.
+fn check_stalled_consumer_does_not_wedge_mesh<E: TransportEndpoint + Sync>(eps: &[E]) {
+    const BULK: u32 = 1_500; // ~12 MiB: beyond any backend's buffering
+    const PINGS: u32 = 200;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..BULK {
+                let mut payload = vec![0u8; 8 * 1024];
+                payload[..4].copy_from_slice(&i.to_le_bytes());
+                eps[0].send(2, Bytes::from(payload)).unwrap();
+            }
+        });
+        // Rank 2 is deliberately stalled; 0 <-> 1 must stay live.
+        for i in 0..PINGS {
+            eps[0].send(1, Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+            let f = eps[1].recv().unwrap();
+            assert_eq!((f.from, u32::from_le_bytes(f.payload[..].try_into().unwrap())), (0, i));
+            eps[1].send(0, Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+            let f = eps[0].recv().unwrap();
+            assert_eq!(f.from, 1, "ping-pong wedged behind the stalled rank");
+        }
+        // The stalled rank wakes up: nothing was lost or reordered.
+        for i in 0..BULK {
+            let f = eps[2].recv().unwrap();
+            assert_eq!(f.from, 0);
+            assert_eq!(u32::from_le_bytes(f.payload[..4].try_into().unwrap()), i);
+        }
+    });
+}
+
 /// Peer teardown mid-batch: a peer that sends part of a "batch" of
 /// frames and dies must surface as a typed [`NetEvent::PeerDown`] at
 /// every other rank — after its completed frames, never as a hang or a
@@ -175,6 +213,7 @@ where
     check_large_frames(&eps);
     check_fan_in_attribution(&eps);
     check_bulk_backpressure(&eps);
+    check_stalled_consumer_does_not_wedge_mesh(&eps);
 }
 
 #[test]
@@ -196,5 +235,16 @@ fn channel_backend_peer_teardown() {
 #[test]
 fn tcp_backend_peer_teardown() {
     let mut net = TcpNetwork::loopback(3, 16).unwrap();
+    check_peer_teardown_mid_batch(endpoints(&mut net));
+}
+
+#[test]
+fn evented_backend_conforms() {
+    conformance(EventedNetwork::loopback(4, 16).unwrap());
+}
+
+#[test]
+fn evented_backend_peer_teardown() {
+    let mut net = EventedNetwork::loopback(3, 16).unwrap();
     check_peer_teardown_mid_batch(endpoints(&mut net));
 }
